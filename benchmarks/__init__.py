@@ -1,0 +1,1 @@
+"""Figure-regeneration benchmarks (one per paper table/figure)."""

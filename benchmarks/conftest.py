@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``test_figNN_*`` benchmark regenerates one table/figure of the
+paper (see DESIGN.md's per-experiment index), prints a paper-vs-measured
+table, writes it to ``benchmarks/results/``, and asserts the qualitative
+shape that the paper's conclusion rests on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+
+    def _record(name: str, table: str) -> None:
+        print()
+        print(table)
+        (results_dir / f"{name}.txt").write_text(table + "\n")
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run a heavyweight figure computation exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Ablation — MapReduce job-initialization overhead vs plan flatness.
+
+The paper's whole argument for flat plans is that successive joins turn
+into successive MapReduce jobs, whose latency adds up into the response
+time.  This ablation sweeps the per-job overhead and shows the flat
+(MSC) plan's advantage over the deep (best linear) plan growing with it
+— at zero overhead the plans differ only by their work; at Hadoop-like
+overheads the job count dominates.
+"""
+
+from repro.bench.harness import format_table, lubm_csq, lubm_graph
+from repro.cost.params import CostParams
+from repro.mapreduce.engine import ClusterConfig
+from repro.core.binary import best_linear_plan
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.workloads.lubm_queries import query
+
+from benchmarks.conftest import once
+
+OVERHEADS = (0.0, 200.0, 800.0, 3200.0)
+QUERY = "Q12"  # 9 patterns: 1 job flat vs 7 jobs linear in the paper
+
+
+def run_sweep():
+    csq = lubm_csq()
+    graph = lubm_graph()
+    q = query(QUERY)
+    msc_plan, _ = csq.optimize(q)
+    linear_plan, _ = best_linear_plan(q, csq.coster.cost)
+    store = partition_graph(graph, 7)
+    rows = []
+    for overhead in OVERHEADS:
+        executor = PlanExecutor(
+            store, ClusterConfig(num_nodes=7), CostParams(job_overhead=overhead)
+        )
+        flat = executor.execute(msc_plan)
+        deep = executor.execute(linear_plan)
+        assert flat.rows == deep.rows
+        rows.append(
+            {
+                "overhead": overhead,
+                "flat_jobs": flat.num_jobs,
+                "deep_jobs": deep.num_jobs,
+                "flat_time": flat.response_time,
+                "deep_time": deep.response_time,
+            }
+        )
+    return rows
+
+
+def test_ablation_job_overhead(benchmark, record_table):
+    rows = once(benchmark, run_sweep)
+    record_table(
+        "ablation_job_overhead",
+        format_table(
+            ["job overhead", "flat jobs", "deep jobs", "flat time", "deep time", "deep/flat"],
+            [
+                [
+                    f"{r['overhead']:.0f}",
+                    r["flat_jobs"],
+                    r["deep_jobs"],
+                    f"{r['flat_time']:,.0f}",
+                    f"{r['deep_time']:,.0f}",
+                    f"{r['deep_time'] / r['flat_time']:.2f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Ablation — job overhead sweep on {QUERY} (flat MSC vs best linear)",
+        ),
+    )
+    # The flat plan runs fewer jobs...
+    assert all(r["flat_jobs"] < r["deep_jobs"] for r in rows)
+    # ... so its advantage grows monotonically with the job overhead.
+    ratios = [r["deep_time"] / r["flat_time"] for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,82 @@
+"""Fig. 6 — the pairwise comparison triples of the decomposition options.
+
+Regenerates the 8x8 matrix of (o1, o2, o3) triples and checks it against
+the paper's table, including which cells are dominated (Prop. 4.1).
+"""
+
+from repro.bench.harness import format_table
+from repro.core.decomposition import ALL_OPTIONS, OPTIONS_BY_NAME
+
+from benchmarks.conftest import once
+
+#: The paper's Fig. 6, transcribed row by row (upper triangle).
+PAPER_FIG6 = {
+    ("MXC+", "XC+"): "(=,=,<)",
+    ("MXC+", "MSC+"): "(=,<,=)",
+    ("MXC+", "SC+"): "(=,<,<)",
+    ("MXC+", "MXC"): "(<,=,=)",
+    ("MXC+", "XC"): "(<,=,<)",
+    ("MXC+", "MSC"): "(<,<,=)",
+    ("MXC+", "SC"): "(<,<,<)",
+    ("XC+", "MSC+"): "(=,<,>)",
+    ("XC+", "SC+"): "(=,<,=)",
+    ("XC+", "MXC"): "(<,=,>)",
+    ("XC+", "XC"): "(<,=,=)",
+    ("XC+", "MSC"): "(<,<,>)",
+    ("XC+", "SC"): "(<,<,=)",
+    ("MSC+", "SC+"): "(=,=,<)",
+    ("MSC+", "MXC"): "(<,>,=)",
+    ("MSC+", "XC"): "(<,>,<)",
+    ("MSC+", "MSC"): "(<,=,=)",
+    ("MSC+", "SC"): "(<,=,<)",
+    ("SC+", "MXC"): "(<,>,>)",
+    ("SC+", "XC"): "(<,>,=)",
+    ("SC+", "MSC"): "(<,=,>)",
+    ("SC+", "SC"): "(<,=,=)",
+    ("MXC", "XC"): "(=,=,<)",
+    ("MXC", "MSC"): "(=,<,=)",
+    ("MXC", "SC"): "(=,<,<)",
+    ("XC", "MSC"): "(=,<,>)",
+    ("XC", "SC"): "(=,<,=)",
+    ("MSC", "SC"): "(=,=,<)",
+}
+
+
+def computed_matrix() -> dict[tuple[str, str], str]:
+    out = {}
+    for (a, b) in PAPER_FIG6:
+        triple = OPTIONS_BY_NAME[a].comparison_triple(OPTIONS_BY_NAME[b])
+        out[(a, b)] = "({},{},{})".format(*triple)
+    return out
+
+
+def test_fig06_option_matrix(benchmark, record_table):
+    ours = once(benchmark, computed_matrix)
+
+    rows = []
+    mismatches = []
+    for (a, b), paper_cell in PAPER_FIG6.items():
+        ok = ours[(a, b)] == paper_cell
+        rows.append([f"{a} vs {b}", paper_cell, ours[(a, b)], "ok" if ok else "DIFF"])
+        if not ok:
+            mismatches.append((a, b))
+    record_table(
+        "fig06_option_matrix",
+        format_table(
+            ["pair", "paper", "ours", "match"],
+            rows,
+            title="Fig. 6 — comparison triples of decomposition options",
+        ),
+    )
+    assert not mismatches
+
+    # Prop. 4.1: '<'-dominated cells mean plan-space inclusion.
+    dominated = sum(
+        1
+        for (a, b) in PAPER_FIG6
+        if OPTIONS_BY_NAME[a].dominated_by(OPTIONS_BY_NAME[b])
+    )
+    assert dominated == sum(
+        1 for cell in PAPER_FIG6.values() if "<" in cell and ">" not in cell
+    )
+    assert len(ALL_OPTIONS) == 8

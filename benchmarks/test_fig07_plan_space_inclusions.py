@@ -1,0 +1,85 @@
+"""Fig. 7 — the plan-space inclusion lattice of the eight variants.
+
+Empirically verifies every arrow of Fig. 7 (P_A ⊇ P_B) by enumerating
+complete plan spaces on a panel of small queries, and checks strictness
+on at least one panel query per arrow where the paper's examples imply
+it (e.g. MSC ⊊ SC via Fig. 11-13).
+"""
+
+import random
+
+from repro.bench.harness import format_table
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import OPTIONS_BY_NAME
+from repro.core.properties import plan_space_signatures
+from tests.conftest import fig14_query, random_connected_query
+
+from benchmarks.conftest import once
+
+#: The arrows of Fig. 7: (superset, subset).
+FIG7_ARROWS = [
+    ("XC+", "MXC+"),
+    ("MSC+", "MXC+"),
+    ("MXC", "MXC+"),
+    ("SC+", "XC+"),
+    ("XC", "XC+"),
+    ("SC+", "MSC+"),
+    ("MSC", "MSC+"),
+    ("XC", "MXC"),
+    ("MSC", "MXC"),
+    ("SC", "SC+"),
+    ("SC", "XC"),
+    ("SC", "MSC"),
+]
+
+
+def panel():
+    rng = random.Random(8612)
+    queries = [random_connected_query(rng, n) for n in (2, 3, 3, 4, 4)]
+    queries.append(fig14_query())
+    return queries
+
+
+def run_inclusions():
+    queries = panel()
+    spaces = {}
+    for name in OPTIONS_BY_NAME:
+        spaces[name] = [
+            plan_space_signatures(
+                cliquesquare(q, OPTIONS_BY_NAME[name], max_plans=None, timeout_s=30)
+            )
+            for q in queries
+        ]
+    results = []
+    for outer, inner in FIG7_ARROWS:
+        holds = all(
+            small <= large
+            for small, large in zip(spaces[inner], spaces[outer])
+        )
+        strict = any(
+            small < large
+            for small, large in zip(spaces[inner], spaces[outer])
+        )
+        results.append((outer, inner, holds, strict))
+    return results
+
+
+def test_fig07_plan_space_inclusions(benchmark, record_table):
+    results = once(benchmark, run_inclusions)
+    rows = [
+        [f"P_{outer}", "⊇", f"P_{inner}", "ok" if holds else "VIOLATED",
+         "strict" if strict else "equal-on-panel"]
+        for outer, inner, holds, strict in results
+    ]
+    record_table(
+        "fig07_plan_space_inclusions",
+        format_table(
+            ["superset", "", "subset", "inclusion", "strictness"],
+            rows,
+            title="Fig. 7 — plan-space inclusions between CliqueSquare variants",
+        ),
+    )
+    assert all(holds for _, _, holds, _ in results)
+    # SC strictly contains every minimum/exact variant on this panel.
+    strict_over_sc = [s for o, i, _, s in results if o == "SC"]
+    assert any(strict_over_sc)

@@ -1,0 +1,101 @@
+"""Fig. 9 — HO classification of the eight variants.
+
+Reproduces the classification empirically:
+
+* HO-partial variants (SC+, MSC+, MSC) find a height-optimal plan on
+  every panel query;
+* HO-lossy variants fail on the paper's counterexamples — MXC+/XC+ find
+  *no* plan for Fig. 10's query, MXC/XC miss the optimum on Fig. 14's;
+* SC (HO-complete) finds every HO plan that any variant finds.
+"""
+
+import random
+
+from repro.bench.harness import format_table
+from repro.bench.paper_data import FIG9_HO_CLASSIFICATION
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import ALL_OPTIONS, OPTIONS_BY_NAME, SC
+from repro.core.properties import height, optimal_height, plan_space_signatures
+from repro.sparql.parser import parse_query
+from tests.conftest import FIG10, FIG11_QX, fig14_query, random_connected_query
+
+from benchmarks.conftest import once
+
+
+def panel():
+    rng = random.Random(20141014)
+    queries = [random_connected_query(rng, n) for n in (3, 4, 4, 5)]
+    queries += [parse_query(FIG10, name="fig10"), parse_query(FIG11_QX, name="QX")]
+    queries.append(fig14_query())
+    return queries
+
+
+def classify():
+    queries = panel()
+    outcome: dict[str, dict[str, int]] = {
+        o.name: {"queries": 0, "found_plan": 0, "found_ho": 0} for o in ALL_OPTIONS
+    }
+    for q in queries:
+        opt = optimal_height(q, timeout_s=30)
+        for option in ALL_OPTIONS:
+            result = cliquesquare(q, option, max_plans=100_000, timeout_s=20)
+            outcome[option.name]["queries"] += 1
+            if result.plans:
+                outcome[option.name]["found_plan"] += 1
+                if min(height(p) for p in result.plans) == opt:
+                    outcome[option.name]["found_ho"] += 1
+    return outcome
+
+
+def paper_class(name: str) -> str:
+    for cls, names in FIG9_HO_CLASSIFICATION.items():
+        if name in names:
+            return cls
+    raise KeyError(name)
+
+
+def test_fig09_ho_classification(benchmark, record_table):
+    outcome = once(benchmark, classify)
+    total = next(iter(outcome.values()))["queries"]
+    rows = []
+    for option in ALL_OPTIONS:
+        o = outcome[option.name]
+        measured = "HO-partial" if o["found_ho"] == total else "HO-lossy"
+        rows.append(
+            [option.name, paper_class(option.name),
+             f"{o['found_plan']}/{total}", f"{o['found_ho']}/{total}", measured]
+        )
+    record_table(
+        "fig09_ho_properties",
+        format_table(
+            ["option", "paper class", "plans found", "HO found", "measured class"],
+            rows,
+            title="Fig. 9 — HO properties (panel includes Figs. 10/11/14 witnesses)",
+        ),
+    )
+    for cls in ("HO-complete", "HO-partial"):
+        for name in FIG9_HO_CLASSIFICATION[cls]:
+            assert outcome[name]["found_ho"] == total, name
+    for name in FIG9_HO_CLASSIFICATION["HO-lossy"]:
+        assert outcome[name]["found_ho"] < total, name
+
+
+def test_fig09_sc_contains_all_ho_plans(benchmark):
+    """HO-completeness of SC: every HO plan any variant finds is in P_SC."""
+
+    def check():
+        rng = random.Random(7)
+        for n in (3, 4):
+            q = random_connected_query(rng, n)
+            opt = optimal_height(q)
+            sc_space = plan_space_signatures(
+                cliquesquare(q, SC, max_plans=None, timeout_s=30)
+            )
+            for option in ALL_OPTIONS:
+                result = cliquesquare(q, option, max_plans=None, timeout_s=30)
+                for plan in result.plans:
+                    if height(plan) == opt:
+                        assert plan.signature() in sc_space
+        return True
+
+    assert once(benchmark, check)

@@ -1,0 +1,104 @@
+"""Fig. 20 — execution time: CliqueSquare-MSC plan vs. best binary bushy
+vs. best binary linear plan, on the 14-query LUBM workload.
+
+The paper's protocol (§6.3): build all binary bushy/linear plans, keep
+the cheapest under the §5.4 cost model, execute all three on the
+cluster.  We find the cheapest binary plans by dynamic programming
+(provably the same optimum) and execute on the simulated cluster.
+
+Expected shape: for every query, MSC-best <= bushy-best <= linear-best
+(modulo ties on trivial queries); speedups up to ~2x vs bushy and far
+larger vs linear on the longest queries.
+"""
+
+from repro.bench.harness import format_table, lubm_csq
+from repro.bench.paper_data import FIG20_JOB_SIGNATURES
+from repro.core.binary import best_bushy_plan, best_linear_plan
+from repro.cost.model import select_best_plan
+from repro.workloads.lubm_queries import QUERY_NAMES, query
+
+from benchmarks.conftest import once
+
+
+def run_fig20():
+    csq = lubm_csq()
+    rows = []
+    for name in QUERY_NAMES:
+        q = query(name)
+        msc_plan, opt_result = csq.optimize(q)
+        bushy_plan, _ = best_bushy_plan(q, csq.coster.cost)
+        linear_plan, _ = best_linear_plan(q, csq.coster.cost)
+        runs = {
+            "MSC": csq.execute_plan(msc_plan),
+            "bushy": csq.execute_plan(bushy_plan),
+            "linear": csq.execute_plan(linear_plan),
+        }
+        answers = {k: r.rows for k, r in runs.items()}
+        assert answers["MSC"] == answers["bushy"] == answers["linear"], name
+        rows.append(
+            {
+                "query": name,
+                "tps": len(q.patterns),
+                "sig": "".join(runs[k].job_signature() for k in ("MSC", "bushy", "linear")),
+                "msc": runs["MSC"].response_time,
+                "bushy": runs["bushy"].response_time,
+                "linear": runs["linear"].response_time,
+            }
+        )
+    return rows
+
+
+def test_fig20_plan_execution(benchmark, record_table):
+    rows = once(benchmark, run_fig20)
+
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                f"{r['query']}({r['tps']}|{r['sig']})",
+                FIG20_JOB_SIGNATURES[r["query"]],
+                f"{r['msc']:,.0f}",
+                f"{r['bushy']:,.0f}",
+                f"{r['linear']:,.0f}",
+                f"{r['bushy'] / r['msc']:.2f}x",
+                f"{r['linear'] / r['msc']:.2f}x",
+            ]
+        )
+    record_table(
+        "fig20_plan_execution",
+        format_table(
+            [
+                "query(tps|jobs)",
+                "paper jobs",
+                "MSC time",
+                "bushy time",
+                "linear time",
+                "bushy/MSC",
+                "linear/MSC",
+            ],
+            table_rows,
+            title=(
+                "Fig. 20 — simulated execution time: MSC plan vs best binary "
+                "bushy vs best binary linear (scaled LUBM, 7 nodes)"
+            ),
+        ),
+    )
+
+    # Headline shape: the MSC plan wins or essentially ties everywhere.
+    # On the small selective queries (Q3/Q4) our simulator can hand the
+    # binary plans a small (<15%) edge — early constant filtering versus
+    # a wider co-located star join; the paper's margins there are small
+    # too.  The flat plan must never lose materially.
+    for r in rows:
+        assert r["msc"] <= r["bushy"] * 1.15, r["query"]
+        assert r["msc"] <= r["linear"] * 1.15, r["query"]
+    # Q1/Q2 have two patterns: all three plans are identical (paper: MMM).
+    for r in rows[:2]:
+        assert r["msc"] == r["bushy"] == r["linear"], r["query"]
+    # Linear plans lose big somewhere (paper: up to 16x on Q8).
+    assert max(r["linear"] / r["msc"] for r in rows) >= 2.0
+    # Bushy plans lose measurably on the complex queries (paper: up to
+    # 2x on Q9); require a clear win on several of them.
+    assert max(r["bushy"] / r["msc"] for r in rows) >= 1.5
+    clear_wins = sum(1 for r in rows if r["bushy"] / r["msc"] >= 1.2)
+    assert clear_wins >= 4

@@ -1,0 +1,59 @@
+"""Plan-space explorer: compare the eight CliqueSquare variants.
+
+Runs every decomposition option of §4.3 on one query and reports, per
+variant: plans produced, unique plans, heights, height-optimal plans and
+optimization time — a one-query version of the paper's Figs. 16-19.
+
+The default query is the paper's running example Q1 (Fig. 1); pass a
+SPARQL BGP query string as the first CLI argument to explore your own:
+
+    python examples/plan_space_explorer.py \\
+        "SELECT ?x WHERE { ?x p1 ?y . ?y p2 ?z . ?z p3 ?w }"
+"""
+
+import sys
+from collections import Counter
+
+from repro import ALL_OPTIONS, cliquesquare, height, optimal_height, parse_query
+
+PAPER_Q1 = """
+SELECT ?a ?b WHERE {
+    ?a p1 ?b . ?a p2 ?c . ?d p3 ?a . ?d p4 ?e . ?l p5 ?d . ?f p6 ?d .
+    ?f p7 ?g . ?g p8 ?h . ?g p9 ?i . ?i p10 ?j . ?j p11 "C1" }
+"""
+
+
+def main() -> None:
+    text = sys.argv[1] if len(sys.argv) > 1 else PAPER_Q1
+    query = parse_query(text, name="explored")
+    print(f"query ({len(query)} triple patterns): {query}")
+    print(f"join variables: {', '.join(query.join_variables())}")
+
+    reference = optimal_height(query, timeout_s=30)
+    print(f"optimal plan height (HO reference): {reference}\n")
+
+    header = f"{'option':>6}  {'plans':>8}  {'unique':>7}  {'HO':>6}  {'heights':<18}  {'time':>9}"
+    print(header)
+    print("-" * len(header))
+    flattest = None
+    for option in ALL_OPTIONS:
+        result = cliquesquare(query, option, max_plans=20_000, timeout_s=10)
+        heights = Counter(height(p) for p in result.plans)
+        ho = heights.get(reference, 0)
+        hist = " ".join(f"h{h}:{c}" for h, c in sorted(heights.items())) or "-"
+        suffix = " (capped)" if result.truncated else ""
+        print(
+            f"{option.name:>6}  {result.plan_count:>8}  "
+            f"{len(result.unique_plans()):>7}  {ho:>6}  {hist:<18}  "
+            f"{result.elapsed_s * 1000:>7.1f}ms{suffix}"
+        )
+        if option.name == "MSC" and result.plans:
+            flattest = min(result.plans, key=height)
+
+    if flattest is not None:
+        print(f"\nflattest MSC plan (height {height(flattest)}):")
+        print(f"  {flattest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Quickstart: optimize a BGP query with CliqueSquare and execute it.
+
+Walks the full pipeline on a small in-memory dataset:
+
+1. parse a SPARQL BGP query;
+2. run the CliqueSquare-MSC optimizer (Algorithm 1) and look at the
+   flat, n-ary plans it builds;
+3. partition the data with the §5.1 three-way replicated scheme;
+4. execute the cost-selected plan on the simulated MapReduce cluster and
+   check the answers against the reference evaluator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MSC,
+    CardinalityEstimator,
+    CatalogStatistics,
+    PlanCoster,
+    PlanExecutor,
+    RDFGraph,
+    cliquesquare,
+    evaluate,
+    height,
+    parse_query,
+    partition_graph,
+    select_best_plan,
+)
+
+
+def build_dataset() -> RDFGraph:
+    """A miniature organization: people working for / member of depts."""
+    graph = RDFGraph()
+    triples = [
+        ("<alice>", "ub:worksFor", "<sales>"),
+        ("<bob>", "ub:worksFor", "<sales>"),
+        ("<carol>", "ub:worksFor", "<rnd>"),
+        ("<dave>", "ub:memberOf", "<sales>"),
+        ("<erin>", "ub:memberOf", "<rnd>"),
+        ("<frank>", "ub:memberOf", "<rnd>"),
+        ("<sales>", "ub:subOrganizationOf", "<acme>"),
+        ("<rnd>", "ub:subOrganizationOf", "<acme>"),
+        ("<alice>", "rdf:type", "ub:FullProfessor"),
+        ("<carol>", "rdf:type", "ub:FullProfessor"),
+    ]
+    graph.add_all(triples)
+    return graph
+
+
+def main() -> None:
+    graph = build_dataset()
+    query = parse_query(
+        """
+        SELECT ?p ?s WHERE {
+            ?p ub:worksFor ?d .
+            ?s ub:memberOf ?d .
+            ?d ub:subOrganizationOf <acme> .
+            ?p rdf:type ub:FullProfessor }
+        """,
+        name="quickstart",
+    )
+    print(f"query: {query}")
+    print(f"join variables: {', '.join(query.join_variables())}\n")
+
+    # 1. Optimize: CliqueSquare-MSC builds flat plans from minimum
+    #    simple covers of the query's variable graph.
+    result = cliquesquare(query, MSC)
+    print(f"CliqueSquare-MSC built {result.plan_count} plans:")
+    for plan in result.unique_plans():
+        print(f"  height {height(plan)}: {plan}")
+
+    # 2. Select the cheapest plan under the §5.4 cost model.
+    stats = CatalogStatistics.from_graph(graph)
+    coster = PlanCoster(CardinalityEstimator(stats))
+    best, cost = select_best_plan(result.unique_plans(), coster)
+    print(f"\nselected plan (total work {cost:,.0f}): {best}")
+
+    # 3. Partition the data three ways (subject / property / object hash)
+    #    so every first-level join is co-located.
+    store = partition_graph(graph, num_nodes=4)
+    print(f"\npartitioned {len(graph)} triples -> {store.total_stored()} stored (3x)")
+
+    # 4. Execute on the simulated MapReduce cluster.
+    executor = PlanExecutor(store)
+    execution = executor.execute(best)
+    print(f"executed as {execution.num_jobs} MapReduce job(s) "
+          f"[{execution.job_signature()}], simulated time "
+          f"{execution.response_time:,.1f}")
+    print(f"answers ({len(execution.rows)}):")
+    for row in sorted(execution.rows):
+        print("  ", dict(zip(execution.attrs, row)))
+
+    # Cross-check against the §2 evaluation semantics.
+    assert execution.rows == evaluate(query, graph)
+    print("\nanswers verified against the reference evaluator ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""CliqueSquare reproduction: flat plans for massively parallel RDF queries.
+
+Reproduces Goasdoué, Kaoudi, Manolescu, Quiané-Ruiz, Zampetakis:
+*CliqueSquare: Flat Plans for Massively Parallel RDF Queries* (ICDE 2015;
+INRIA RR-8612).
+
+Quickstart::
+
+    from repro import parse_query, cliquesquare, MSC, height
+
+    q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }")
+    result = cliquesquare(q, MSC)
+    flattest = min(result.plans, key=height)
+
+End-to-end (partition + optimize + execute on a simulated cluster)::
+
+    from repro import CSQ
+    from repro.workloads import lubm, lubm_queries
+
+    system = CSQ(lubm.generate())
+    report = system.run(lubm_queries.query("Q9"))
+"""
+
+from repro.core.algorithm import OptimizerResult, best_effort_plan, cliquesquare
+from repro.core.binary import best_bushy_plan, best_linear_plan
+from repro.core.decomposition import (
+    ALL_OPTIONS,
+    MSC,
+    MSC_PLUS,
+    MXC,
+    MXC_PLUS,
+    OPTIONS_BY_NAME,
+    SC,
+    SC_PLUS,
+    XC,
+    XC_PLUS,
+    DecompositionOption,
+)
+from repro.core.logical import Join, LogicalPlan, Match, Project, Select
+from repro.core.properties import analyze_plan_space, height, optimal_height
+from repro.core.variable_graph import VariableGraph
+from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
+from repro.cost.model import PlanCoster, select_best_plan
+from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.engine import ClusterConfig, MapReduceEngine
+from repro.partitioning.triple_partitioner import PartitionedStore, partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import BGPQuery, TriplePattern
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from repro.systems.csq import CSQ, CSQConfig
+from repro.systems.h2rdf import H2RDFPlus
+from repro.systems.shape import ShapeSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_OPTIONS",
+    "BGPQuery",
+    "CSQ",
+    "CSQConfig",
+    "CardinalityEstimator",
+    "CatalogStatistics",
+    "ClusterConfig",
+    "CostParams",
+    "DEFAULT_PARAMS",
+    "DecompositionOption",
+    "H2RDFPlus",
+    "Join",
+    "LogicalPlan",
+    "MSC",
+    "MSC_PLUS",
+    "MXC",
+    "MXC_PLUS",
+    "MapReduceEngine",
+    "Match",
+    "OPTIONS_BY_NAME",
+    "OptimizerResult",
+    "PartitionedStore",
+    "PlanCoster",
+    "PlanExecutor",
+    "Project",
+    "RDFGraph",
+    "SC",
+    "SC_PLUS",
+    "Select",
+    "ShapeSystem",
+    "TriplePattern",
+    "VariableGraph",
+    "XC",
+    "XC_PLUS",
+    "analyze_plan_space",
+    "best_bushy_plan",
+    "best_effort_plan",
+    "best_linear_plan",
+    "cliquesquare",
+    "evaluate",
+    "height",
+    "optimal_height",
+    "parse_query",
+    "partition_graph",
+    "select_best_plan",
+]

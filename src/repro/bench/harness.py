@@ -1,0 +1,169 @@
+"""Benchmark harness: workload runners and paper-vs-measured tables.
+
+Each ``benchmarks/test_figNN_*.py`` regenerates one table or figure of
+the paper's evaluation section.  The heavy computations (plan-space
+sweeps over the synthetic workload, LUBM executions) are shared and
+cached at module level here so the four §6.2 figures reuse one sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import ALL_OPTIONS, DecompositionOption
+from repro.core.properties import PlanSpaceStats, analyze_plan_space, optimal_height
+from repro.sparql.ast import BGPQuery
+from repro.workloads.synthetic import SHAPES, SyntheticWorkload
+
+#: Environment knob: 1 = fast CI-ish run, 2+ = closer to the paper's scale.
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: Per-(query, option) caps; the paper used a 100 s timeout.
+PLAN_CAP = 20_000 * BENCH_SCALE
+TIMEOUT_S = 2.0 * BENCH_SCALE
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table (printed under ``pytest -s`` and into the
+    bench logs)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    paper: dict[str, dict[str, float]],
+    measured: dict[str, dict[str, float]],
+    fmt: str = "{:.2f}",
+) -> str:
+    """Interleave paper and measured values per column."""
+    headers = ["option"]
+    for col in col_labels:
+        headers += [f"{col}(paper)", f"{col}(ours)"]
+    rows = []
+    for label in row_labels:
+        row: list[object] = [label]
+        for col in col_labels:
+            row.append(fmt.format(paper[label][col]))
+            row.append(fmt.format(measured[label][col]))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+# --- the §6.2 synthetic-workload sweep (shared by Figs. 16-19) ---------------
+
+
+@dataclass
+class SweepResult:
+    """Plan-space statistics for every (option, shape, query)."""
+
+    stats: dict[tuple[str, str], list[PlanSpaceStats]] = field(default_factory=dict)
+
+    def average(self, metric, option: DecompositionOption, shape: str) -> float:
+        values = [metric(s) for s in self.stats[(option.name, shape)]]
+        return statistics.fmean(values) if values else 0.0
+
+    def table(self, metric) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for option in ALL_OPTIONS:
+            out[option.name] = {
+                shape: self.average(metric, option, shape) for shape in SHAPES
+            }
+        return out
+
+
+_SWEEP_CACHE: dict[tuple, SweepResult] = {}
+
+
+def synthetic_queries() -> dict[str, list[BGPQuery]]:
+    """The §6.2 workload: queries of 1..10 patterns per shape."""
+    per_shape = 10 * BENCH_SCALE
+    return SyntheticWorkload(queries_per_shape=per_shape).generate()
+
+
+def plan_space_sweep() -> SweepResult:
+    """Run all eight variants over the synthetic workload (cached)."""
+    key = (BENCH_SCALE,)
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    result = SweepResult()
+    for shape, queries in synthetic_queries().items():
+        references = {id(q): optimal_height(q, timeout_s=TIMEOUT_S) for q in queries}
+        for option in ALL_OPTIONS:
+            bucket: list[PlanSpaceStats] = []
+            for q in queries:
+                bucket.append(
+                    analyze_plan_space(
+                        q,
+                        option,
+                        max_plans=PLAN_CAP,
+                        timeout_s=TIMEOUT_S,
+                        reference_height=references[id(q)],
+                    )
+                )
+            result.stats[(option.name, shape)] = bucket
+    _SWEEP_CACHE[key] = result
+    return result
+
+
+# --- LUBM fixtures shared by Figs. 20-22 --------------------------------------
+
+
+_LUBM_CACHE: dict[tuple, object] = {}
+
+
+def lubm_graph():
+    """The scaled LUBM dataset used by the execution benchmarks."""
+    from repro.workloads import lubm
+
+    key = ("graph", BENCH_SCALE)
+    if key not in _LUBM_CACHE:
+        cfg = lubm.LUBMConfig(universities=20 * BENCH_SCALE)
+        _LUBM_CACHE[key] = lubm.generate(cfg)
+    return _LUBM_CACHE[key]
+
+
+def lubm_csq():
+    """A CSQ deployment over the benchmark dataset (7 simulated nodes,
+    Hadoop-style job overhead)."""
+    from repro.cost.params import CostParams
+    from repro.systems.csq import CSQ, CSQConfig
+
+    key = ("csq", BENCH_SCALE)
+    if key not in _LUBM_CACHE:
+        _LUBM_CACHE[key] = CSQ(
+            lubm_graph(),
+            CSQConfig(params=CostParams(job_overhead=400.0)),
+        )
+    return _LUBM_CACHE[key]
+
+
+def lubm_comparators():
+    """SHAPE-2f and H2RDF+ over the same dataset."""
+    from repro.systems.h2rdf import H2RDFPlus
+    from repro.systems.shape import ShapeSystem
+
+    key = ("comparators", BENCH_SCALE)
+    if key not in _LUBM_CACHE:
+        graph = lubm_graph()
+        _LUBM_CACHE[key] = (ShapeSystem(graph), H2RDFPlus(graph))
+    return _LUBM_CACHE[key]

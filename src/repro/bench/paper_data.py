@@ -1,0 +1,135 @@
+"""The paper's reported experimental numbers, transcribed verbatim.
+
+Used by the benchmark harness to print paper-vs-measured tables and to
+check that the *shape* of each result holds (absolute numbers are
+testbed-specific: the paper ran 7 physical nodes over LUBM10k/1 G
+triples; this repo runs a simulated cluster over scaled LUBM).
+"""
+
+from __future__ import annotations
+
+#: Row order of Figs. 16-19.
+OPTION_ORDER = ("MXC+", "XC+", "MSC+", "SC+", "MXC", "XC", "MSC", "SC")
+
+#: Column order of Figs. 16-19.
+SHAPE_ORDER = ("chain", "dense", "thin", "star")
+
+#: Fig. 16 — average number of plans per algorithm and query shape.
+FIG16_PLAN_COUNTS: dict[str, dict[str, float]] = {
+    "MXC+": {"chain": 0.4, "dense": 0.4, "thin": 0.4, "star": 1},
+    "XC+": {"chain": 0.4, "dense": 0.4, "thin": 0.4, "star": 1},
+    "MSC+": {"chain": 2.1, "dense": 1.1, "thin": 2.1, "star": 1},
+    "SC+": {"chain": 764.6, "dense": 1.2, "thin": 764.6, "star": 1},
+    "MXC": {"chain": 5.4, "dense": 6.47, "thin": 5.4, "star": 1},
+    "XC": {"chain": 52451.97, "dense": 166944.57, "thin": 51522.67, "star": 175273.80},
+    "MSC": {"chain": 18.2, "dense": 26, "thin": 18.2, "star": 1},
+    "SC": {"chain": 58948.33, "dense": 23871.90, "thin": 58394.27, "star": 54527.63},
+}
+
+#: Fig. 17 — average optimality ratio (HO plans / produced plans), in %.
+FIG17_OPTIMALITY_RATIO: dict[str, dict[str, float]] = {
+    "MXC+": {"chain": 40, "dense": 40, "thin": 40, "star": 100},
+    "XC+": {"chain": 40, "dense": 40, "thin": 40, "star": 100},
+    "MSC+": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "SC+": {"chain": 71.9, "dense": 100, "thin": 71.9, "star": 100},
+    "MXC": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "XC": {"chain": 34.8, "dense": 24.0, "thin": 34.8, "star": 22.8},
+    "MSC": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "SC": {"chain": 32.6, "dense": 21.5, "thin": 32.6, "star": 21.5},
+}
+
+#: Fig. 18 — average optimization time in milliseconds.
+FIG18_OPTIMIZATION_TIME_MS: dict[str, dict[str, float]] = {
+    "MXC+": {"chain": 2.80, "dense": 0.17, "thin": 0.83, "star": 0.1},
+    "XC+": {"chain": 0.63, "dense": 0.07, "thin": 0.20, "star": 0.13},
+    "MSC+": {"chain": 3.73, "dense": 0.10, "thin": 4.30, "star": 0.10},
+    "SC+": {"chain": 1836.47, "dense": 0.17, "thin": 1833.57, "star": 0.03},
+    "MXC": {"chain": 42.03, "dense": 1.77, "thin": 40.77, "star": 0.43},
+    "XC": {"chain": 13046.43, "dense": 32023.50, "thin": 12942.5, "star": 33442.73},
+    "MSC": {"chain": 197.5, "dense": 4.73, "thin": 195.47, "star": 0.43},
+    "SC": {"chain": 41095.07, "dense": 53859.87, "thin": 41262.33, "star": 61714.77},
+}
+
+#: Fig. 19 — average uniqueness ratio (unique / produced plans), in %.
+FIG19_UNIQUENESS_RATIO: dict[str, dict[str, float]] = {
+    "MXC+": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "XC+": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "MSC+": {"chain": 100, "dense": 100, "thin": 100, "star": 100},
+    "SC+": {"chain": 99.95, "dense": 98.89, "thin": 99.67, "star": 100},
+    "MXC": {"chain": 100, "dense": 86.18, "thin": 100, "star": 100},
+    "XC": {"chain": 97.80, "dense": 80.17, "thin": 98.63, "star": 91.01},
+    "MSC": {"chain": 100, "dense": 91.50, "thin": 100, "star": 100},
+    "SC": {"chain": 99.55, "dense": 62.89, "thin": 99.68, "star": 93.81},
+}
+
+#: Fig. 9 — HO classification of the eight variants.
+FIG9_HO_CLASSIFICATION: dict[str, tuple[str, ...]] = {
+    "HO-complete": ("SC",),
+    "HO-partial": ("SC+", "MSC+", "MSC"),
+    "HO-lossy": ("MXC+", "XC+", "MXC", "XC"),
+}
+
+#: Fig. 20 — per-query job counts (MSC | bushy | linear); 'M' = map-only.
+FIG20_JOB_SIGNATURES: dict[str, str] = {
+    "Q1": "MMM",
+    "Q2": "MMM",
+    "Q3": "M11",
+    "Q4": "122",
+    "Q5": "123",
+    "Q6": "123",
+    "Q7": "123",
+    "Q8": "223",
+    "Q9": "134",
+    "Q10": "134",
+    "Q11": "236",
+    "Q12": "147",
+    "Q13": "147",
+    "Q14": "358",
+}
+
+#: Fig. 20 — headline speedups of the MSC plan on LUBM10k.
+FIG20_MAX_SPEEDUP_VS_BUSHY = 2.0  # query Q9
+FIG20_MAX_SPEEDUP_VS_LINEAR = 16.0  # query Q8
+
+#: Fig. 21 — per-query job counts (CSQ | SHAPE-2f | H2RDF+).
+FIG21_JOB_SIGNATURES: dict[str, str] = {
+    "Q2": "M00",
+    "Q3": "M10",
+    "Q4": "100",
+    "Q9": "103",
+    "Q10": "102",
+    "Q11": "212",
+    "Q13": "111",
+    "Q14": "324",
+    "Q1": "M11",
+    "Q5": "113",
+    "Q6": "113",
+    "Q7": "113",
+    "Q8": "113",
+    "Q12": "114",
+}
+
+#: Fig. 21 — queries PWOC under each system's partitioning.
+FIG21_SHAPE_PWOC = ("Q2", "Q4", "Q9", "Q10")
+FIG21_CSQ_PWOC = ("Q1", "Q2", "Q3")
+
+#: Fig. 22 — (#triple patterns, #join variables, |Q| on LUBM10k).
+FIG22_TABLE: dict[str, tuple[int, int, float]] = {
+    "Q1": (2, 1, 3.7e9),
+    "Q2": (2, 1, 1900),
+    "Q3": (3, 1, 282_200),
+    "Q4": (4, 2, 93),
+    "Q5": (5, 3, 56.1e6),
+    "Q6": (5, 3, 7.9e6),
+    "Q7": (5, 3, 25.1e6),
+    "Q8": (5, 3, 504.3e6),
+    "Q9": (6, 3, 2528),
+    "Q10": (6, 3, 439_900),
+    "Q11": (8, 4, 1647),
+    "Q12": (9, 4, 12.5e6),
+    "Q13": (9, 4, 871),
+    "Q14": (10, 5, 1413),
+}
+
+#: §6.4 — total workload wall-clock per system (minutes) on the paper's cluster.
+TOTAL_WORKLOAD_MINUTES = {"CSQ": 44, "SHAPE-2f": 77, "H2RDF+": 23 * 60}

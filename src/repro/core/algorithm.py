@@ -1,0 +1,122 @@
+"""Algorithm 1 — the generic CliqueSquare optimization algorithm.
+
+Starting from the query's variable graph, repeatedly apply clique
+decompositions (per the chosen option) and reductions until the graph has
+one node; each completed reduction sequence yields one logical plan via
+CREATEQUERYPLANS.  The raw plan list may contain duplicates — different
+sequences can converge to the same plan (Fig. 19 measures this).
+
+The search is bounded by an optional plan cap and wall-clock timeout,
+mirroring the paper's 100 s experimental timeout for the explosive SC/XC
+variants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.covers import EnumerationBudget
+from repro.core.decomposition import MSC, DecompositionOption, decompositions
+from repro.core.logical import LogicalPlan
+from repro.core.plan_builder import create_query_plan
+from repro.core.variable_graph import VariableGraph
+from repro.sparql.ast import BGPQuery
+
+
+@dataclass
+class OptimizerResult:
+    """Output of one CliqueSquare run."""
+
+    query: BGPQuery
+    option: DecompositionOption
+    plans: list[LogicalPlan] = field(default_factory=list)
+    truncated: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def plan_count(self) -> int:
+        """Raw plan count, duplicates included (Fig. 16 counts these)."""
+        return len(self.plans)
+
+    def unique_plans(self) -> list[LogicalPlan]:
+        """Distinct plans (used for the uniqueness ratio of Fig. 19)."""
+        seen: set[tuple] = set()
+        out: list[LogicalPlan] = []
+        for plan in self.plans:
+            sig = plan.signature()
+            if sig not in seen:
+                seen.add(sig)
+                out.append(plan)
+        return out
+
+    @property
+    def uniqueness_ratio(self) -> float:
+        """|unique plans| / |plans|; 1.0 when no plan was produced."""
+        if not self.plans:
+            return 1.0
+        return len(self.unique_plans()) / len(self.plans)
+
+
+def cliquesquare(
+    query: BGPQuery,
+    option: DecompositionOption = MSC,
+    max_plans: int | None = 200_000,
+    timeout_s: float | None = 100.0,
+) -> OptimizerResult:
+    """Run CliqueSquare-<option> on *query* and return all produced plans.
+
+    ``max_plans``/``timeout_s`` bound the search; when either trips, the
+    result is flagged ``truncated`` (the paper's SC/XC runs hit the same
+    wall).  Defaults mirror the paper's 100 s timeout.
+    """
+    if not query.is_connected():
+        raise ValueError(
+            "CliqueSquare requires x-free (connected) queries; decompose "
+            "cartesian products first (§2)"
+        )
+    start = time.monotonic()
+    deadline = start + timeout_s if timeout_s else None
+    result = OptimizerResult(query=query, option=option)
+    initial = VariableGraph.from_query(query)
+
+    def out_of_budget() -> bool:
+        if max_plans is not None and len(result.plans) >= max_plans:
+            result.truncated = True
+            return True
+        if deadline is not None and time.monotonic() > deadline:
+            result.truncated = True
+            return True
+        return False
+
+    def recurse(graph: VariableGraph, states: tuple[VariableGraph, ...]) -> None:
+        states = states + (graph,)
+        if len(graph) == 1:
+            result.plans.append(create_query_plan(query, states))
+            return
+        # Budget for decomposition enumeration at this level: share the
+        # global deadline so deep SC recursions cannot stall forever.
+        remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+        budget = EnumerationBudget(timeout_s=remaining) if remaining is not None else None
+        for decomposition in decompositions(graph, option, budget):
+            if out_of_budget():
+                return
+            recurse(graph.reduce(decomposition), states)
+        if budget is not None and budget.truncated:
+            result.truncated = True
+
+    recurse(initial, ())
+    out_of_budget()  # final truncation check
+    result.elapsed_s = time.monotonic() - start
+    return result
+
+
+def best_effort_plan(
+    query: BGPQuery,
+    option: DecompositionOption = MSC,
+    timeout_s: float | None = 100.0,
+) -> LogicalPlan | None:
+    """Convenience: the first plan found, or None when the option fails
+    (MXC+/XC+ can genuinely fail — Fig. 10)."""
+    result = cliquesquare(query, option, max_plans=1, timeout_s=timeout_s)
+    return result.plans[0] if result.plans else None

@@ -1,0 +1,264 @@
+"""Binary-plan baselines for Fig. 20: bushy and linear (left-deep) plans.
+
+The paper compares the CliqueSquare-MSC plan against "the best binary
+bushy plan and the best binary linear plan", found by building all of
+them and keeping the cheapest under the §5.4 cost model.  We obtain the
+same optimum with dynamic programming over connected pattern subsets
+(the cost model is additive over operators and its cardinality estimates
+are subset-determined, so optimal substructure holds); an exhaustive
+enumerator is provided for small queries and tests the DP against
+brute force.
+
+No cartesian products: every subplan covers a connected subquery and
+every join has at least one shared variable, as the paper assumes (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.logical import LogicalOperator, LogicalPlan, Match, make_join
+from repro.sparql.ast import BGPQuery
+
+#: Costs a complete operator sub-DAG (e.g. ``PlanCoster.cost``).
+Coster = Callable[[LogicalOperator], float]
+
+
+def _adjacency(query: BGPQuery) -> list[int]:
+    """adj[i] = bitmask of patterns sharing a variable with pattern i."""
+    n = len(query.patterns)
+    adj = [0] * n
+    for i in range(n):
+        vi = set(query.patterns[i].variables())
+        for j in range(i + 1, n):
+            if vi & set(query.patterns[j].variables()):
+                adj[i] |= 1 << j
+                adj[j] |= 1 << i
+    return adj
+
+
+def _connected(mask: int, adj: list[int]) -> bool:
+    """True iff the pattern subset *mask* induces a connected subgraph."""
+    if mask == 0:
+        return False
+    start = mask & -mask
+    seen = start
+    frontier = start
+    while frontier:
+        reach = 0
+        m = frontier
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            reach |= adj[i] & mask
+            m ^= low
+        frontier = reach & ~seen
+        seen |= frontier
+    return seen == mask
+
+
+def _joinable(mask1: int, mask2: int, adj: list[int]) -> bool:
+    """True iff some pattern of mask1 shares a variable with mask2."""
+    m = mask1
+    while m:
+        low = m & -m
+        if adj[low.bit_length() - 1] & mask2:
+            return True
+        m ^= low
+    return False
+
+
+def connected_subsets(query: BGPQuery) -> list[int]:
+    """All bitmasks of connected pattern subsets, ordered by size."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    out = [mask for mask in range(1, 1 << n) if _connected(mask, adj)]
+    out.sort(key=lambda m: m.bit_count())
+    return out
+
+
+# -- exhaustive enumeration (small queries, testing) ------------------------
+
+
+def iter_bushy_plans(query: BGPQuery, max_plans: int | None = None) -> Iterator[LogicalPlan]:
+    """Every binary bushy plan (all binary join trees, linear included),
+    without cartesian products.  Exponential; for small queries/tests."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    full = (1 << n) - 1
+    memo: dict[int, list[LogicalOperator]] = {}
+
+    def plans(mask: int) -> list[LogicalOperator]:
+        if mask in memo:
+            return memo[mask]
+        if mask.bit_count() == 1:
+            i = mask.bit_length() - 1
+            result: list[LogicalOperator] = [Match(query.patterns[i])]
+            memo[mask] = result
+            return result
+        result = []
+        # Enumerate unordered splits: fix the lowest bit on the left side.
+        low = mask & -mask
+        rest = mask ^ low
+        sub = rest
+        while True:
+            left = low | sub
+            right = mask ^ left
+            if (
+                right
+                and _connected(left, adj)
+                and _connected(right, adj)
+                and _joinable(left, right, adj)
+            ):
+                for p1 in plans(left):
+                    for p2 in plans(right):
+                        result.append(make_join([p1, p2]))
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        memo[mask] = result
+        return result
+
+    produced = 0
+    for body in plans(full):
+        yield LogicalPlan.wrap(body, query)
+        produced += 1
+        if max_plans is not None and produced >= max_plans:
+            return
+
+
+def iter_linear_plans(query: BGPQuery, max_plans: int | None = None) -> Iterator[LogicalPlan]:
+    """Every left-deep binary plan without cartesian products."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    produced = 0
+
+    def extend(op: LogicalOperator, used: int) -> Iterator[LogicalOperator]:
+        if used.bit_count() == n:
+            yield op
+            return
+        for i in range(n):
+            bit = 1 << i
+            if used & bit or not (adj[i] & used):
+                continue
+            yield from extend(make_join([op, Match(query.patterns[i])]), used | bit)
+
+    if n == 1:
+        yield LogicalPlan.wrap(Match(query.patterns[0]), query)
+        return
+    for i in range(n):
+        for body in extend(Match(query.patterns[i]), 1 << i):
+            yield LogicalPlan.wrap(body, query)
+            produced += 1
+            if max_plans is not None and produced >= max_plans:
+                return
+
+
+def count_bushy_plans(query: BGPQuery) -> int:
+    """Number of binary bushy plans (product-free join trees)."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    memo: dict[int, int] = {}
+
+    def count(mask: int) -> int:
+        if mask.bit_count() == 1:
+            return 1
+        if mask in memo:
+            return memo[mask]
+        total = 0
+        low = mask & -mask
+        rest = mask ^ low
+        sub = rest
+        while True:
+            left = low | sub
+            right = mask ^ left
+            if (
+                right
+                and _connected(left, adj)
+                and _connected(right, adj)
+                and _joinable(left, right, adj)
+            ):
+                total += count(left) * count(right)
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        memo[mask] = total
+        return total
+
+    return count((1 << n) - 1)
+
+
+# -- best plans (dynamic programming) ---------------------------------------
+
+
+def best_bushy_plan(query: BGPQuery, coster: Coster) -> tuple[LogicalPlan, float]:
+    """Cheapest binary bushy plan under an additive cost model."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    best: dict[int, tuple[float, LogicalOperator]] = {}
+    for i in range(n):
+        op = Match(query.patterns[i])
+        best[1 << i] = (coster(op), op)
+    for mask in connected_subsets(query):
+        if mask.bit_count() == 1:
+            continue
+        candidate: tuple[float, LogicalOperator] | None = None
+        low = mask & -mask
+        rest = mask ^ low
+        sub = rest
+        while True:
+            left = low | sub
+            right = mask ^ left
+            if right and left in best and right in best and _joinable(left, right, adj):
+                op = make_join([best[left][1], best[right][1]])
+                cost = coster(op)
+                if candidate is None or cost < candidate[0]:
+                    candidate = (cost, op)
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        if candidate is not None:
+            best[mask] = candidate
+    full = (1 << n) - 1
+    if full not in best:
+        raise ValueError("query is not connected: no product-free bushy plan")
+    cost, body = best[full]
+    plan = LogicalPlan.wrap(body, query)
+    return plan, cost
+
+
+def best_linear_plan(query: BGPQuery, coster: Coster) -> tuple[LogicalPlan, float]:
+    """Cheapest left-deep binary plan under an additive cost model."""
+    adj = _adjacency(query)
+    n = len(query.patterns)
+    best: dict[int, tuple[float, LogicalOperator]] = {}
+    for i in range(n):
+        op = Match(query.patterns[i])
+        best[1 << i] = (coster(op), op)
+    for mask in connected_subsets(query):
+        size = mask.bit_count()
+        if size == 1:
+            continue
+        candidate: tuple[float, LogicalOperator] | None = None
+        m = mask
+        while m:
+            bit = m & -m
+            m ^= bit
+            left = mask ^ bit
+            if left not in best:
+                continue
+            i = bit.bit_length() - 1
+            if not (adj[i] & left):
+                continue
+            op = make_join([best[left][1], Match(query.patterns[i])])
+            cost = coster(op)
+            if candidate is None or cost < candidate[0]:
+                candidate = (cost, op)
+        if candidate is not None:
+            best[mask] = candidate
+    full = (1 << n) - 1
+    if full not in best:
+        raise ValueError("query is not connected: no product-free linear plan")
+    cost, body = best[full]
+    plan = LogicalPlan.wrap(body, query)
+    return plan, cost

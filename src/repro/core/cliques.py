@@ -1,0 +1,66 @@
+"""Variable cliques — Definition 3.2.
+
+Given a variable graph, the *maximal clique* of a variable v is the set of
+all nodes incident to a v-labeled edge (equivalently, all nodes containing
+v, provided at least two do).  A *partial clique* is any non-empty subset
+of a maximal clique.
+
+Cliques are handled as node-index sets.  Two cliques of different
+variables may coincide as node sets (e.g. the maximal cliques of f and g
+in Fig. 3 collapse into the single join J_{f,g}); such duplicates are
+merged, since the induced join — on the intersection of the members'
+attribute sets — is identical.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.variable_graph import Clique, VariableGraph
+
+
+def maximal_cliques_by_variable(graph: VariableGraph) -> dict[str, Clique]:
+    """Map each join variable of *graph* to its maximal clique."""
+    return {v: frozenset(nodes) for v, nodes in graph.edge_map().items()}
+
+
+def maximal_cliques(graph: VariableGraph) -> list[Clique]:
+    """Distinct maximal cliques (node-set deduplicated), canonical order."""
+    distinct = set(maximal_cliques_by_variable(graph).values())
+    return sorted(distinct, key=lambda c: (len(c), sorted(c)))
+
+
+def partial_cliques(graph: VariableGraph) -> list[Clique]:
+    """All distinct partial cliques: non-empty subsets of maximal cliques.
+
+    Singleton subsets are valid partial cliques (a node carried unchanged
+    through a decomposition step, i.e. no join for that node).
+    """
+    out: set[Clique] = set()
+    for clique in maximal_cliques_by_variable(graph).values():
+        members = sorted(clique)
+        for size in range(1, len(members) + 1):
+            for subset in combinations(members, size):
+                out.add(frozenset(subset))
+    # Every node is always available as a singleton "carry" clique, even a
+    # node with no join variable left (cannot happen in connected graphs,
+    # but keeps degenerate cases safe).
+    for i in range(len(graph)):
+        out.add(frozenset([i]))
+    return sorted(out, key=lambda c: (len(c), sorted(c)))
+
+
+def candidate_cliques(graph: VariableGraph, maximal_only: bool) -> list[Clique]:
+    """The clique pool a decomposition option draws from.
+
+    ``maximal_only=True`` corresponds to the ``+`` options of §4.3; note
+    that even then singletons are *not* added: maximal-clique options must
+    cover every node using maximal cliques only, which is exactly why
+    MXC+/XC+ can fail on queries like Fig. 10.
+    """
+    return maximal_cliques(graph) if maximal_only else partial_cliques(graph)
+
+
+def count_partial_cliques(graph: VariableGraph) -> int:
+    """Number of distinct partial cliques (cf. Eq. 3 and Lemma 4.2)."""
+    return len(partial_cliques(graph))

@@ -1,0 +1,237 @@
+"""Logical CliqueSquare operators and plans — §4.1.
+
+Operators: Match (leaf, one triple pattern), n-ary Join on an attribute
+set A, Select, Project.  A logical plan is a rooted DAG of operators;
+sub-DAGs can be shared (simple covers yield DAG plans).
+
+All operators are immutable and structurally hashable, so two plans that
+are "the same" compare equal — which is how duplicate plans produced by
+different decomposition sequences are detected (the uniqueness ratio of
+Fig. 19).  Join children are kept in a canonical order so that operator
+equality is insensitive to enumeration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cache
+from typing import Iterator
+
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+
+class LogicalOperator:
+    """Base class for logical operators.  Subclasses are frozen dataclasses."""
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        """Output attributes (variable names), in canonical order."""
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["LogicalOperator", ...]:
+        return ()
+
+    def patterns(self) -> frozenset[TriplePattern]:
+        """The triple patterns this operator's sub-DAG covers."""
+        out: set[TriplePattern] = set()
+        for child in self.children:
+            out |= child.patterns()
+        return frozenset(out)
+
+    def iter_operators(self) -> Iterator["LogicalOperator"]:
+        """All distinct operators of the sub-DAG, parents before children."""
+        seen: set[int] = set()
+        stack: list[LogicalOperator] = [self]
+        while stack:
+            op = stack.pop()
+            if id(op) in seen:
+                continue
+            seen.add(id(op))
+            yield op
+            stack.extend(op.children)
+
+
+@dataclass(frozen=True)
+class Match(LogicalOperator):
+    """Match M_tp: the relation of triples matching a triple pattern."""
+
+    pattern: TriplePattern
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.pattern.variables()
+
+    def patterns(self) -> frozenset[TriplePattern]:
+        return frozenset([self.pattern])
+
+    def __str__(self) -> str:
+        return f"M[{self.pattern}]"
+
+
+@dataclass(frozen=True)
+class Join(LogicalOperator):
+    """n-ary star equality join J_A(op1..opm).
+
+    ``on`` is the attribute set A — the variables shared by *all* inputs.
+    Equalities on attributes shared by only some inputs are enforced too
+    (the §4.2 residual selections, folded into natural-join semantics).
+    """
+
+    on: tuple[str, ...]
+    inputs: tuple[LogicalOperator, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) < 2:
+            raise ValueError("a join needs at least two inputs")
+        shared = set(self.inputs[0].attrs)
+        for child in self.inputs[1:]:
+            shared &= set(child.attrs)
+        if not set(self.on) <= shared:
+            raise ValueError(
+                f"join attributes {self.on} not shared by all inputs"
+            )
+        if not self.on:
+            raise ValueError("empty join attribute set (cartesian product)")
+
+    @property
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return self.inputs
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        out: list[str] = []
+        for child in self.inputs:
+            for a in child.attrs:
+                if a not in out:
+                    out.append(a)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"J_{on}({', '.join(str(c) for c in self.inputs)})"
+
+
+@dataclass(frozen=True)
+class Select(LogicalOperator):
+    """Select sigma_c: keep tuples satisfying a conjunction of equalities.
+
+    Conditions are (attribute, constant) pairs.  With natural-join
+    semantics and constant filtering at match level, logical plans rarely
+    need explicit selections; the operator exists for completeness and
+    for hand-built plans.
+    """
+
+    conditions: tuple[tuple[str, str], ...]
+    child: LogicalOperator
+
+    @property
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.child.attrs
+
+    def __str__(self) -> str:
+        conds = ",".join(f"{a}={v}" for a, v in self.conditions)
+        return f"S[{conds}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalOperator):
+    """Project pi_A onto an attribute list."""
+
+    on: tuple[str, ...]
+    child: LogicalOperator
+
+    def __post_init__(self) -> None:
+        missing = set(self.on) - set(self.child.attrs)
+        if missing:
+            raise ValueError(f"projection attrs {missing} missing from child")
+
+    @property
+    def children(self) -> tuple[LogicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.on
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"pi[{on}]({self.child})"
+
+
+@cache
+def signature(op: LogicalOperator) -> tuple:
+    """A canonical, hashable, order-insensitive description of a sub-DAG.
+
+    Used to sort join children deterministically and to deduplicate plans.
+    """
+    if isinstance(op, Match):
+        return ("M", str(op.pattern))
+    if isinstance(op, Join):
+        return ("J", op.on, tuple(sorted(signature(c) for c in op.inputs)))
+    if isinstance(op, Select):
+        return ("S", op.conditions, signature(op.child))
+    if isinstance(op, Project):
+        return ("P", op.on, signature(op.child))
+    raise TypeError(f"unknown operator {type(op)!r}")
+
+
+def make_join(inputs: list[LogicalOperator]) -> LogicalOperator:
+    """Build a canonical n-ary join: children deduplicated and sorted, A =
+    the attributes shared by all inputs.  A single (after dedup) input is
+    returned unchanged."""
+    unique: list[LogicalOperator] = []
+    seen: set[tuple] = set()
+    for op in inputs:
+        sig = signature(op)
+        if sig not in seen:
+            seen.add(sig)
+            unique.append(op)
+    if len(unique) == 1:
+        return unique[0]
+    unique.sort(key=signature)
+    shared = set(unique[0].attrs)
+    for op in unique[1:]:
+        shared &= set(op.attrs)
+    on = tuple(sorted(shared))
+    return Join(on=on, inputs=tuple(unique))
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A complete logical plan for a query: an operator DAG whose root
+    projects onto the distinguished variables."""
+
+    root: LogicalOperator
+    query: BGPQuery
+
+    @classmethod
+    def wrap(cls, body: LogicalOperator, query: BGPQuery) -> "LogicalPlan":
+        """Add the final projection (§4.2) on top of a plan body."""
+        root: LogicalOperator = body
+        if tuple(query.distinguished) != body.attrs:
+            root = Project(on=tuple(query.distinguished), child=body)
+        return cls(root=root, query=query)
+
+    @property
+    def body(self) -> LogicalOperator:
+        """The plan without its final projection."""
+        return self.root.child if isinstance(self.root, Project) else self.root
+
+    def signature(self) -> tuple:
+        return signature(self.root)
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogicalPlan):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __str__(self) -> str:
+        return str(self.root)

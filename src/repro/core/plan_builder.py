@@ -1,0 +1,54 @@
+"""CREATEQUERYPLANS — §4.2: from a sequence of variable graphs to a plan.
+
+The *states* queue contains the initial query variable graph followed by
+the successive clique reductions, ending in a one-node graph.  Plan
+construction walks the queue oldest-to-newest:
+
+* graph 0: one Match operator per node (triple pattern);
+* each later graph: a node whose clique is a single previous node reuses
+  that node's operator; a node whose clique has several members gets a
+  Join over the members' operators.
+
+The final projection onto the distinguished variables is added on top.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.logical import LogicalOperator, LogicalPlan, Match, make_join
+from repro.core.variable_graph import VariableGraph
+from repro.sparql.ast import BGPQuery
+
+
+def create_query_plan(query: BGPQuery, states: Sequence[VariableGraph]) -> LogicalPlan:
+    """Build the logical plan encoded by a reduction sequence.
+
+    *states* must start at the initial variable graph of *query* (one
+    pattern per node) and end at a one-node graph; every graph after the
+    first must carry provenance (be the output of ``reduce``).
+    """
+    if not states:
+        raise ValueError("states must contain at least the initial graph")
+    first, last = states[0], states[-1]
+    if any(len(ns) != 1 for ns in first.nodes):
+        raise ValueError("first state must have one triple pattern per node")
+    if len(last) != 1:
+        raise ValueError("last state must be a one-node graph")
+
+    ops: list[LogicalOperator] = [Match(next(iter(ns))) for ns in first.nodes]
+    for graph in states[1:]:
+        if graph.provenance is None:
+            raise ValueError("reduced graph lacks provenance")
+        if len(graph.provenance) != len(graph.nodes):
+            raise ValueError("provenance misaligned with graph nodes")
+        new_ops: list[LogicalOperator] = []
+        for clique in graph.provenance:
+            members = sorted(clique)
+            if len(members) == 1:
+                new_ops.append(ops[members[0]])
+            else:
+                new_ops.append(make_join([ops[i] for i in members]))
+        ops = new_ops
+
+    return LogicalPlan.wrap(ops[0], query)

@@ -1,0 +1,173 @@
+"""Catalog statistics and cardinality estimation.
+
+The §5.4 cost formulas need cardinalities |op| for every operator.  The
+estimator keeps classical per-property statistics (triple counts and
+per-position distinct counts, the same statistics RDF-3X-style engines
+keep) and combines them with the textbook independence assumptions:
+
+* a scan of property p reads count(p) tuples;
+* constants reduce cardinality by the distinct count of their position;
+* an n-way join on shared variables divides the product of the input
+  cardinalities by (max distinct)^{occurrences-1} per join variable.
+
+Estimates are *subset-determined*: the estimated cardinality of a join
+result depends only on the set of triple patterns it covers, which makes
+the binary-plan dynamic programming of ``core.binary`` exact for the
+model (optimal substructure holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import is_variable
+from repro.sparql.ast import TriplePattern
+
+
+@dataclass
+class PropertyStats:
+    """Statistics for one property value."""
+
+    count: int = 0
+    distinct_subjects: int = 0
+    distinct_objects: int = 0
+
+
+@dataclass
+class CatalogStatistics:
+    """Dataset-level statistics backing the estimator."""
+
+    triple_count: int = 0
+    distinct_subjects: int = 0
+    distinct_properties: int = 0
+    distinct_objects: int = 0
+    per_property: dict[str, PropertyStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: RDFGraph) -> "CatalogStatistics":
+        """Collect statistics in one pass over an RDF graph."""
+        stats = cls(
+            triple_count=len(graph),
+            distinct_subjects=len(graph.subjects),
+            distinct_properties=len(graph.properties),
+            distinct_objects=len(graph.objects),
+        )
+        for p in graph.properties:
+            subjects: set[str] = set()
+            objects: set[str] = set()
+            count = 0
+            for s, _, o in graph.match("?s", p, "?o"):
+                subjects.add(s)
+                objects.add(o)
+                count += 1
+            stats.per_property[p] = PropertyStats(
+                count=count,
+                distinct_subjects=len(subjects),
+                distinct_objects=len(objects),
+            )
+        return stats
+
+
+class CardinalityEstimator:
+    """Estimates scan/output cardinalities and per-variable distinct counts."""
+
+    def __init__(self, stats: CatalogStatistics) -> None:
+        self.stats = stats
+        self._subset_cache: dict[frozenset[TriplePattern], float] = {}
+
+    # -- per-pattern ------------------------------------------------------
+
+    def scan_cardinality(self, tp: TriplePattern) -> float:
+        """Tuples the Map Scan for *tp* reads.
+
+        With the §5.1 layout, a bound property selects a single property
+        file; an unbound property forces reading every file.
+        """
+        if is_variable(tp.p):
+            return float(self.stats.triple_count)
+        prop = self.stats.per_property.get(tp.p)
+        return float(prop.count) if prop else 0.0
+
+    def pattern_cardinality(self, tp: TriplePattern) -> float:
+        """Estimated matches of *tp* after all constant filters."""
+        card = self.scan_cardinality(tp)
+        if card == 0:
+            return 0.0
+        if not is_variable(tp.p):
+            prop = self.stats.per_property[tp.p]
+            if not is_variable(tp.s):
+                card /= max(prop.distinct_subjects, 1)
+            if not is_variable(tp.o):
+                card /= max(prop.distinct_objects, 1)
+        else:
+            if not is_variable(tp.s):
+                card /= max(self.stats.distinct_subjects, 1)
+            if not is_variable(tp.o):
+                card /= max(self.stats.distinct_objects, 1)
+        # Repeated variable inside one pattern (?x p ?x): one more filter.
+        tp_vars = [t for t in (tp.s, tp.p, tp.o) if is_variable(t)]
+        if len(tp_vars) != len(set(tp_vars)):
+            card /= max(self.stats.distinct_subjects, 1)
+        return max(card, 1e-9)
+
+    def pattern_distinct(self, tp: TriplePattern, var: str) -> float:
+        """Estimated distinct values *var* takes among matches of *tp*."""
+        card = self.pattern_cardinality(tp)
+        positions = tp.positions_of(var)
+        if not positions:
+            raise ValueError(f"{var} does not occur in {tp}")
+        pos = positions[0]
+        if not is_variable(tp.p):
+            prop = self.stats.per_property.get(tp.p)
+            if prop is None:
+                return 0.0
+            if pos == "s":
+                return float(min(prop.distinct_subjects, card) or 1)
+            if pos == "o":
+                return float(min(prop.distinct_objects, card) or 1)
+            return 1.0  # var is the (bound) property: impossible, defensive
+        if pos == "p":
+            return float(min(self.stats.distinct_properties, card) or 1)
+        if pos == "s":
+            return float(min(self.stats.distinct_subjects, card) or 1)
+        return float(min(self.stats.distinct_objects, card) or 1)
+
+    # -- per pattern-set ---------------------------------------------------
+
+    def subset_cardinality(self, patterns: frozenset[TriplePattern]) -> float:
+        """Estimated result size of the natural join of *patterns*.
+
+        |join(S)| = prod |tp| / prod_v (max_tp V(tp, v))^{occ(v)-1}
+        with occ(v) = number of patterns of S containing v.
+        """
+        patterns = frozenset(patterns)
+        cached = self._subset_cache.get(patterns)
+        if cached is not None:
+            return cached
+        card = 1.0
+        occurrences: dict[str, list[float]] = {}
+        for tp in patterns:
+            card *= self.pattern_cardinality(tp)
+            for v in tp.variables():
+                occurrences.setdefault(v, []).append(self.pattern_distinct(tp, v))
+        for distincts in occurrences.values():
+            if len(distincts) > 1:
+                denominator = max(max(distincts), 1.0)
+                card /= denominator ** (len(distincts) - 1)
+        card = max(card, 0.0)
+        self._subset_cache[patterns] = card
+        return card
+
+    def variable_distinct(
+        self, patterns: frozenset[TriplePattern], var: str
+    ) -> float:
+        """Estimated distinct values of *var* in the join of *patterns*."""
+        values = [
+            self.pattern_distinct(tp, var)
+            for tp in patterns
+            if var in tp.variables()
+        ]
+        if not values:
+            raise ValueError(f"{var} does not occur in the pattern set")
+        return max(min(min(values), self.subset_cardinality(patterns)), 1.0)

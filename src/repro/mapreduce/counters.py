@@ -1,0 +1,85 @@
+"""Work counters for simulated MapReduce tasks and jobs.
+
+Every simulated task counts the tuples it reads, writes, shuffles,
+checks and joins; the §5.4 unit costs turn counters into (simulated)
+time.  The same counters double as the framework's "total work", which
+is what the paper's cost model estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cost.params import CostParams
+
+
+@dataclass
+class TaskMetrics:
+    """Counters for one map or reduce task."""
+
+    tuples_read: int = 0
+    tuples_written: int = 0
+    tuples_shuffled: int = 0
+    checks: int = 0
+    join_tuples: int = 0
+
+    def time(self, params: CostParams) -> float:
+        """Simulated execution time of the task under the unit costs."""
+        return (
+            self.tuples_read * params.c_read
+            + self.tuples_written * params.c_write
+            + self.tuples_shuffled * params.c_shuffle
+            + self.checks * params.c_check
+            + self.join_tuples * params.c_join
+        )
+
+    def merge(self, other: "TaskMetrics") -> None:
+        self.tuples_read += other.tuples_read
+        self.tuples_written += other.tuples_written
+        self.tuples_shuffled += other.tuples_shuffled
+        self.checks += other.checks
+        self.join_tuples += other.join_tuples
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated metrics and timing for one MapReduce job."""
+
+    name: str
+    map_time: float = 0.0
+    reduce_time: float = 0.0
+    overhead: float = 0.0
+    total_work: float = 0.0
+    map_only: bool = True
+    tuples_shuffled: int = 0
+    output_tuples: int = 0
+
+    @property
+    def time(self) -> float:
+        """Response time of the job: map and reduce phases are barriers."""
+        return self.overhead + self.map_time + self.reduce_time
+
+
+@dataclass
+class ExecutionReport:
+    """End-to-end execution statistics of a job DAG."""
+
+    jobs: list[JobMetrics] = field(default_factory=list)
+    levels: list[list[str]] = field(default_factory=list)
+    response_time: float = 0.0
+    total_work: float = 0.0
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def num_map_only_jobs(self) -> int:
+        return sum(1 for j in self.jobs if j.map_only)
+
+    def job_signature(self) -> str:
+        """The paper's Fig. 20/21 job annotation: 'M' for a map-only
+        execution, otherwise the number of jobs."""
+        if all(j.map_only for j in self.jobs):
+            return "M"
+        return str(self.num_jobs)

@@ -1,0 +1,73 @@
+"""A minimal simulated HDFS namespace for intermediate results.
+
+Job outputs are distributed relations: an attribute schema plus one row
+partition per cluster node (reduce task outputs stay on the reducer's
+node, as in Hadoop).  Later jobs' map shufflers read these partitions
+node-locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+Row = tuple
+
+
+@dataclass
+class DistributedRelation:
+    """A relation stored partitioned across cluster nodes."""
+
+    attrs: tuple[str, ...]
+    partitions: list[list[Row]]
+
+    @classmethod
+    def empty(cls, attrs: tuple[str, ...], num_nodes: int) -> "DistributedRelation":
+        return cls(attrs=attrs, partitions=[[] for _ in range(num_nodes)])
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def all_rows(self) -> list[Row]:
+        out: list[Row] = []
+        for part in self.partitions:
+            out.extend(part)
+        return out
+
+
+@dataclass
+class HDFS:
+    """A flat name -> distributed relation namespace."""
+
+    num_nodes: int
+    files: dict[str, DistributedRelation] = field(default_factory=dict)
+
+    def write(self, name: str, relation: DistributedRelation) -> None:
+        if name in self.files:
+            raise FileExistsError(f"HDFS file already exists: {name}")
+        self.files[name] = relation
+
+    def read(self, name: str) -> DistributedRelation:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no such HDFS file: {name}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    def delete(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def write_partitioned(
+        self,
+        name: str,
+        attrs: tuple[str, ...],
+        rows_per_node: Iterable[tuple[int, list[Row]]],
+    ) -> DistributedRelation:
+        """Create a file from (node, rows) pairs."""
+        relation = DistributedRelation.empty(attrs, self.num_nodes)
+        for node, rows in rows_per_node:
+            relation.partitions[node].extend(rows)
+        self.write(name, relation)
+        return relation

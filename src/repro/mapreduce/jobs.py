@@ -1,0 +1,120 @@
+"""The simulated MapReduce job model.
+
+A :class:`MapReduceJob` bundles map tasks (one per node per input), an
+optional reduce stage and dependency edges.  Tasks are plain callables
+so that any engine (CSQ's physical executor, the comparator systems'
+simulators) can express its work in the same currency; the engine only
+needs each task's output rows and :class:`TaskMetrics`.
+
+Map tasks emit either *shuffle output* — (partition, tag, row) triples
+destined for reducers — or *direct output* rows (map-only jobs).
+Reducers receive, for their partition, the rows grouped by tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.mapreduce.counters import TaskMetrics
+
+Row = tuple
+
+#: Shuffle emission: (reduce partition, input tag, row).
+ShuffleEmit = tuple[int, int, Row]
+
+#: A map task returns shuffle emissions, direct output rows, and metrics.
+MapResult = tuple[list[ShuffleEmit], list[Row], TaskMetrics]
+
+#: A reducer consumes {tag: rows} for one partition and returns rows+metrics.
+ReduceFn = Callable[[int, dict[int, list[Row]]], tuple[list[Row], TaskMetrics]]
+
+
+@dataclass
+class MapTask:
+    """One map task, pinned to a cluster node."""
+
+    node: int
+    run: Callable[[], MapResult]
+    label: str = ""
+
+
+@dataclass
+class MapReduceJob:
+    """One simulated MapReduce job."""
+
+    name: str
+    map_tasks: list[MapTask]
+    num_reducers: int = 0  # 0 -> map-only job
+    reducer: ReduceFn | None = None
+    #: names of jobs whose output this job reads (scheduling DAG)
+    depends_on: tuple[str, ...] = ()
+    #: callback invoked with (per-node output rows) once the job finishes;
+    #: used by executors to register results in simulated HDFS.
+    on_complete: Callable[[list[list[Row]]], None] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_reducers > 0 and self.reducer is None:
+            raise ValueError(f"job {self.name} has reducers but no reduce fn")
+        if self.num_reducers == 0 and self.reducer is not None:
+            raise ValueError(f"job {self.name} has a reduce fn but 0 reducers")
+
+    @property
+    def map_only(self) -> bool:
+        return self.num_reducers == 0
+
+
+def stable_hash(values: tuple) -> int:
+    """Deterministic hash for shuffle partitioning (Python's builtin
+    string hash is randomized per process)."""
+    h = 17
+    for value in values:
+        text = value if isinstance(value, str) else repr(value)
+        for ch in text:
+            h = (h * 131 + ord(ch)) & 0x7FFFFFFF
+        h = (h * 257 + 11) & 0x7FFFFFFF
+    return h
+
+
+@dataclass
+class JobGraph:
+    """A DAG of jobs, with level-wise scheduling order.
+
+    Jobs with no unfinished dependencies run concurrently (Hadoop runs
+    independent jobs in parallel); levels are the simulator's barriers.
+    """
+
+    jobs: list[MapReduceJob] = field(default_factory=list)
+
+    def add(self, job: MapReduceJob) -> MapReduceJob:
+        if any(j.name == job.name for j in self.jobs):
+            raise ValueError(f"duplicate job name: {job.name}")
+        self.jobs.append(job)
+        return job
+
+    def levels(self) -> list[list[MapReduceJob]]:
+        """Topological levels: a job sits one level after its last dependency."""
+        by_name = {j.name: j for j in self.jobs}
+        level_of: dict[str, int] = {}
+
+        def level(job: MapReduceJob, seen: frozenset[str]) -> int:
+            if job.name in level_of:
+                return level_of[job.name]
+            if job.name in seen:
+                raise ValueError(f"job dependency cycle through {job.name}")
+            deps = []
+            for dep in job.depends_on:
+                if dep not in by_name:
+                    raise ValueError(f"job {job.name} depends on unknown {dep}")
+                deps.append(level(by_name[dep], seen | {job.name}))
+            value = (max(deps) + 1) if deps else 0
+            level_of[job.name] = value
+            return value
+
+        for job in self.jobs:
+            level(job, frozenset())
+        depth = max(level_of.values(), default=-1) + 1
+        out: list[list[MapReduceJob]] = [[] for _ in range(depth)]
+        for job in self.jobs:
+            out[level_of[job.name]].append(job)
+        return out

@@ -1,0 +1,95 @@
+"""Plan explainer: render logical plans, physical plans and MapReduce
+job groupings as text — the repo's version of the paper's Fig. 15.
+
+``explain(plan)`` shows all three layers for a logical plan::
+
+    == logical plan (height 2) ==
+    pi[p,s](J_p(...))
+    == physical plan ==
+    pi[p,s]
+      RJ_p
+        MJ_d
+          MS[ub:worksFor-O]
+          ...
+    == MapReduce jobs (2) ==
+    job-rj1 [map+reduce]
+      map:  MS[...] ... MJ_d(...)
+      reduce: RJ_p -> rj1
+"""
+
+from __future__ import annotations
+
+from repro.core.logical import LogicalPlan
+from repro.core.properties import height
+from repro.physical.job_compiler import CompiledPlan, compile_plan
+from repro.physical.operators import PhysicalOperator, ReduceJoin
+from repro.physical.translate import PhysicalPlan, translate
+
+
+def _tree_lines(op: PhysicalOperator, depth: int = 0) -> list[str]:
+    label = type(op).__name__
+    detail = str(op)
+    if op.children:
+        # show only the operator head, children rendered below
+        head = detail.split("(", 1)[0]
+        lines = [f"{'  ' * depth}{head}  [{', '.join(a.lstrip('?') for a in op.attrs)}]"]
+        for child in op.children:
+            lines.extend(_tree_lines(child, depth + 1))
+        return lines
+    return [f"{'  ' * depth}{detail}"]
+
+
+def render_physical(plan: PhysicalPlan) -> str:
+    """Indented tree rendering of a physical plan."""
+    return "\n".join(_tree_lines(plan.root))
+
+
+def render_jobs(compiled: CompiledPlan) -> str:
+    """One block per MapReduce job, §5.3-style."""
+    lines: list[str] = []
+    for spec in compiled.jobs:
+        kind = "map-only" if spec.map_only else "map+reduce"
+        deps = f"  (after {', '.join(spec.depends)})" if spec.depends else ""
+        lines.append(f"{spec.name} [{kind}]{deps}")
+        for chain in spec.map_chains:
+            lines.append(f"  map:    {chain}")
+        if spec.reduce_join is not None:
+            rj = spec.reduce_join
+            on = ",".join(a.lstrip("?") for a in rj.on)
+            lines.append(f"  reduce: RJ_{on} -> {spec.output_name}")
+        if spec.project is not None:
+            on = ",".join(a.lstrip("?") for a in spec.project)
+            lines.append(f"  output: pi[{on}]")
+    return "\n".join(lines)
+
+
+def explain(plan: LogicalPlan, replicas: tuple[str, ...] = ("s", "p", "o")) -> str:
+    """Full three-layer explanation of a logical plan."""
+    physical = translate(plan, replicas=replicas)
+    compiled = compile_plan(physical)
+    parts = [
+        f"== logical plan (height {height(plan)}) ==",
+        str(plan),
+        "== physical plan ==",
+        render_physical(physical),
+        f"== MapReduce jobs ({compiled.num_jobs}; signature "
+        f"{compiled.job_signature()}) ==",
+        render_jobs(compiled),
+    ]
+    return "\n".join(parts)
+
+
+def job_summary(plan: LogicalPlan) -> dict[str, object]:
+    """Machine-readable summary used by tools and tests."""
+    physical = translate(plan)
+    compiled = compile_plan(physical)
+    return {
+        "height": height(plan),
+        "num_jobs": compiled.num_jobs,
+        "signature": compiled.job_signature(),
+        "reduce_joins": len(physical.reduce_joins),
+        "map_only": all(j.map_only for j in compiled.jobs),
+    }
+
+
+__all__ = ["explain", "render_physical", "render_jobs", "job_summary"]

@@ -1,0 +1,119 @@
+"""Physical-plan-to-MapReduce-job mapping — §5.3.
+
+Grouping rules from the paper: projections and filters ride along with
+their parent operator's task; map joins and all their ancestors execute
+in the same task; every reduce join anchors a task of its own.  Grouping
+tasks bottom-up gives one MapReduce job per reduce join (the job's map
+tasks are the scan/filter/map-join/map-shuffler chains feeding it); a
+plan with no reduce join at all becomes a single map-only job — the
+paper's ``M`` annotation in Figs. 20/21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.physical.operators import (
+    MapShuffler,
+    PhysicalOperator,
+    PhysProject,
+    ReduceJoin,
+)
+from repro.physical.translate import PhysicalPlan
+
+
+@dataclass
+class JobSpec:
+    """One MapReduce job: a reduce join plus its map-side input chains,
+    or a map-only chain when ``reduce_join`` is None."""
+
+    name: str
+    map_chains: list[PhysicalOperator]
+    reduce_join: ReduceJoin | None = None
+    depends: tuple[str, ...] = ()
+    #: final projection, set only on the terminal job
+    project: tuple[str, ...] | None = None
+    output_name: str = ""
+
+    @property
+    def map_only(self) -> bool:
+        return self.reduce_join is None
+
+
+@dataclass
+class CompiledPlan:
+    """The job DAG for one physical plan."""
+
+    jobs: list[JobSpec] = field(default_factory=list)
+    final_attrs: tuple[str, ...] = ()
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job_signature(self) -> str:
+        """'M' when the plan runs map-only, else the job count (Fig. 20)."""
+        if all(job.map_only for job in self.jobs):
+            return "M"
+        return str(self.num_jobs)
+
+
+def compile_plan(plan: PhysicalPlan) -> CompiledPlan:
+    """Group the physical plan into MapReduce jobs, bottom-up."""
+    compiled = CompiledPlan()
+    job_of_rj: dict[str, JobSpec] = {}
+
+    def compile_rj(rj: ReduceJoin) -> JobSpec:
+        if rj.output_name in job_of_rj:
+            return job_of_rj[rj.output_name]
+        depends: list[str] = []
+        for child in rj.inputs:
+            if isinstance(child, MapShuffler):
+                producer = _find_rj(plan, child.source)
+                depends.append(compile_rj(producer).name)
+        job = JobSpec(
+            name=f"job-{rj.output_name}",
+            map_chains=list(rj.inputs),
+            reduce_join=rj,
+            depends=tuple(dict.fromkeys(depends)),
+            output_name=rj.output_name,
+        )
+        job_of_rj[rj.output_name] = job
+        compiled.jobs.append(job)
+        return job
+
+    root = plan.root
+    project: tuple[str, ...] | None = None
+    body = root
+    # Unwrap root-level projections; the outermost one (onto the
+    # distinguished variables) subsumes any pushed-down inner ones.
+    while isinstance(body, PhysProject):
+        if project is None:
+            project = body.on
+        body = body.child
+    compiled.final_attrs = project if project is not None else body.attrs
+
+    if isinstance(body, ReduceJoin):
+        for rj in plan.reduce_joins:
+            compile_rj(rj)
+        terminal = job_of_rj[body.output_name]
+        terminal.project = project
+        terminal.output_name = "result"
+    else:
+        # Map-only plan: scans / filters / map joins all the way up.
+        compiled.jobs.append(
+            JobSpec(
+                name="job-map-only",
+                map_chains=[body],
+                project=project,
+                output_name="result",
+            )
+        )
+    return compiled
+
+
+def _find_rj(plan: PhysicalPlan, output_name: str) -> ReduceJoin:
+    for rj in plan.reduce_joins:
+        if rj.output_name == output_name:
+            return rj
+    raise KeyError(f"no reduce join produces {output_name!r}")

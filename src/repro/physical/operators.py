@@ -1,0 +1,189 @@
+"""Physical MapReduce operators — §5.2.
+
+* Map Scan ``MS[FS]`` — reads one partition file set per node.
+* Filter ``F_con`` — constant / repeated-variable checks over a scan.
+* Map Join ``MJ_A`` — directed (co-located) join; first-level joins only.
+* Map Shuffler ``MF_A`` — repartition phase over a previous job's output.
+* Reduce Join ``RJ_A`` — repartition join's join phase.
+* Project ``pi_A``.
+
+Operators form a tree mirroring the logical plan; every operator knows
+its output attributes so the executor can wire tuples through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rdf.terms import RDF_TYPE, is_variable
+from repro.sparql.ast import TriplePattern
+
+
+class PhysicalOperator:
+    """Base class; concrete operators are frozen dataclasses."""
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class MapScan(PhysicalOperator):
+    """MS[FS]: scan the partition files matching a triple pattern.
+
+    ``placement`` picks the replica (s/p/o) whose co-location the parent
+    join relies on.  A bound property narrows the scan to one file; a
+    bound rdf:type object narrows it further (§5.1 step 3).
+    """
+
+    pattern: TriplePattern
+    placement: str
+
+    @property
+    def prop(self) -> str | None:
+        """The property file selector (None scans the whole replica)."""
+        return None if is_variable(self.pattern.p) else self.pattern.p
+
+    @property
+    def type_object(self) -> str | None:
+        """Object-level file selector, only for bound rdf:type objects."""
+        if self.pattern.p == RDF_TYPE and not is_variable(self.pattern.o):
+            return self.pattern.o
+        return None
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.pattern.variables()
+
+    def file_description(self) -> str:
+        """Human-readable file set, like the paper's ``*p7-O`` labels."""
+        prop = self.prop or "*"
+        suffix = f"-{self.type_object}" if self.type_object else ""
+        return f"{prop}{suffix}-{self.placement.upper()}"
+
+    def __str__(self) -> str:
+        return f"MS[{self.file_description()}]"
+
+
+@dataclass(frozen=True)
+class Filter(PhysicalOperator):
+    """F_con: check the pattern's remaining constants and repeated
+    variables on the scanned triples."""
+
+    child: MapScan
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.child.attrs
+
+    def __str__(self) -> str:
+        return f"F({self.child})"
+
+
+def needs_filter(tp: TriplePattern, scan: MapScan) -> bool:
+    """True iff a Filter is required on top of *scan* for *tp*.
+
+    The property (and rdf:type object) constants are enforced by file
+    selection; subject/object constants and repeated variables are not.
+    """
+    if not is_variable(tp.s):
+        return True
+    if not is_variable(tp.o) and scan.type_object is None:
+        return True
+    tp_vars = [t for t in (tp.s, tp.p, tp.o) if is_variable(t)]
+    return len(tp_vars) != len(set(tp_vars))
+
+
+@dataclass(frozen=True)
+class MapJoin(PhysicalOperator):
+    """MJ_A: co-located n-ary join evaluated inside map tasks."""
+
+    on: tuple[str, ...]
+    inputs: tuple[PhysicalOperator, ...]
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return self.inputs
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return _union_attrs(self.inputs)
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"MJ_{on}({', '.join(str(c) for c in self.inputs)})"
+
+
+@dataclass(frozen=True)
+class MapShuffler(PhysicalOperator):
+    """MF_A: re-partition a previous job's output on new join attributes."""
+
+    on: tuple[str, ...]
+    source: str  # HDFS name of the producing reduce join's output
+    source_attrs: tuple[str, ...]
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.source_attrs
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"MF_{on}[{self.source}]"
+
+
+@dataclass(frozen=True)
+class ReduceJoin(PhysicalOperator):
+    """RJ_A: the join phase of a repartition join; one MapReduce job."""
+
+    on: tuple[str, ...]
+    inputs: tuple[PhysicalOperator, ...]
+    output_name: str = field(compare=False, default="")
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return self.inputs
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return _union_attrs(self.inputs)
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"RJ_{on}({', '.join(str(c) for c in self.inputs)})"
+
+
+@dataclass(frozen=True)
+class PhysProject(PhysicalOperator):
+    """pi_A: final projection onto the distinguished variables."""
+
+    on: tuple[str, ...]
+    child: PhysicalOperator
+
+    @property
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self.on
+
+    def __str__(self) -> str:
+        on = ",".join(a.lstrip("?") for a in self.on)
+        return f"pi[{on}]({self.child})"
+
+
+def _union_attrs(ops: tuple[PhysicalOperator, ...]) -> tuple[str, ...]:
+    out: list[str] = []
+    for op in ops:
+        for a in op.attrs:
+            if a not in out:
+                out.append(a)
+    return tuple(out)

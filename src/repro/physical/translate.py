@@ -1,0 +1,209 @@
+"""Logical-to-physical plan translation — §5.2.
+
+Translation proceeds bottom-up:
+
+* match: a Map Scan per outgoing edge (shared Match operators are
+  re-scanned per consumer), plus a Filter when the pattern carries
+  subject/object constants or repeated variables.  The scan's replica
+  placement is chosen by the parent join's key so that first-level joins
+  are co-located.
+* join: a join whose inputs are all match operators becomes a Map Join;
+  any other join becomes a Reduce Join, with Map Shufflers inserted over
+  inputs that are themselves reduce joins (a reduce join cannot consume
+  another reduce join's output directly).
+* select/project: map to Filter / PhysProject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.logical import (
+    Join,
+    LogicalOperator,
+    LogicalPlan,
+    Match,
+    Project,
+    Select,
+)
+from repro.cost.model import is_first_level_join
+from repro.physical.operators import (
+    Filter,
+    MapJoin,
+    MapScan,
+    MapShuffler,
+    PhysicalOperator,
+    PhysProject,
+    ReduceJoin,
+    needs_filter,
+)
+from repro.rdf.terms import is_variable
+from repro.sparql.ast import TriplePattern
+
+
+@dataclass
+class PhysicalPlan:
+    """A physical operator tree plus bookkeeping for job compilation."""
+
+    root: PhysicalOperator
+    reduce_joins: list[ReduceJoin] = field(default_factory=list)
+
+    def operators(self) -> list[PhysicalOperator]:
+        """All operators of every job tree.
+
+        Map shufflers reference their producing reduce join by output
+        name rather than as a child (they sit in a different job), so
+        the walk must start from the root *and* every reduce join.
+        """
+        out: list[PhysicalOperator] = []
+        seen: set[int] = set()
+        stack: list[PhysicalOperator] = [self.root, *self.reduce_joins]
+        while stack:
+            op = stack.pop()
+            if id(op) in seen:
+                continue
+            seen.add(id(op))
+            out.append(op)
+            stack.extend(op.children)
+        return out
+
+
+ALL_REPLICAS = ("s", "p", "o")
+
+
+def scan_placement(
+    tp: TriplePattern,
+    join_on: tuple[str, ...] | None,
+    replicas: tuple[str, ...] = ALL_REPLICAS,
+) -> str:
+    """Pick the replica a pattern is scanned from.
+
+    For a co-located (map) join on A, the scan must come from the replica
+    hashed on A's position in this pattern; otherwise the subject replica
+    (which holds every triple exactly once) is used.
+    """
+    if join_on:
+        key = join_on[0]
+        for position in tp.positions_of(key):
+            if position in replicas:
+                return position
+    return "s"
+
+
+def colocatable(op: Join, replicas: tuple[str, ...]) -> bool:
+    """True iff a first-level join can run as a map join given the
+    materialized replicas: every input pattern must have the join key in
+    a replicated position (always true under the full §5.1 scheme)."""
+    key = op.on[0]
+    for child in op.inputs:
+        assert isinstance(child, Match)
+        if not any(
+            position in replicas for position in child.pattern.positions_of(key)
+        ):
+            return False
+    return True
+
+
+class _Translator:
+    def __init__(self, replicas: tuple[str, ...] = ALL_REPLICAS) -> None:
+        self.replicas = replicas
+        self.reduce_joins: list[ReduceJoin] = []
+        self._rj_cache: dict[int, ReduceJoin] = {}
+        self._rj_counter = 0
+
+    def _translate_match(
+        self, tp: TriplePattern, join_on: tuple[str, ...] | None
+    ) -> PhysicalOperator:
+        scan = MapScan(
+            pattern=tp, placement=scan_placement(tp, join_on, self.replicas)
+        )
+        if needs_filter(tp, scan):
+            return Filter(child=scan)
+        return scan
+
+    def translate(self, op: LogicalOperator, parent_on: tuple[str, ...] | None) -> PhysicalOperator:
+        if isinstance(op, Match):
+            return self._translate_match(op.pattern, parent_on)
+        if isinstance(op, Join):
+            if is_first_level_join(op) and colocatable(op, self.replicas):
+                children = tuple(
+                    self.translate(child, op.on) for child in op.inputs
+                )
+                return MapJoin(on=op.on, inputs=children)
+            return self._translate_reduce_join(op)
+        if isinstance(op, Select):
+            # Logical selections only arise in hand-built plans; their
+            # conditions are constant checks executed map-side, so we
+            # translate the child and rely on executor-side filtering.
+            return self.translate(op.child, parent_on)
+        if isinstance(op, Project):
+            child = self.translate(op.child, parent_on)
+            if isinstance(child, ReduceJoin) and parent_on is not None:
+                # A pushed-down projection over a reduce join, consumed
+                # by a higher join: project inside the shuffling map task.
+                child = MapShuffler(
+                    on=parent_on,
+                    source=child.output_name,
+                    source_attrs=child.attrs,
+                )
+            return PhysProject(on=op.on, child=child)
+        raise TypeError(f"unknown logical operator {type(op)!r}")
+
+    def _translate_reduce_join(self, op: Join) -> ReduceJoin:
+        # Shared sub-DAGs (simple covers): one reduce join -> one job,
+        # multiple consumers read its output through separate shufflers.
+        cached = self._rj_cache.get(id(op))
+        if cached is not None:
+            return cached
+        inputs: list[PhysicalOperator] = []
+        for child in op.inputs:
+            chain = self.translate(child, op.on)
+            if isinstance(chain, ReduceJoin):
+                # A reduce join cannot consume another reduce join's
+                # output directly: add a map shuffler (§5.2).
+                chain = MapShuffler(
+                    on=op.on,
+                    source=chain.output_name,
+                    source_attrs=chain.attrs,
+                )
+            inputs.append(chain)
+        self._rj_counter += 1
+        rj = ReduceJoin(
+            on=op.on,
+            inputs=tuple(inputs),
+            output_name=f"rj{self._rj_counter}",
+        )
+        self._rj_cache[id(op)] = rj
+        self.reduce_joins.append(rj)
+        return rj
+
+
+def translate(
+    plan: LogicalPlan, replicas: tuple[str, ...] = ALL_REPLICAS
+) -> PhysicalPlan:
+    """Translate a logical plan into a physical plan (§5.2).
+
+    ``replicas`` narrows the materialized placements (ablation of §5.1):
+    joins that lose co-location degrade to reduce joins.
+    """
+    translator = _Translator(replicas)
+    root = translator.translate(plan.root, None)
+    if not isinstance(root, PhysProject):
+        root = PhysProject(on=tuple(plan.query.distinguished), child=root)
+    return PhysicalPlan(root=root, reduce_joins=translator.reduce_joins)
+
+
+def bind_triple(tp: TriplePattern, triple: tuple[str, str, str]) -> tuple | None:
+    """Bind a pattern against a triple: the row of variable values, or
+    None when constants or repeated variables mismatch."""
+    binding: dict[str, str] = {}
+    for term, value in zip((tp.s, tp.p, tp.o), triple):
+        if is_variable(term):
+            bound = binding.get(term)
+            if bound is None:
+                binding[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return tuple(binding[v] for v in tp.variables())

@@ -1,0 +1,60 @@
+"""Dictionary encoding of RDF terms.
+
+Distributed RDF stores (including the systems the paper compares against,
+e.g. RDF-3X and H2RDF+) dictionary-encode terms into dense integer ids so
+that joins compare machine words instead of strings.  We follow the same
+idiom: the :class:`Dictionary` assigns ids in first-seen order and supports
+bidirectional lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Dictionary:
+    """A bijective mapping between RDF terms (strings) and integer ids."""
+
+    def __init__(self) -> None:
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def encode(self, term: str) -> int:
+        """Return the id for *term*, assigning a fresh one if unseen."""
+        ident = self._term_to_id.get(term)
+        if ident is None:
+            ident = len(self._id_to_term)
+            self._term_to_id[term] = ident
+            self._id_to_term.append(term)
+        return ident
+
+    def encode_many(self, terms: Iterable[str]) -> list[int]:
+        """Encode an iterable of terms, preserving order."""
+        return [self.encode(t) for t in terms]
+
+    def lookup(self, term: str) -> int | None:
+        """Return the id for *term* or None if it has never been encoded."""
+        return self._term_to_id.get(term)
+
+    def decode(self, ident: int) -> str:
+        """Return the term for *ident*.
+
+        Raises ``KeyError`` for unknown ids (mirrors dict semantics rather
+        than IndexError, since ids are opaque keys to callers).
+        """
+        if 0 <= ident < len(self._id_to_term):
+            return self._id_to_term[ident]
+        raise KeyError(ident)
+
+    def decode_many(self, idents: Iterable[int]) -> list[str]:
+        """Decode an iterable of ids, preserving order."""
+        return [self.decode(i) for i in idents]

@@ -1,0 +1,92 @@
+"""A minimal N-Triples-style reader/writer.
+
+One triple per line, three whitespace-separated terms terminated by ``.``;
+literals may contain spaces and are parsed quote-aware.  This is enough to
+round-trip every dataset the reproduction generates (LUBM-style data uses
+prefixed names and simple literals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from repro.rdf.graph import Triple
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed as a triple."""
+
+
+def _split_terms(line: str) -> list[str]:
+    """Split a triple line into terms, keeping quoted literals intact."""
+    terms: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        if line[i].isspace():
+            i += 1
+            continue
+        if line[i] == '"':
+            j = line.find('"', i + 1)
+            while j != -1 and line[j - 1] == "\\":
+                j = line.find('"', j + 1)
+            if j == -1:
+                raise NTriplesError(f"unterminated literal in: {line!r}")
+            terms.append(line[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            terms.append(line[i:j])
+            i = j
+    return terms
+
+
+def parse_line(line: str) -> Triple | None:
+    """Parse one line; return None for blank lines and ``#`` comments."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    terms = _split_terms(line)
+    if terms and terms[-1] == ".":
+        terms = terms[:-1]
+    if len(terms) != 3:
+        raise NTriplesError(f"expected 3 terms, got {len(terms)}: {line!r}")
+    return (terms[0], terms[1], terms[2])
+
+
+def parse(text: str) -> Iterator[Triple]:
+    """Yield triples from a multi-line N-Triples document."""
+    for line in text.splitlines():
+        triple = parse_line(line)
+        if triple is not None:
+            yield triple
+
+
+def serialize_triple(triple: Triple) -> str:
+    """Render one triple as an N-Triples line."""
+    s, p, o = triple
+    return f"{s} {p} {o} ."
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Render triples as an N-Triples document (sorted, deterministic)."""
+    return "\n".join(serialize_triple(t) for t in sorted(triples)) + "\n"
+
+
+def write(triples: Iterable[Triple], fh: TextIO) -> int:
+    """Write triples to an open text file; return the count written."""
+    count = 0
+    for triple in triples:
+        fh.write(serialize_triple(triple))
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def read(fh: TextIO) -> Iterator[Triple]:
+    """Read triples from an open text file."""
+    for line in fh:
+        triple = parse_line(line)
+        if triple is not None:
+            yield triple

@@ -1,0 +1,145 @@
+"""Join kernel: binary hash join and the n-ary star natural join.
+
+The n-ary star join is the paper's central physical primitive: m inputs
+that all share a key attribute set A are grouped by A and combined.  Within
+a group, the combination is a *natural join* — equalities on any further
+attributes shared between inputs are enforced too, which folds in the
+residual selections of §4.2 ("if there are query predicates which can be
+checked on the join output ... a selection applying them is added").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.relational.relation import Relation, Row
+
+
+def output_schema(inputs: Sequence[Relation]) -> tuple[str, ...]:
+    """Union of the input schemas, first-seen attribute order."""
+    attrs: list[str] = []
+    for rel in inputs:
+        for a in rel.attrs:
+            if a not in attrs:
+                attrs.append(a)
+    return tuple(attrs)
+
+
+def common_attributes(inputs: Sequence[Relation]) -> tuple[str, ...]:
+    """Attributes present in *every* input, ordered by the first input."""
+    if not inputs:
+        return ()
+    shared = set(inputs[0].attrs)
+    for rel in inputs[1:]:
+        shared &= set(rel.attrs)
+    return tuple(a for a in inputs[0].attrs if a in shared)
+
+
+def _merge(schema: tuple[str, ...], partial: dict[str, object], row_attrs, row) -> dict | None:
+    """Merge a row into a partial mapping; None on conflict."""
+    merged = dict(partial)
+    for attr, value in zip(row_attrs, row):
+        if attr in merged:
+            if merged[attr] != value:
+                return None
+        else:
+            merged[attr] = value
+    return merged
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Binary natural hash join on all shared attributes.
+
+    With no shared attributes this degenerates to a cartesian product;
+    the optimizer never produces such joins (the paper excludes products),
+    but the kernel supports it for completeness.
+    """
+    shared = common_attributes((left, right))
+    schema = output_schema((left, right))
+    if not shared:
+        rows = []
+        rmap = [right.attrs.index(a) if a in right.attrs else None for a in schema]
+        for lrow in left.rows:
+            base = dict(zip(left.attrs, lrow))
+            for rrow in right.rows:
+                merged = _merge(schema, base, right.attrs, rrow)
+                if merged is not None:
+                    rows.append(tuple(merged[a] for a in schema))
+        return Relation(schema, rows)
+
+    lkey = left.key(shared)
+    rkey = right.key(shared)
+    # Build on the smaller side.
+    build, probe, bkey, pkey, build_is_left = (
+        (left, right, lkey, rkey, True)
+        if len(left) <= len(right)
+        else (right, left, rkey, lkey, False)
+    )
+    table: dict[tuple, list[Row]] = defaultdict(list)
+    for row in build.rows:
+        table[bkey(row)].append(row)
+    rows: list[Row] = []
+    for prow in probe.rows:
+        for brow in table.get(pkey(prow), ()):
+            lrow, rrow = (brow, prow) if build_is_left else (prow, brow)
+            merged = _merge(schema, dict(zip(left.attrs, lrow)), right.attrs, rrow)
+            if merged is not None:
+                rows.append(tuple(merged[a] for a in schema))
+    return Relation(schema, rows)
+
+
+def star_join(inputs: Sequence[Relation], on: Sequence[str] | None = None) -> Relation:
+    """N-ary star natural join.
+
+    *on* is the key attribute set A (defaults to the attributes shared by
+    all inputs).  Rows are grouped by A; within a group all inputs are
+    natural-joined, so equalities on attributes shared by only some of the
+    inputs are enforced as well.
+    """
+    if not inputs:
+        raise ValueError("star_join needs at least one input")
+    if len(inputs) == 1:
+        return inputs[0]
+    key_attrs = tuple(on) if on is not None else common_attributes(inputs)
+    if not key_attrs:
+        raise ValueError(
+            "star_join inputs share no attributes: "
+            + "; ".join(str(r.attrs) for r in inputs)
+        )
+    for rel in inputs:
+        missing = set(key_attrs) - set(rel.attrs)
+        if missing:
+            raise ValueError(f"input schema {rel.attrs} lacks key attrs {missing}")
+
+    schema = output_schema(inputs)
+    # Group every input by the key.
+    grouped: list[dict[tuple, list[Row]]] = []
+    for rel in inputs:
+        extract = rel.key(key_attrs)
+        groups: dict[tuple, list[Row]] = defaultdict(list)
+        for row in rel.rows:
+            groups[extract(row)].append(row)
+        grouped.append(groups)
+
+    # Only keys present in every input can produce results.
+    live_keys = set(grouped[0].keys())
+    for groups in grouped[1:]:
+        live_keys &= set(groups.keys())
+
+    rows: list[Row] = []
+    for key in live_keys:
+        partials: list[dict[str, object]] = [{}]
+        for rel, groups in zip(inputs, grouped):
+            next_partials: list[dict[str, object]] = []
+            for partial in partials:
+                for row in groups[key]:
+                    merged = _merge(schema, partial, rel.attrs, row)
+                    if merged is not None:
+                        next_partials.append(merged)
+            partials = next_partials
+            if not partials:
+                break
+        for partial in partials:
+            rows.append(tuple(partial[a] for a in schema))
+    return Relation(schema, rows)

@@ -1,0 +1,132 @@
+"""Parser for the SPARQL BGP dialect used throughout the paper.
+
+Supported grammar (whitespace-insensitive, case-insensitive keywords)::
+
+    query  := SELECT vars WHERE '{' triples '}'
+    vars   := '*' | var+
+    triples:= pattern ('.' pattern)* '.'?
+    pattern:= term term term
+
+Terms are IRIs (``<...>`` or prefixed names), literals (``"..."``),
+variables (``?name``), or the ``a`` shorthand for ``rdf:type``.  PREFIX
+declarations are accepted and ignored (prefixed names stay opaque).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+
+class SPARQLSyntaxError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<iri>\<[^>]*\>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<punct>[{}.])
+  | (?P<word>[^\s{}]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split a query string into tokens (IRIs, literals, punctuation, words)."""
+    tokens: list[str] = []
+    for match in _TOKEN.finditer(text):
+        tokens.append(match.group(0))
+    return tokens
+
+
+def _strip_prefix_decls(tokens: list[str]) -> list[str]:
+    """Drop ``PREFIX name: <iri>`` declarations from the token stream."""
+    out: list[str] = []
+    i = 0
+    while i < len(tokens):
+        if tokens[i].upper() == "PREFIX" and i + 2 < len(tokens):
+            i += 3
+        else:
+            out.append(tokens[i])
+            i += 1
+    return out
+
+
+def parse_query(text: str, name: str = "") -> BGPQuery:
+    """Parse a SELECT BGP query into a :class:`BGPQuery`."""
+    tokens = _strip_prefix_decls(tokenize(text))
+    if not tokens or tokens[0].upper() != "SELECT":
+        raise SPARQLSyntaxError("query must start with SELECT")
+    i = 1
+    head: list[str] = []
+    star = False
+    while i < len(tokens) and tokens[i].upper() != "WHERE":
+        tok = tokens[i]
+        if tok == "*":
+            star = True
+        elif tok.startswith("?"):
+            if tok not in head:
+                head.append(tok)
+        else:
+            raise SPARQLSyntaxError(f"unexpected token in SELECT clause: {tok!r}")
+        i += 1
+    if i >= len(tokens):
+        raise SPARQLSyntaxError("missing WHERE clause")
+    i += 1  # skip WHERE
+    if i >= len(tokens) or tokens[i] != "{":
+        raise SPARQLSyntaxError("expected '{' after WHERE")
+    i += 1
+    body: list[str] = []
+    depth = 1
+    while i < len(tokens):
+        if tokens[i] == "{":
+            raise SPARQLSyntaxError("nested groups are not part of the BGP dialect")
+        if tokens[i] == "}":
+            depth -= 1
+            i += 1
+            break
+        body.append(tokens[i])
+        i += 1
+    if depth != 0:
+        raise SPARQLSyntaxError("unbalanced braces in WHERE clause")
+    if i < len(tokens):
+        raise SPARQLSyntaxError(f"trailing tokens after '}}': {tokens[i:]}")
+
+    patterns: list[TriplePattern] = []
+    group: list[str] = []
+    for tok in body:
+        if tok == ".":
+            if group:
+                patterns.append(_make_pattern(group))
+                group = []
+        else:
+            group.append(tok)
+            if len(group) == 3:
+                # Allow '.'-less separation only at clause end; SPARQL
+                # requires '.' between patterns, but we are permissive and
+                # close a pattern as soon as it has three terms.
+                patterns.append(_make_pattern(group))
+                group = []
+    if group:
+        raise SPARQLSyntaxError(f"dangling terms in WHERE clause: {group}")
+    if not patterns:
+        raise SPARQLSyntaxError("empty WHERE clause")
+
+    query_vars: list[str] = []
+    for tp in patterns:
+        for v in tp.variables():
+            if v not in query_vars:
+                query_vars.append(v)
+    distinguished = tuple(query_vars) if star else tuple(head)
+    if not distinguished:
+        distinguished = tuple(query_vars)
+    return BGPQuery(distinguished=distinguished, patterns=tuple(patterns), name=name)
+
+
+def _make_pattern(terms: list[str]) -> TriplePattern:
+    if len(terms) != 3:
+        raise SPARQLSyntaxError(f"triple pattern needs exactly 3 terms: {terms}")
+    return TriplePattern(terms[0], terms[1], terms[2])

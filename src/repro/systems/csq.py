@@ -1,0 +1,90 @@
+"""CSQ — the complete CliqueSquare system (§6's prototype).
+
+Wires together the §5.1 partitioner, the CliqueSquare-MSC optimizer with
+the §5.4 cost model for plan selection, the §5.2/§5.3 physical
+translation and the simulated MapReduce executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.algorithm import OptimizerResult, cliquesquare
+from repro.core.decomposition import MSC, DecompositionOption
+from repro.core.logical import LogicalPlan
+from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
+from repro.cost.model import PlanCoster, select_best_plan
+from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.engine import ClusterConfig
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import ExecutionResult, PlanExecutor
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import BGPQuery
+from repro.systems.base import SystemReport
+
+
+@dataclass
+class CSQConfig:
+    """Deployment knobs for the CSQ system."""
+
+    num_nodes: int = 7
+    option: DecompositionOption = MSC
+    max_plans: int | None = 20_000
+    timeout_s: float | None = 100.0
+    params: CostParams = DEFAULT_PARAMS
+
+
+class CSQ:
+    """End-to-end CliqueSquare system over a simulated cluster."""
+
+    name = "CSQ"
+
+    def __init__(self, graph: RDFGraph, config: CSQConfig | None = None) -> None:
+        self.config = config or CSQConfig()
+        self.graph = graph
+        self.store = partition_graph(graph, self.config.num_nodes)
+        self.stats = CatalogStatistics.from_graph(graph)
+        self.estimator = CardinalityEstimator(self.stats)
+        self.coster = PlanCoster(self.estimator, self.config.params)
+        self.executor = PlanExecutor(
+            self.store,
+            ClusterConfig(num_nodes=self.config.num_nodes),
+            self.config.params,
+        )
+
+    # -- planning ---------------------------------------------------------
+
+    def optimize(self, query: BGPQuery) -> tuple[LogicalPlan, OptimizerResult]:
+        """CliqueSquare plans + cost-based selection of the best one."""
+        result = cliquesquare(
+            query,
+            self.config.option,
+            max_plans=self.config.max_plans,
+            timeout_s=self.config.timeout_s,
+        )
+        if not result.plans:
+            raise ValueError(
+                f"{self.config.option} produced no plan for {query.name or query}"
+            )
+        best, _ = select_best_plan(result.unique_plans(), self.coster)
+        return best, result
+
+    # -- execution ---------------------------------------------------------
+
+    def execute_plan(self, plan: LogicalPlan) -> ExecutionResult:
+        """Run an arbitrary logical plan (used by the Fig. 20 baselines)."""
+        return self.executor.execute(plan)
+
+    def run(self, query: BGPQuery) -> SystemReport:
+        plan, _ = self.optimize(query)
+        result = self.executor.execute(plan)
+        return SystemReport(
+            system=self.name,
+            query_name=query.name or str(query),
+            answers=result.rows,
+            response_time=result.response_time,
+            num_jobs=result.num_jobs,
+            job_signature=result.job_signature(),
+            pwoc=result.job_signature() == "M",
+            details={"plan": plan, "report": result.report},
+        )

@@ -1,0 +1,153 @@
+"""A deterministic, scaled-down LUBM data generator.
+
+LUBM [12] models universities: each university has departments; each
+department employs professors (full/associate/assistant) and lecturers,
+offers courses and graduate courses, and hosts undergraduate and
+graduate students.  The paper evaluates on LUBM10k (~1 G triples); this
+generator reproduces the *schema* and the statistical skew that drives
+the 14-query workload's selectivity classes at a laptop-friendly scale
+(the ``universities`` knob scales it).
+
+Biases that keep the paper's selective queries non-empty:
+
+* some graduate students hold their undergraduate degree from the
+  university they currently study at (Q9);
+* some undergraduates take a course taught by their advisor (Q10);
+* doctoral degrees are spread over all universities, so University0
+  sees a few assistant-professor alumni (Q2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import RDF_TYPE
+
+#: The IRI the queries use for university 0 (Appendix A, Q2/Q3/Q4/Q13).
+UNIVERSITY0 = "<http://www.University0.edu>"
+
+
+def university_iri(index: int) -> str:
+    return f"<http://www.University{index}.edu>"
+
+
+@dataclass(frozen=True)
+class LUBMConfig:
+    """Size and skew knobs of the generator (defaults give ~20 K triples)."""
+
+    universities: int = 20
+    departments_per_university: int = 5
+    full_professors_per_department: int = 2
+    associate_professors_per_department: int = 2
+    assistant_professors_per_department: int = 2
+    lecturers_per_department: int = 1
+    undergraduates_per_department: int = 14
+    graduates_per_department: int = 4
+    courses_per_teacher: int = 2
+    undergrad_courses_taken: int = 3
+    grad_courses_taken: int = 2
+    #: probability a graduate's undergraduate degree is from the current
+    #: university (drives Q9's selectivity)
+    home_degree_probability: float = 0.2
+    #: probability an undergraduate takes one course taught by their
+    #: advisor (drives Q10's selectivity)
+    advisor_course_probability: float = 0.3
+    seed: int = 20150413
+
+    def __post_init__(self) -> None:
+        if self.universities < 4:
+            raise ValueError(
+                "need at least 4 universities: the workload queries "
+                "reference University0 and University3"
+            )
+
+
+def generate(config: LUBMConfig | None = None) -> RDFGraph:
+    """Generate the scaled LUBM dataset as an RDF graph."""
+    cfg = config or LUBMConfig()
+    rng = random.Random(cfg.seed)
+    graph = RDFGraph()
+
+    universities = [university_iri(i) for i in range(cfg.universities)]
+    for i, univ in enumerate(universities):
+        graph.add(univ, RDF_TYPE, "ub:University")
+        graph.add(univ, "ub:name", f'"University{i}"')
+
+    professor_types = (
+        ("ub:FullProfessor", "full_professors_per_department"),
+        ("ub:AssociateProfessor", "associate_professors_per_department"),
+        ("ub:AssistantProfessor", "assistant_professors_per_department"),
+    )
+
+    for ui, univ in enumerate(universities):
+        for di in range(cfg.departments_per_university):
+            dept = f"<Department{di}.University{ui}>"
+            graph.add(dept, RDF_TYPE, "ub:Department")
+            graph.add(dept, "ub:subOrganizationOf", univ)
+
+            teachers: list[tuple[str, str]] = []  # (iri, type)
+            for rdf_class, knob in professor_types:
+                for pi in range(getattr(cfg, knob)):
+                    prof = f"<{rdf_class[3:]}{pi}.D{di}.U{ui}>"
+                    teachers.append((prof, rdf_class))
+            for li in range(cfg.lecturers_per_department):
+                teachers.append((f"<Lecturer{li}.D{di}.U{ui}>", "ub:Lecturer"))
+
+            courses: list[str] = []
+            grad_courses: list[str] = []
+            course_teacher: dict[str, str] = {}
+            for prof, rdf_class in teachers:
+                graph.add(prof, RDF_TYPE, rdf_class)
+                graph.add(prof, "ub:worksFor", dept)
+                graph.add(prof, "ub:emailAddress", f'"{prof[1:-1]}@u{ui}.edu"')
+                graph.add(prof, "ub:doctoralDegreeFrom", rng.choice(universities))
+                for ci in range(cfg.courses_per_teacher):
+                    graduate = (ci % 2 == 1) and rdf_class != "ub:Lecturer"
+                    kind = "GraduateCourse" if graduate else "Course"
+                    course = f"<{kind}{len(courses) + len(grad_courses)}.{prof[1:-1]}>"
+                    graph.add(course, RDF_TYPE, f"ub:{kind}")
+                    graph.add(prof, "ub:teacherOf", course)
+                    course_teacher[course] = prof
+                    (grad_courses if graduate else courses).append(course)
+
+            professors = [p for p, c in teachers if c != "ub:Lecturer"]
+            full_professors = [p for p, c in teachers if c == "ub:FullProfessor"]
+
+            for si in range(cfg.undergraduates_per_department):
+                student = f"<UndergraduateStudent{si}.D{di}.U{ui}>"
+                graph.add(student, RDF_TYPE, "ub:UndergraduateStudent")
+                graph.add(student, "ub:memberOf", dept)
+                advisor = rng.choice(professors)
+                graph.add(student, "ub:advisor", advisor)
+                taken = set(
+                    rng.sample(courses, min(cfg.undergrad_courses_taken, len(courses)))
+                )
+                if rng.random() < cfg.advisor_course_probability:
+                    advisor_courses = [
+                        c for c, t in course_teacher.items()
+                        if t == advisor and c in courses
+                    ]
+                    if advisor_courses:
+                        taken.add(rng.choice(advisor_courses))
+                for course in taken:
+                    graph.add(student, "ub:takesCourse", course)
+
+            for si in range(cfg.graduates_per_department):
+                student = f"<GraduateStudent{si}.D{di}.U{ui}>"
+                graph.add(student, RDF_TYPE, "ub:GraduateStudent")
+                graph.add(student, "ub:memberOf", dept)
+                graph.add(student, "ub:emailAddress", f'"grad{si}.d{di}@u{ui}.edu"')
+                if rng.random() < cfg.home_degree_probability:
+                    degree = univ
+                else:
+                    degree = rng.choice(universities)
+                graph.add(student, "ub:undergraduateDegreeFrom", degree)
+                graph.add(student, "ub:advisor", rng.choice(full_professors))
+                for course in rng.sample(
+                    grad_courses, min(cfg.grad_courses_taken, len(grad_courses))
+                ):
+                    graph.add(student, "ub:takesCourse", course)
+
+    return graph

@@ -1,0 +1,189 @@
+"""The 14-query LUBM workload of Appendix A.
+
+Queries marked *(original)* in the paper come from the LUBM benchmark
+(with generic types specialized, as in [27]); the others were devised by
+the authors to add complexity.  Figure 22 records for each query the
+number of triple patterns (#tps) and join variables (#jv) — those are
+data-independent and asserted by our tests; result cardinalities depend
+on the dataset scale.
+
+The paper's selective/non-selective split at LUBM10k (Fig. 21): Q2, Q3,
+Q4, Q9, Q10, Q11, Q13, Q14 are selective; Q1, Q5, Q6, Q7, Q8, Q12 are
+non-selective.
+"""
+
+from __future__ import annotations
+
+from repro.sparql.ast import BGPQuery
+from repro.sparql.parser import parse_query
+from repro.workloads.lubm import UNIVERSITY0
+
+_Q = {
+    "Q1": """
+        SELECT ?P ?S WHERE {
+            ?P ub:worksFor ?D .
+            ?S ub:memberOf ?D . }
+    """,
+    "Q2": f"""
+        SELECT ?X WHERE {{
+            ?X rdf:type ub:AssistantProfessor .
+            ?X ub:doctoralDegreeFrom {UNIVERSITY0} }}
+    """,
+    "Q3": f"""
+        SELECT ?P ?S WHERE {{
+            ?P ub:worksFor ?D .
+            ?S ub:memberOf ?D .
+            ?D ub:subOrganizationOf {UNIVERSITY0} }}
+    """,
+    "Q4": f"""
+        SELECT ?X ?Y WHERE {{
+            ?X rdf:type ub:Lecturer .
+            ?Y rdf:type ub:Department .
+            ?X ub:worksFor ?Y .
+            ?Y ub:subOrganizationOf {UNIVERSITY0} }}
+    """,
+    "Q5": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X rdf:type ub:UndergraduateStudent .
+            ?Y rdf:type ub:FullProfessor .
+            ?Z rdf:type ub:Course .
+            ?X ub:takesCourse ?Z .
+            ?Y ub:teacherOf ?Z }
+    """,
+    "Q6": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X rdf:type ub:UndergraduateStudent .
+            ?Y rdf:type ub:FullProfessor .
+            ?Z rdf:type ub:Course .
+            ?X ub:advisor ?Y .
+            ?Y ub:teacherOf ?Z }
+    """,
+    "Q7": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X a ub:GraduateStudent .
+            ?Z ub:subOrganizationOf ?Y .
+            ?X ub:memberOf ?Z .
+            ?Z a ub:Department .
+            ?Y a ub:University . }
+    """,
+    "Q8": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X a ub:GraduateStudent .
+            ?X ub:undergraduateDegreeFrom ?Y .
+            ?Z ub:subOrganizationOf ?Y .
+            ?Z a ub:Department .
+            ?Y a ub:University . }
+    """,
+    "Q9": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X a ub:GraduateStudent .
+            ?X ub:undergraduateDegreeFrom ?Y .
+            ?Z ub:subOrganizationOf ?Y .
+            ?X ub:memberOf ?Z .
+            ?Z a ub:Department .
+            ?Y a ub:University . }
+    """,
+    "Q10": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X rdf:type ub:UndergraduateStudent .
+            ?Y rdf:type ub:FullProfessor .
+            ?Z rdf:type ub:Course .
+            ?X ub:advisor ?Y .
+            ?X ub:takesCourse ?Z .
+            ?Y ub:teacherOf ?Z }
+    """,
+    "Q11": """
+        SELECT ?X ?Y ?E WHERE {
+            ?X rdf:type ub:UndergraduateStudent .
+            ?X ub:takesCourse ?Y .
+            ?X ub:memberOf ?Z .
+            ?X ub:advisor ?W .
+            ?W rdf:type ub:FullProfessor .
+            ?W ub:emailAddress ?E .
+            ?Z ub:subOrganizationOf ?U .
+            ?U ub:name "University3" }
+    """,
+    "Q12": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X rdf:type ub:FullProfessor .
+            ?X ub:teacherOf ?Y .
+            ?Y rdf:type ub:GraduateCourse .
+            ?X ub:worksFor ?Z .
+            ?W ub:advisor ?X .
+            ?W rdf:type ub:GraduateStudent .
+            ?W ub:emailAddress ?E .
+            ?Z rdf:type ub:Department .
+            ?Z ub:subOrganizationOf ?U }
+    """,
+    "Q13": f"""
+        SELECT ?X ?Y ?Z WHERE {{
+            ?X rdf:type ub:FullProfessor .
+            ?X ub:teacherOf ?Y .
+            ?Y rdf:type ub:GraduateCourse .
+            ?X ub:worksFor ?Z .
+            ?W ub:advisor ?X .
+            ?W rdf:type ub:GraduateStudent .
+            ?W ub:emailAddress ?E .
+            ?Z rdf:type ub:Department .
+            ?Z ub:subOrganizationOf {UNIVERSITY0} }}
+    """,
+    "Q14": """
+        SELECT ?X ?Y ?Z WHERE {
+            ?X rdf:type ub:FullProfessor .
+            ?X ub:teacherOf ?Y .
+            ?Y rdf:type ub:GraduateCourse .
+            ?X ub:worksFor ?Z .
+            ?W ub:advisor ?X .
+            ?W rdf:type ub:GraduateStudent .
+            ?W ub:emailAddress ?E .
+            ?Z rdf:type ub:Department .
+            ?Z ub:subOrganizationOf ?U .
+            ?U ub:name "University3" }
+    """,
+}
+
+#: Query names in workload order.
+QUERY_NAMES: tuple[str, ...] = tuple(f"Q{i}" for i in range(1, 15))
+
+#: Fig. 22 structural characteristics: name -> (#triple patterns, #join vars).
+FIG22_CHARACTERISTICS: dict[str, tuple[int, int]] = {
+    "Q1": (2, 1),
+    "Q2": (2, 1),
+    "Q3": (3, 1),
+    "Q4": (4, 2),
+    "Q5": (5, 3),
+    "Q6": (5, 3),
+    "Q7": (5, 3),
+    "Q8": (5, 3),
+    "Q9": (6, 3),
+    "Q10": (6, 3),
+    "Q11": (8, 4),
+    "Q12": (9, 4),
+    "Q13": (9, 4),
+    "Q14": (10, 5),
+}
+
+#: Fig. 21's selectivity classes at LUBM10k.
+SELECTIVE: frozenset[str] = frozenset(
+    {"Q2", "Q3", "Q4", "Q9", "Q10", "Q11", "Q13", "Q14"}
+)
+NON_SELECTIVE: frozenset[str] = frozenset(
+    {"Q1", "Q5", "Q6", "Q7", "Q8", "Q12"}
+)
+
+#: Queries taken unchanged (modulo type specialization) from LUBM.
+ORIGINAL: frozenset[str] = frozenset({"Q2", "Q4", "Q9", "Q10"})
+
+
+def query(name: str) -> BGPQuery:
+    """One of Q1..Q14, parsed."""
+    try:
+        text = _Q[name]
+    except KeyError:
+        raise KeyError(f"unknown workload query {name!r}") from None
+    return parse_query(text, name=name)
+
+
+def all_queries() -> list[BGPQuery]:
+    """The full 14-query workload, in order."""
+    return [query(name) for name in QUERY_NAMES]

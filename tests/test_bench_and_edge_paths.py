@@ -1,0 +1,143 @@
+"""Tests for the bench harness and remaining execution edge paths."""
+
+import random
+
+import pytest
+
+from repro.bench import paper_data
+from repro.bench.harness import format_table, paper_vs_measured_table
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import ALL_OPTIONS, MSC
+from repro.mapreduce.engine import ClusterConfig
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import BGPQuery, TriplePattern
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from repro.workloads.lubm_queries import QUERY_NAMES
+from tests.conftest import fig14_query
+
+
+class TestPaperData:
+    def test_option_tables_cover_all_options(self):
+        option_names = {o.name for o in ALL_OPTIONS}
+        for table in (
+            paper_data.FIG16_PLAN_COUNTS,
+            paper_data.FIG17_OPTIMALITY_RATIO,
+            paper_data.FIG18_OPTIMIZATION_TIME_MS,
+            paper_data.FIG19_UNIQUENESS_RATIO,
+        ):
+            assert set(table) == option_names
+            for row in table.values():
+                assert set(row) == set(paper_data.SHAPE_ORDER)
+
+    def test_fig9_covers_all_options(self):
+        names = {n for group in paper_data.FIG9_HO_CLASSIFICATION.values() for n in group}
+        assert names == {o.name for o in ALL_OPTIONS}
+
+    def test_fig20_fig21_fig22_cover_workload(self):
+        assert set(paper_data.FIG20_JOB_SIGNATURES) == set(QUERY_NAMES)
+        assert set(paper_data.FIG21_JOB_SIGNATURES) == set(QUERY_NAMES)
+        assert set(paper_data.FIG22_TABLE) == set(QUERY_NAMES)
+
+    def test_fig22_structure_matches_workload_module(self):
+        from repro.workloads.lubm_queries import FIG22_CHARACTERISTICS
+
+        for name, (tps, jv, _) in paper_data.FIG22_TABLE.items():
+            assert FIG22_CHARACTERISTICS[name] == (tps, jv)
+
+
+class TestHarnessFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["longer", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_paper_vs_measured_interleaves(self):
+        paper = {"MSC": {"chain": 1.0}}
+        ours = {"MSC": {"chain": 2.0}}
+        text = paper_vs_measured_table("t", ["MSC"], ["chain"], paper, ours)
+        assert "chain(paper)" in text and "chain(ours)" in text
+        assert "1.00" in text and "2.00" in text
+
+
+class TestVariablePredicateExecution:
+    """The Fig. 14 query has a fully-variable pattern: the map scan must
+    read a whole replica (no property file narrowing)."""
+
+    def graph(self):
+        rng = random.Random(3)
+        g = RDFGraph(validate=False)
+        vals = [f"<w{i}>" for i in range(4)]
+        props = ["p1", "p3", "p4", "<edge>"]
+        for i in range(60):
+            g.add(rng.choice(vals), rng.choice(props), rng.choice(vals))
+        return g
+
+    def test_fig14_end_to_end(self):
+        q = fig14_query()
+        g = self.graph()
+        expected = evaluate(q, g)
+        store = partition_graph(g, 4)
+        executor = PlanExecutor(store, ClusterConfig(num_nodes=4))
+        result = cliquesquare(q, MSC, timeout_s=20)
+        assert result.plans
+        for plan in result.unique_plans()[:3]:
+            assert executor.execute(plan).rows == expected
+
+    def test_predicate_join_variable(self):
+        """Joining on a variable in predicate position uses the 'p'
+        replica for co-location."""
+        q = BGPQuery(
+            ("?p",),
+            (
+                TriplePattern("?x", "?p", "?y"),
+                TriplePattern("?a", "?p", "?b"),
+            ),
+        )
+        g = self.graph()
+        expected = evaluate(q, g)
+        store = partition_graph(g, 4)
+        executor = PlanExecutor(store, ClusterConfig(num_nodes=4))
+        plan = cliquesquare(q, MSC).plans[0]
+        run = executor.execute(plan)
+        assert run.rows == expected
+        assert run.job_signature() == "M"  # p-p join is co-located
+
+
+class TestSelectOperatorPath:
+    def test_logical_select_translates_and_runs(self):
+        """Hand-built plans may carry explicit Select operators."""
+        from repro.core.logical import LogicalPlan, Match, Select, make_join
+
+        g = RDFGraph(
+            [
+                ("<a>", "p", "<b>"),
+                ("<c>", "p", "<b>"),
+                ("<b>", "q", "<d>"),
+            ]
+        )
+        t1 = TriplePattern("?x", "p", "?y")
+        t2 = TriplePattern("?y", "q", "?z")
+        q = BGPQuery(("?x",), (t1, t2))
+        body = Select(conditions=(), child=make_join([Match(t1), Match(t2)]))
+        plan = LogicalPlan.wrap(body, q)
+        store = partition_graph(g, 2)
+        executor = PlanExecutor(store, ClusterConfig(num_nodes=2))
+        assert executor.execute(plan).rows == evaluate(q, g)
+
+
+class TestExecutionReportTotals:
+    def test_total_work_at_least_response_time(self):
+        g = RDFGraph([("<a>", "p", "<b>"), ("<b>", "q", "<c>"), ("<c>", "r", "<d>")])
+        q = parse_query("SELECT ?x WHERE { ?x p ?y . ?y q ?z . ?z r ?w }")
+        store = partition_graph(g, 3)
+        executor = PlanExecutor(store, ClusterConfig(num_nodes=3))
+        plan = cliquesquare(q, MSC).plans[0]
+        report = executor.execute(plan).report
+        assert report.total_work >= report.response_time
+        assert report.levels  # level structure recorded
+        assert sum(len(lv) for lv in report.levels) == report.num_jobs

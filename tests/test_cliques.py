@@ -1,0 +1,93 @@
+"""Unit tests for clique enumeration (Definition 3.2, Lemmas 4.1-4.2)."""
+
+from repro.core.cliques import (
+    candidate_cliques,
+    count_partial_cliques,
+    maximal_cliques,
+    maximal_cliques_by_variable,
+    partial_cliques,
+)
+from repro.core.complexity import max_maximal_cliques, max_partial_cliques
+from repro.core.variable_graph import VariableGraph
+from repro.sparql.parser import parse_query
+from repro.workloads.synthetic import chain_query, star_query
+
+
+def graph_of(text: str) -> VariableGraph:
+    return VariableGraph.from_query(parse_query(text))
+
+
+class TestMaximalCliques:
+    def test_paper_q1(self, paper_q1):
+        g = VariableGraph.from_query(paper_q1)
+        by_var = maximal_cliques_by_variable(g)
+        assert by_var["?d"] == frozenset({2, 3, 4, 5})
+        assert by_var["?a"] == frozenset({0, 1, 2})
+        assert by_var["?j"] == frozenset({9, 10})
+        assert len(by_var) == 6  # Q1 has 6 join variables
+
+    def test_one_clique_per_join_variable(self):
+        g = graph_of("SELECT ?x WHERE { ?x p ?y . ?y q ?z . ?x r ?z }")
+        assert len(maximal_cliques_by_variable(g)) == 3
+
+    def test_duplicate_node_sets_merged(self):
+        # both ?x and ?y connect the same two patterns -> one clique set
+        g = graph_of("SELECT ?x WHERE { ?x p ?y . ?y q ?x }")
+        assert maximal_cliques(g) == [frozenset({0, 1})]
+
+    def test_star_has_single_maximal_clique(self):
+        g = VariableGraph.from_query(star_query(6))
+        assert maximal_cliques(g) == [frozenset(range(6))]
+
+    def test_chain_has_n_minus_1_cliques(self):
+        g = VariableGraph.from_query(chain_query(7))
+        cliques = maximal_cliques(g)
+        assert len(cliques) == 6
+        assert all(len(c) == 2 for c in cliques)
+
+    def test_lemma_41_bound(self):
+        for n in (2, 4, 7):
+            for q in (chain_query(n), star_query(n)):
+                g = VariableGraph.from_query(q)
+                assert len(maximal_cliques(g)) <= max_maximal_cliques(n)
+
+
+class TestPartialCliques:
+    def test_star_powerset(self):
+        # one maximal clique of n nodes -> 2^n - 1 partial cliques
+        g = VariableGraph.from_query(star_query(4))
+        assert count_partial_cliques(g) == 2**4 - 1
+
+    def test_chain_2n_minus_1(self):
+        # chain: n-1 pairs + n singletons = 2n - 1 (§4.5 discussion)
+        g = VariableGraph.from_query(chain_query(6))
+        assert count_partial_cliques(g) == 2 * 6 - 1
+
+    def test_lemma_42_bound(self):
+        for n in (2, 3, 5):
+            for q in (chain_query(n), star_query(n)):
+                g = VariableGraph.from_query(q)
+                assert count_partial_cliques(g) <= max_partial_cliques(n)
+
+    def test_partial_cliques_include_singletons(self):
+        g = VariableGraph.from_query(chain_query(3))
+        singles = [c for c in partial_cliques(g) if len(c) == 1]
+        assert len(singles) == 3
+
+    def test_every_partial_clique_is_subset_of_a_maximal(self, paper_q1):
+        g = VariableGraph.from_query(paper_q1)
+        maximal = maximal_cliques(g)
+        for c in partial_cliques(g):
+            if len(c) >= 2:
+                assert any(c <= m for m in maximal), c
+
+
+class TestCandidateCliques:
+    def test_maximal_only_excludes_singletons(self):
+        g = VariableGraph.from_query(chain_query(4))
+        pool = candidate_cliques(g, maximal_only=True)
+        assert all(len(c) == 2 for c in pool)
+
+    def test_partial_pool_is_superset(self, paper_q1):
+        g = VariableGraph.from_query(paper_q1)
+        assert set(candidate_cliques(g, True)) <= set(candidate_cliques(g, False))

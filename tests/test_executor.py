@@ -1,0 +1,168 @@
+"""End-to-end executor tests: distributed answers == reference evaluator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import cliquesquare
+from repro.core.binary import best_bushy_plan, best_linear_plan
+from repro.core.decomposition import MSC, MSC_PLUS
+from repro.cost.params import CostParams
+from repro.mapreduce.engine import ClusterConfig
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.rdf.graph import RDFGraph
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from tests.conftest import random_connected_query
+
+
+@pytest.fixture(scope="module")
+def executor(university_graph=None):
+    from tests.conftest import make_university_graph
+
+    graph = make_university_graph()
+    store = partition_graph(graph, 7)
+    return graph, PlanExecutor(store)
+
+
+def run_and_compare(graph, executor, query_text, option=MSC):
+    query = parse_query(query_text)
+    expected = evaluate(query, graph)
+    plans = cliquesquare(query, option, timeout_s=30).unique_plans()
+    results = []
+    for plan in plans[:6]:
+        result = executor.execute(plan)
+        assert result.rows == expected, f"plan {plan} wrong"
+        results.append(result)
+    return results
+
+
+class TestCorrectness:
+    def test_single_pattern(self, executor):
+        graph, ex = executor
+        run_and_compare(graph, ex, "SELECT ?p ?d WHERE { ?p ub:worksFor ?d }")
+
+    def test_pattern_with_constant_object(self, executor):
+        graph, ex = executor
+        run_and_compare(
+            graph, ex, "SELECT ?d WHERE { ?d ub:subOrganizationOf <univ0> }"
+        )
+
+    def test_rdf_type_pattern(self, executor):
+        graph, ex = executor
+        run_and_compare(graph, ex, "SELECT ?x WHERE { ?x rdf:type ub:FullProfessor }")
+
+    def test_map_only_star_join(self, executor):
+        graph, ex = executor
+        results = run_and_compare(
+            graph,
+            ex,
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?d ub:subOrganizationOf <univ0> }",
+        )
+        assert any(r.job_signature() == "M" for r in results)
+
+    def test_two_level_plan(self, executor):
+        graph, ex = executor
+        results = run_and_compare(
+            graph,
+            ex,
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }",
+        )
+        assert any(r.num_jobs >= 1 for r in results)
+
+    def test_empty_answer(self, executor):
+        graph, ex = executor
+        run_and_compare(
+            graph, ex, "SELECT ?p WHERE { ?p ub:worksFor <no-such-dept> }"
+        )
+
+    def test_binary_plans_agree(self, executor, university_coster):
+        graph, ex = executor
+        text = (
+            "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?d ub:subOrganizationOf <univ0> . ?p rdf:type ub:FullProfessor }"
+        )
+        query = parse_query(text)
+        expected = evaluate(query, graph)
+        for plan_fn in (best_bushy_plan, best_linear_plan):
+            plan, _ = plan_fn(query, university_coster.cost)
+            assert ex.execute(plan).rows == expected
+
+    def test_msc_plus_plans_agree(self, executor):
+        graph, ex = executor
+        run_and_compare(
+            graph,
+            ex,
+            "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?s ub:emailAddress ?e }",
+            option=MSC_PLUS,
+        )
+
+
+class TestReports:
+    def test_map_only_report(self, executor):
+        graph, ex = executor
+        q = parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }")
+        plan = cliquesquare(q, MSC).plans[0]
+        result = ex.execute(plan)
+        assert result.num_jobs == 1
+        assert result.report.jobs[0].map_only
+        assert result.report.response_time > 0
+        assert result.report.total_work >= result.report.response_time
+
+    def test_job_overhead_increases_response(self):
+        from tests.conftest import make_university_graph
+
+        graph = make_university_graph()
+        store = partition_graph(graph, 7)
+        q = parse_query(
+            "SELECT ?x WHERE { ?x p1 ?y . ?y p2 ?z }"
+        )
+        free = PlanExecutor(store, params=CostParams(job_overhead=0.0))
+        paid = PlanExecutor(store, params=CostParams(job_overhead=500.0))
+        plan = cliquesquare(q, MSC).plans[0]
+        assert (
+            paid.execute(plan).response_time
+            >= free.execute(plan).response_time + 500.0 - 1e-9
+        )
+
+    def test_deeper_plans_need_more_jobs(self, executor, university_coster):
+        graph, ex = executor
+        text = (
+            "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?d ub:subOrganizationOf <univ0> . ?p rdf:type ub:FullProfessor }"
+        )
+        query = parse_query(text)
+        msc_best = min(
+            cliquesquare(query, MSC).unique_plans(),
+            key=university_coster.cost,
+        )
+        linear, _ = best_linear_plan(query, university_coster.cost)
+        assert ex.execute(msc_best).num_jobs <= ex.execute(linear).num_jobs
+
+
+class TestRandomizedAgainstReference:
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_random_queries_random_data(self, seed, n):
+        rng = random.Random(seed)
+        query = random_connected_query(rng, n)
+        g = RDFGraph(validate=False)
+        values = [f"<e{i}>" for i in range(5)]
+        data_rng = random.Random(seed * 31 + n)
+        for i in range(70):
+            g.add(
+                data_rng.choice(values),
+                f"p{data_rng.randrange(n)}",
+                data_rng.choice(values),
+            )
+        expected = evaluate(query, g)
+        store = partition_graph(g, 4)
+        ex = PlanExecutor(store, ClusterConfig(num_nodes=4))
+        for plan in cliquesquare(query, MSC, timeout_s=20).unique_plans()[:4]:
+            assert ex.execute(plan).rows == expected

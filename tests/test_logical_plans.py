@@ -1,0 +1,122 @@
+"""Unit tests for logical operators and plans (§4.1)."""
+
+import pytest
+
+from repro.core.logical import (
+    Join,
+    LogicalPlan,
+    Match,
+    Project,
+    Select,
+    make_join,
+    signature,
+)
+from repro.sparql.ast import TriplePattern
+from repro.sparql.parser import parse_query
+
+T1 = TriplePattern("?a", "p1", "?b")
+T2 = TriplePattern("?a", "p2", "?c")
+T3 = TriplePattern("?c", "p3", "?d")
+
+
+class TestMatch:
+    def test_attrs(self):
+        assert Match(T1).attrs == ("?a", "?b")
+
+    def test_patterns(self):
+        assert Match(T1).patterns() == frozenset([T1])
+
+
+class TestJoin:
+    def test_attrs_union_in_order(self):
+        j = Join(on=("?a",), inputs=(Match(T1), Match(T2)))
+        assert j.attrs == ("?a", "?b", "?c")
+
+    def test_requires_two_inputs(self):
+        with pytest.raises(ValueError):
+            Join(on=("?a",), inputs=(Match(T1),))
+
+    def test_on_must_be_shared(self):
+        with pytest.raises(ValueError):
+            Join(on=("?b",), inputs=(Match(T1), Match(T2)))
+
+    def test_empty_on_rejected(self):
+        with pytest.raises(ValueError):
+            Join(on=(), inputs=(Match(T1), Match(T2)))
+
+    def test_patterns_accumulate(self):
+        j = Join(on=("?a",), inputs=(Match(T1), Match(T2)))
+        assert j.patterns() == frozenset([T1, T2])
+
+
+class TestMakeJoin:
+    def test_computes_intersection(self):
+        j = make_join([Match(T1), Match(T2)])
+        assert isinstance(j, Join)
+        assert j.on == ("?a",)
+
+    def test_dedupes_identical_children(self):
+        assert make_join([Match(T1), Match(T1)]) == Match(T1)
+
+    def test_sorts_children_canonically(self):
+        j1 = make_join([Match(T1), Match(T2)])
+        j2 = make_join([Match(T2), Match(T1)])
+        assert j1 == j2
+        assert signature(j1) == signature(j2)
+
+    def test_multi_attribute_join(self):
+        ta = TriplePattern("?x", "p", "?y")
+        tb = TriplePattern("?y", "q", "?x")
+        j = make_join([Match(ta), Match(tb)])
+        assert set(j.on) == {"?x", "?y"}
+
+
+class TestSelectProject:
+    def test_select_preserves_attrs(self):
+        s = Select(conditions=(("?b", '"v"'),), child=Match(T1))
+        assert s.attrs == ("?a", "?b")
+
+    def test_project_restricts_attrs(self):
+        p = Project(on=("?b",), child=Match(T1))
+        assert p.attrs == ("?b",)
+
+    def test_project_validates_attrs(self):
+        with pytest.raises(ValueError):
+            Project(on=("?zz",), child=Match(T1))
+
+
+class TestLogicalPlan:
+    def q(self):
+        return parse_query("SELECT ?a WHERE { ?a p1 ?b . ?a p2 ?c }")
+
+    def test_wrap_adds_projection(self):
+        q = self.q()
+        body = make_join([Match(q.patterns[0]), Match(q.patterns[1])])
+        plan = LogicalPlan.wrap(body, q)
+        assert isinstance(plan.root, Project)
+        assert plan.root.on == ("?a",)
+        assert plan.body is body
+
+    def test_wrap_skips_projection_when_exact(self):
+        q = parse_query("SELECT ?a ?b WHERE { ?a p1 ?b }")
+        body = Match(q.patterns[0])
+        plan = LogicalPlan.wrap(body, q)
+        assert plan.root is body
+
+    def test_plan_equality_is_structural(self):
+        q = self.q()
+        b1 = make_join([Match(q.patterns[0]), Match(q.patterns[1])])
+        b2 = make_join([Match(q.patterns[1]), Match(q.patterns[0])])
+        assert LogicalPlan.wrap(b1, q) == LogicalPlan.wrap(b2, q)
+        assert hash(LogicalPlan.wrap(b1, q)) == hash(LogicalPlan.wrap(b2, q))
+
+    def test_iter_operators_visits_dag_nodes_once(self):
+        shared = make_join([Match(T2), Match(T3)])
+        top = Join(on=("?c",), inputs=(shared, Match(T3)))
+        ops = list(top.iter_operators())
+        assert len(ops) == len({id(o) for o in ops})
+
+    def test_str_rendering(self):
+        j = make_join([Match(T1), Match(T2)])
+        assert "J_a" in str(j)
+        assert "M[?a p1 ?b]" in str(j)

@@ -1,0 +1,152 @@
+"""Tests for projection pushdown (repro.core.pushdown) and its
+end-to-end execution through the physical layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.core.logical import Project
+from repro.core.properties import height
+from repro.core.pushdown import max_operator_width, pushdown_projections
+from repro.mapreduce.engine import ClusterConfig
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.rdf.graph import RDFGraph
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from tests.conftest import make_university_graph, random_connected_query
+
+
+def msc_plans(text, **kw):
+    return cliquesquare(parse_query(text, **kw), MSC, timeout_s=20).unique_plans()
+
+
+class TestPushdownStructure:
+    def test_prunes_unused_variables(self):
+        # ?e and ?c are never needed above their matches
+        plans = msc_plans(
+            "SELECT ?a WHERE { ?a p1 ?b . ?a p2 ?c . ?b p3 ?d . ?b p4 ?e }"
+        )
+        for plan in plans:
+            pushed = pushdown_projections(plan)
+            assert max_operator_width(pushed) <= max_operator_width(plan)
+            assert max_operator_width(pushed) < len(plan.query.variables())
+
+    def test_keeps_join_keys(self):
+        plans = msc_plans("SELECT ?a WHERE { ?a p1 ?b . ?b p2 ?c . ?c p3 ?d }")
+        for plan in plans:
+            pushed = pushdown_projections(plan)
+            for op in pushed.root.iter_operators():
+                if hasattr(op, "on") and not isinstance(op, Project):
+                    assert set(op.on) <= set(op.attrs)
+
+    def test_keeps_sibling_shared_attributes(self):
+        """Attributes enforcing natural-join equalities must survive."""
+        # t1 and t2 share ?x (key) and ?y (residual equality)
+        plans = msc_plans("SELECT ?x WHERE { ?x p1 ?y . ?y p2 ?x . ?x p3 ?z }")
+        for plan in plans:
+            pushed = pushdown_projections(plan)
+            g = RDFGraph(validate=False)
+            rng = random.Random(5)
+            vals = [f"<v{i}>" for i in range(4)]
+            for i in range(50):
+                g.add(rng.choice(vals), f"p{1 + i % 3}", rng.choice(vals))
+            assert _run(pushed, g) == evaluate(plan.query, g)
+
+    def test_root_projection_preserved(self):
+        for plan in msc_plans("SELECT ?a ?b WHERE { ?a p1 ?b . ?b p2 ?c }"):
+            pushed = pushdown_projections(plan)
+            assert pushed.root.attrs == plan.root.attrs
+
+    def test_idempotent(self):
+        for plan in msc_plans("SELECT ?a WHERE { ?a p1 ?b . ?b p2 ?c . ?c p3 ?d }"):
+            once = pushdown_projections(plan)
+            twice = pushdown_projections(once)
+            assert max_operator_width(once) == max_operator_width(twice)
+
+
+def _run(plan, graph, nodes=4):
+    store = partition_graph(graph, nodes)
+    executor = PlanExecutor(store, ClusterConfig(num_nodes=nodes))
+    return executor.execute(plan).rows
+
+
+class TestPushdownExecution:
+    def test_university_query_equivalence(self):
+        graph = make_university_graph()
+        text = (
+            "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?d ub:subOrganizationOf <univ0> . ?p rdf:type ub:FullProfessor . "
+            "?s ub:emailAddress ?e }"
+        )
+        query = parse_query(text)
+        expected = evaluate(query, graph)
+        for plan in cliquesquare(query, MSC, timeout_s=20).unique_plans()[:5]:
+            pushed = pushdown_projections(plan)
+            assert _run(pushed, graph, nodes=7) == expected
+
+    def test_pushdown_through_multilevel_plans(self):
+        """Projections above reduce joins run inside map shufflers."""
+        graph = make_university_graph()
+        text = (
+            "SELECT ?p ?u WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+            "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student . "
+            "?d ub:subOrganizationOf ?u }"
+        )
+        query = parse_query(text)
+        expected = evaluate(query, graph)
+        plans = cliquesquare(query, MSC, timeout_s=20).unique_plans()
+        deep = [p for p in plans if height(p) >= 2][:4] or plans[:4]
+        for plan in deep:
+            pushed = pushdown_projections(plan)
+            assert _run(pushed, graph, nodes=7) == expected
+
+    @given(st.integers(0, 5_000), st.integers(2, 5))
+    @settings(max_examples=12, deadline=None)
+    def test_random_equivalence(self, seed, n):
+        rng = random.Random(seed)
+        query = random_connected_query(rng, n)
+        g = RDFGraph(validate=False)
+        data_rng = random.Random(seed + 13)
+        vals = [f"<e{i}>" for i in range(5)]
+        for i in range(60):
+            g.add(data_rng.choice(vals), f"p{data_rng.randrange(n)}", data_rng.choice(vals))
+        expected = evaluate(query, g)
+        for plan in cliquesquare(query, MSC, timeout_s=15).unique_plans()[:3]:
+            pushed = pushdown_projections(plan)
+            assert _run(pushed, g) == expected
+
+
+class TestExplain:
+    def test_explain_layers(self):
+        from repro.physical.explain import explain, job_summary
+
+        plan = cliquesquare(
+            parse_query(
+                "SELECT ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+                "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }"
+            ),
+            MSC,
+        ).plans[0]
+        text = explain(plan)
+        assert "== logical plan" in text
+        assert "== physical plan ==" in text
+        assert "== MapReduce jobs" in text
+        summary = job_summary(plan)
+        assert summary["num_jobs"] >= 1
+        assert summary["height"] == height(plan)
+
+    def test_map_only_summary(self):
+        from repro.physical.explain import job_summary
+
+        plan = cliquesquare(
+            parse_query("SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }"),
+            MSC,
+        ).plans[0]
+        summary = job_summary(plan)
+        assert summary["map_only"] is True
+        assert summary["signature"] == "M"

@@ -1,0 +1,61 @@
+"""Unit tests for repro.rdf.dictionary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf.dictionary import Dictionary
+
+
+class TestDictionary:
+    def test_encode_assigns_dense_ids(self):
+        d = Dictionary()
+        assert d.encode("a") == 0
+        assert d.encode("b") == 1
+        assert d.encode("a") == 0
+        assert len(d) == 2
+
+    def test_decode_inverts_encode(self):
+        d = Dictionary()
+        ident = d.encode("term")
+        assert d.decode(ident) == "term"
+
+    def test_decode_unknown_raises_keyerror(self):
+        d = Dictionary()
+        with pytest.raises(KeyError):
+            d.decode(0)
+        with pytest.raises(KeyError):
+            d.decode(-1)
+
+    def test_lookup_without_insert(self):
+        d = Dictionary()
+        assert d.lookup("missing") is None
+        d.encode("present")
+        assert d.lookup("present") == 0
+        assert len(d) == 1
+
+    def test_contains_and_iter(self):
+        d = Dictionary()
+        d.encode_many(["x", "y", "x"])
+        assert "x" in d and "y" in d and "z" not in d
+        assert list(d) == ["x", "y"]
+
+    def test_encode_many_preserves_order(self):
+        d = Dictionary()
+        assert d.encode_many(["a", "b", "a", "c"]) == [0, 1, 0, 2]
+
+    def test_decode_many(self):
+        d = Dictionary()
+        d.encode_many(["a", "b", "c"])
+        assert d.decode_many([2, 0]) == ["c", "a"]
+
+
+@given(st.lists(st.text(min_size=1), min_size=1, max_size=50))
+def test_roundtrip_property(terms):
+    """encode/decode is a bijection over any term sequence."""
+    d = Dictionary()
+    ids = d.encode_many(terms)
+    assert d.decode_many(ids) == terms
+    # ids are dense: exactly one per distinct term
+    assert len(d) == len(set(terms))
+    assert sorted(set(ids)) == list(range(len(set(terms))))

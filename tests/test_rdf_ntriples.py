@@ -1,0 +1,61 @@
+"""Unit tests for repro.rdf.ntriples."""
+
+import io
+
+import pytest
+
+from repro.rdf import ntriples
+
+
+class TestParseLine:
+    def test_simple(self):
+        assert ntriples.parse_line("<a> p <b> .") == ("<a>", "p", "<b>")
+
+    def test_trailing_dot_optional(self):
+        assert ntriples.parse_line("<a> p <b>") == ("<a>", "p", "<b>")
+
+    def test_literal_with_spaces(self):
+        line = '<a> ub:name "University of Testing" .'
+        assert ntriples.parse_line(line) == ("<a>", "ub:name", '"University of Testing"')
+
+    def test_blank_and_comment_lines(self):
+        assert ntriples.parse_line("") is None
+        assert ntriples.parse_line("   ") is None
+        assert ntriples.parse_line("# comment") is None
+
+    def test_wrong_arity(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line("<a> p .")
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line("<a> p <b> <c> .")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(ntriples.NTriplesError):
+            ntriples.parse_line('<a> p "oops .')
+
+
+class TestRoundTrip:
+    TRIPLES = [
+        ("<a>", "p1", "<b>"),
+        ("<a>", "ub:name", '"hello world"'),
+        ("_:b0", "p2", '"x"'),
+    ]
+
+    def test_serialize_parse_roundtrip(self):
+        text = ntriples.serialize(self.TRIPLES)
+        assert sorted(ntriples.parse(text)) == sorted(self.TRIPLES)
+
+    def test_serialize_is_sorted_and_deterministic(self):
+        assert ntriples.serialize(self.TRIPLES) == ntriples.serialize(
+            list(reversed(self.TRIPLES))
+        )
+
+    def test_file_io(self):
+        buf = io.StringIO()
+        assert ntriples.write(self.TRIPLES, buf) == 3
+        buf.seek(0)
+        assert sorted(ntriples.read(buf)) == sorted(self.TRIPLES)
+
+    def test_parse_skips_comments(self):
+        text = "# header\n<a> p <b> .\n\n<c> p <d> ."
+        assert len(list(ntriples.parse(text))) == 2

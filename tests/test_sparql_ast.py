@@ -1,0 +1,92 @@
+"""Unit tests for repro.sparql.ast."""
+
+import pytest
+
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+
+class TestTriplePattern:
+    def test_variables_order_and_dedup(self):
+        tp = TriplePattern("?x", "?p", "?x")
+        assert tp.variables() == ("?x", "?p")
+
+    def test_constants(self):
+        tp = TriplePattern("?x", "ub:worksFor", "<dept>")
+        assert tp.constants() == ("ub:worksFor", "<dept>")
+
+    def test_positions_of(self):
+        tp = TriplePattern("?x", "p", "?x")
+        assert tp.positions_of("?x") == ("s", "o")
+        assert tp.positions_of("?y") == ()
+
+    def test_a_shorthand_normalized(self):
+        tp = TriplePattern("?x", "a", "ub:Dept")
+        assert tp.p == "rdf:type"
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            TriplePattern('"lit"', "p", "?o")
+
+    def test_literal_property_rejected(self):
+        with pytest.raises(ValueError):
+            TriplePattern("?s", '"lit"', "?o")
+
+    def test_str(self):
+        assert str(TriplePattern("?x", "p", '"v"')) == '?x p "v"'
+
+
+class TestBGPQuery:
+    def q(self, *patterns, head=("?x",)):
+        return BGPQuery(tuple(head), tuple(patterns))
+
+    def test_variables_in_order(self):
+        q = self.q(
+            TriplePattern("?x", "p1", "?y"),
+            TriplePattern("?y", "p2", "?z"),
+        )
+        assert q.variables() == ("?x", "?y", "?z")
+
+    def test_join_variables(self):
+        q = self.q(
+            TriplePattern("?x", "p1", "?y"),
+            TriplePattern("?y", "p2", "?z"),
+            TriplePattern("?y", "p3", "?x"),
+        )
+        assert set(q.join_variables()) == {"?x", "?y"}
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            BGPQuery(("?x",), ())
+
+    def test_unknown_distinguished_rejected(self):
+        with pytest.raises(ValueError):
+            self.q(TriplePattern("?x", "p", "?y"), head=("?zz",))
+
+    def test_non_variable_distinguished_rejected(self):
+        with pytest.raises(ValueError):
+            self.q(TriplePattern("?x", "p", "?y"), head=("x",))
+
+    def test_connected_chain(self):
+        q = self.q(
+            TriplePattern("?x", "p1", "?y"),
+            TriplePattern("?y", "p2", "?z"),
+        )
+        assert q.is_connected()
+
+    def test_disconnected_product(self):
+        q = self.q(
+            TriplePattern("?x", "p1", "?y"),
+            TriplePattern("?a", "p2", "?b"),
+        )
+        assert not q.is_connected()
+
+    def test_single_pattern_connected(self):
+        assert self.q(TriplePattern("?x", "p", "?y")).is_connected()
+
+    def test_len_and_iter(self):
+        q = self.q(
+            TriplePattern("?x", "p1", "?y"),
+            TriplePattern("?x", "p2", "?z"),
+        )
+        assert len(q) == 2
+        assert [tp.p for tp in q] == ["p1", "p2"]

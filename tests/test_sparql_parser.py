@@ -1,0 +1,85 @@
+"""Unit tests for repro.sparql.parser."""
+
+import pytest
+
+from repro.sparql.parser import SPARQLSyntaxError, parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_iris_literals_words(self):
+        toks = tokenize('SELECT ?x WHERE { ?x ub:name "a b" . ?x p <http://e/x> }')
+        assert '"a b"' in toks
+        assert "<http://e/x>" in toks
+        assert "{" in toks and "}" in toks and "." in toks
+
+
+class TestParser:
+    def test_basic(self):
+        q = parse_query("SELECT ?x WHERE { ?x ub:worksFor ?y . ?y a ub:Dept }")
+        assert q.distinguished == ("?x",)
+        assert len(q.patterns) == 2
+        assert q.patterns[1].p == "rdf:type"  # 'a' normalized
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?x p ?y . ?y q ?z }")
+        assert q.distinguished == ("?x", "?y", "?z")
+
+    def test_missing_dots_tolerated(self):
+        q = parse_query("SELECT ?x WHERE { ?x p ?y ?y q ?z }")
+        assert len(q.patterns) == 2
+
+    def test_literal_with_spaces(self):
+        q = parse_query('SELECT ?u WHERE { ?u ub:name "University 3" }')
+        assert q.patterns[0].o == '"University 3"'
+
+    def test_prefix_declarations_ignored(self):
+        q = parse_query(
+            "PREFIX ub: <http://lubm/> SELECT ?x WHERE { ?x ub:p ?y }"
+        )
+        assert q.patterns[0].p == "ub:p"
+
+    def test_trailing_dot(self):
+        q = parse_query("SELECT ?x WHERE { ?x p ?y . }")
+        assert len(q.patterns) == 1
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select ?x where { ?x p ?y }")
+        assert q.distinguished == ("?x",)
+
+    def test_name_is_attached(self):
+        q = parse_query("SELECT ?x WHERE { ?x p ?y }", name="Q0")
+        assert q.name == "Q0"
+
+
+class TestParserErrors:
+    def test_must_start_with_select(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("ASK { ?x p ?y }")
+
+    def test_missing_where(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x { ?x p ?y }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x p ?y")
+
+    def test_dangling_terms(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x p ?y . ?z q }")
+
+    def test_empty_body(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { }")
+
+    def test_constant_in_select(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT foo WHERE { ?x p ?y }")
+
+    def test_nested_groups_rejected(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { { ?x p ?y } }")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x p ?y } LIMIT 5")
