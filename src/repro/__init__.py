@@ -19,6 +19,18 @@ End-to-end (partition + optimize + execute on a simulated cluster)::
 
     system = CSQ(lubm.generate())
     report = system.run(lubm_queries.query("Q9"))
+
+Serving a workload (``repro.service`` — concurrent query service with
+plan & result caching; repeated query shapes skip the optimizer)::
+
+    from repro import QueryService
+    from repro.workloads import lubm, lubm_queries
+
+    with QueryService(lubm.generate()) as service:
+        outcomes = service.submit_batch(
+            [lubm_queries.query(f"Q{i}") for i in (1, 2, 1, 2)]
+        )
+        print(service.snapshot_stats().format())
 """
 
 from repro.core.algorithm import OptimizerResult, best_effort_plan, cliquesquare
@@ -46,9 +58,12 @@ from repro.mapreduce.engine import ClusterConfig, MapReduceEngine
 from repro.partitioning.triple_partitioner import PartitionedStore, partition_graph
 from repro.physical.executor import PlanExecutor
 from repro.rdf.graph import RDFGraph
+from repro.service.service import QueryOutcome, QueryService, ServiceConfig
+from repro.service.stats import ServiceStats, StatsSnapshot
 from repro.sparql.ast import BGPQuery, TriplePattern
+from repro.sparql.canonical import CanonicalQuery, canonicalize, structure_signature
 from repro.sparql.evaluator import evaluate
-from repro.sparql.parser import parse_query
+from repro.sparql.parser import SparqlSyntaxError, parse_query
 from repro.systems.csq import CSQ, CSQConfig
 from repro.systems.h2rdf import H2RDFPlus
 from repro.systems.shape import ShapeSystem
@@ -60,6 +75,7 @@ __all__ = [
     "BGPQuery",
     "CSQ",
     "CSQConfig",
+    "CanonicalQuery",
     "CardinalityEstimator",
     "CatalogStatistics",
     "ClusterConfig",
@@ -81,11 +97,17 @@ __all__ = [
     "PlanCoster",
     "PlanExecutor",
     "Project",
+    "QueryOutcome",
+    "QueryService",
     "RDFGraph",
     "SC",
     "SC_PLUS",
     "Select",
+    "ServiceConfig",
+    "ServiceStats",
     "ShapeSystem",
+    "SparqlSyntaxError",
+    "StatsSnapshot",
     "TriplePattern",
     "VariableGraph",
     "XC",
@@ -94,6 +116,7 @@ __all__ = [
     "best_bushy_plan",
     "best_effort_plan",
     "best_linear_plan",
+    "canonicalize",
     "cliquesquare",
     "evaluate",
     "height",
@@ -101,4 +124,5 @@ __all__ = [
     "parse_query",
     "partition_graph",
     "select_best_plan",
+    "structure_signature",
 ]

@@ -21,16 +21,34 @@ from repro.partitioning.layout import PLACEMENTS, triple_file
 from repro.rdf.graph import RDFGraph, Triple
 
 
+#: Memo table for the polynomial term hash.  Loading computes the hash
+#: of every triple's subject, property and object once per replica; RDF
+#: terms repeat heavily (every property value recurs ~|G|/|P| times), so
+#: memoizing the O(len) hash is a measurable loading win.  The table is
+#: per-process, grows only with the number of *distinct* terms, and is
+#: capped so a long-lived process with churning term sets cannot leak.
+_HASH_CACHE: dict[str, int] = {}
+_HASH_CACHE_MAX = 1 << 18
+
+
+def _term_hash(value: str) -> int:
+    h = _HASH_CACHE.get(value)
+    if h is None:
+        h = 0
+        for ch in value:
+            h = (h * 131 + ord(ch)) & 0x7FFFFFFF
+        if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+            _HASH_CACHE[value] = h
+    return h
+
+
 def place(value: str, num_nodes: int) -> int:
     """Deterministic node assignment for a term value.
 
     Python's builtin ``hash`` is randomized across processes; a stable
     polynomial hash keeps layouts reproducible run to run.
     """
-    h = 0
-    for ch in value:
-        h = (h * 131 + ord(ch)) & 0x7FFFFFFF
-    return h % num_nodes
+    return _term_hash(value) % num_nodes
 
 
 @dataclass

@@ -33,6 +33,21 @@ from repro.relational.relation import Relation
 
 
 @dataclass
+class PreparedPlan:
+    """A logical plan translated and compiled, ready to execute.
+
+    Preparation is pure (no cluster state is touched), so a prepared
+    plan can be executed any number of times — and cached: the query
+    service memoizes prepared plans per query shape to skip translation
+    and job compilation on repeated queries.
+    """
+
+    plan: LogicalPlan
+    physical: PhysicalPlan
+    compiled: CompiledPlan
+
+
+@dataclass
 class ExecutionResult:
     """Answers plus the execution report of one query run."""
 
@@ -73,8 +88,17 @@ class PlanExecutor:
 
     def execute(self, plan: LogicalPlan) -> ExecutionResult:
         """Translate, compile and run *plan*; return answers + report."""
+        return self.execute_prepared(self.prepare(plan))
+
+    def prepare(self, plan: LogicalPlan) -> PreparedPlan:
+        """Translate and compile *plan* without running it."""
         physical = translate(plan, replicas=self.store.replicas)
         compiled = compile_plan(physical)
+        return PreparedPlan(plan=plan, physical=physical, compiled=compiled)
+
+    def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
+        """Run an already-prepared plan; return answers + report."""
+        compiled = prepared.compiled
         hdfs = HDFS(num_nodes=self.cluster.num_nodes)
         graph = JobGraph()
         for spec in compiled.jobs:
@@ -86,8 +110,8 @@ class PlanExecutor:
             attrs=compiled.final_attrs,
             rows=rows,
             report=report,
-            plan=plan,
-            physical=physical,
+            plan=prepared.plan,
+            physical=prepared.physical,
             compiled=compiled,
         )
 

@@ -1,0 +1,45 @@
+"""repro.service — the concurrent query service with plan & result caching.
+
+Layered over one §5.1 partitioned store, the service amortizes the
+CliqueSquare optimizer across a workload: canonical query signatures
+key a plan cache (repeated query shapes skip optimization entirely), an
+LRU result cache short-circuits repeated fully-bound queries until the
+graph changes, and batches of independent queries run concurrently with
+duplicate submissions coalesced.  See :mod:`repro.service.service`.
+"""
+
+from repro.service.cache import (
+    LRUCache,
+    PlanCache,
+    PlanEntry,
+    ResultCache,
+    ResultEntry,
+)
+from repro.service.service import (
+    QueryOutcome,
+    QueryService,
+    ServiceConfig,
+)
+from repro.service.stats import (
+    LatencySummary,
+    QueryTimings,
+    ServiceStats,
+    StatsSnapshot,
+    percentile,
+)
+
+__all__ = [
+    "LRUCache",
+    "LatencySummary",
+    "PlanCache",
+    "PlanEntry",
+    "QueryOutcome",
+    "QueryService",
+    "QueryTimings",
+    "ResultCache",
+    "ResultEntry",
+    "ServiceConfig",
+    "ServiceStats",
+    "StatsSnapshot",
+    "percentile",
+]

@@ -1,0 +1,141 @@
+"""Plan and result caches for the query service.
+
+Both caches are keyed on the *canonical signature* of a query
+(:mod:`repro.sparql.canonical`), so a cached entry serves every query
+isomorphic to the one that populated it — renamed variables, reordered
+patterns.
+
+* :class:`PlanCache` memoizes the expensive optimizer pipeline: the
+  cost-selected logical plan together with its prepared (translated +
+  compiled) form.  Plans stay *correct* across data mutations (they
+  encode only query structure; scans read live store state), so the
+  cache survives graph updates — though the cached choice may drift from
+  cost-optimal as statistics move.
+* :class:`ResultCache` memoizes answers of fully-bound queries.  Answers
+  are stale the moment the graph changes, so every entry records the
+  graph version it was computed at and is dropped on version mismatch.
+
+Both are LRU with O(1) operations and are safe for concurrent use.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.core.logical import LogicalPlan
+from repro.mapreduce.counters import ExecutionReport
+from repro.physical.executor import PreparedPlan
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A thread-safe LRU mapping.  ``maxsize=None`` means unbounded."""
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be None or >= 0")
+        self.maxsize = maxsize
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K) -> V | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def discard(self, key: K) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class PlanEntry:
+    """One memoized optimizer outcome (for the canonical query).
+
+    Only the chosen plan and its prepared form are pinned — never the
+    optimizer's full plan list (up to ``max_plans`` per shape), which
+    would grow the cache without bound for no reader.
+    """
+
+    plan: LogicalPlan
+    prepared: PreparedPlan
+    optimize_s: float
+    #: summary of the enumeration that produced the plan
+    plan_count: int = 0
+    truncated: bool = False
+
+
+class PlanCache(LRUCache[tuple, PlanEntry]):
+    """signature -> cost-selected, prepared plan."""
+
+
+@dataclass
+class ResultEntry:
+    """One memoized answer set, in canonical variable space."""
+
+    version: int
+    attrs: tuple[str, ...]
+    rows: frozenset[tuple]
+    plan: LogicalPlan
+    report: ExecutionReport
+    job_signature: str
+
+
+class ResultCache(LRUCache[tuple, ResultEntry]):
+    """signature -> answers, invalidated by graph version."""
+
+    def __init__(self, maxsize: int | None = 256) -> None:
+        super().__init__(maxsize)
+        self.stale_drops = 0
+
+    def get_current(self, key: tuple, version: int) -> ResultEntry | None:
+        """The cached entry, unless absent or computed at an older version."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.version != version:
+                del self._data[key]
+                self.stale_drops += 1
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry

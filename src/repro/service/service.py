@@ -1,0 +1,649 @@
+"""The concurrent CliqueSquare query service.
+
+A :class:`QueryService` is a long-lived serving layer over one
+partitioned store (§5.1) that amortizes optimization across a workload:
+
+* submissions are canonicalized (:mod:`repro.sparql.canonical`), so the
+  optimizer+coster pipeline runs once per *query shape* and its output
+  is memoized in a :class:`~repro.service.cache.PlanCache`;
+* answers of fully-bound queries are memoized in an LRU
+  :class:`~repro.service.cache.ResultCache`, invalidated by a graph
+  version counter whenever triples are added;
+* :meth:`QueryService.submit_batch` schedules independent queries on a
+  shared thread pool and *coalesces* duplicates: queries with the same
+  canonical signature execute once and fan their answer out (the
+  single-flight discipline also applies to concurrent :meth:`submit`
+  calls racing on one shape);
+* a readers–writer lock lets any number of queries read the store
+  concurrently while :meth:`add_triples` gets exclusive access, and
+  every submission is recorded in :class:`~repro.service.stats.ServiceStats`.
+
+The classic CSQ system (:mod:`repro.systems.csq`) is a thin session over
+this service; later scaling work (sharding, async backends, admission
+control) is meant to slot in behind the same ``submit`` interface.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.core.algorithm import OptimizerResult, cliquesquare
+from repro.core.decomposition import MSC, DecompositionOption
+from repro.core.logical import LogicalPlan
+from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
+from repro.cost.model import PlanCoster, select_best_plan
+from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.counters import ExecutionReport
+from repro.mapreduce.engine import ClusterConfig
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import ExecutionResult, PlanExecutor, PreparedPlan
+from repro.rdf.graph import RDFGraph, Triple
+from repro.service.cache import PlanCache, PlanEntry, ResultCache, ResultEntry
+from repro.service.stats import QueryTimings, ServiceStats, StatsSnapshot
+from repro.sparql.ast import BGPQuery
+from repro.sparql.canonical import (
+    CanonicalizationBudgetExceeded,
+    CanonicalQuery,
+    canonicalize,
+)
+from repro.sparql.parser import parse_query
+from repro.systems.base import SystemReport
+
+
+class _ReadWriteLock:
+    """Writer-preferring readers–writer lock.
+
+    Queries hold the read side while scanning the partitioned store;
+    :meth:`QueryService.add_triples` takes the write side, so mutation
+    never interleaves with a running scan.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._waiting_writers += 1
+            while self._readers or self._writer:
+                self._cond.wait()
+            self._waiting_writers -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Side:
+        def __init__(self, acquire, release):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+
+        def __exit__(self, *exc):
+            self._release()
+            return False
+
+    def read(self) -> "_ReadWriteLock._Side":
+        return self._Side(self.acquire_read, self.release_read)
+
+    def write(self) -> "_ReadWriteLock._Side":
+        return self._Side(self.acquire_write, self.release_write)
+
+
+@dataclass
+class ServiceConfig:
+    """Deployment knobs for the query service."""
+
+    num_nodes: int = 7
+    option: DecompositionOption = MSC
+    max_plans: int | None = 20_000
+    timeout_s: float | None = 100.0
+    params: CostParams = DEFAULT_PARAMS
+    #: LRU capacity of the plan cache (None = unbounded).
+    plan_cache_size: int | None = None
+    #: LRU capacity of the result cache (0 disables result caching).
+    result_cache_size: int | None = 256
+    #: worker threads for submit_batch
+    max_workers: int = 8
+    #: individualization budget of the canonicalizer
+    canonical_budget: int = 4096
+    #: drop cached plans when the graph (hence statistics) changes
+    invalidate_plans_on_mutation: bool = False
+
+
+@dataclass
+class _Answer:
+    """A resolved query in canonical variable space (shared by waiters)."""
+
+    attrs: tuple[str, ...]
+    rows: frozenset[tuple]
+    plan: LogicalPlan
+    report: ExecutionReport
+    job_signature: str
+    plan_hit: bool
+    result_hit: bool
+    optimize_s: float
+    execute_s: float
+    version: int
+
+
+@dataclass
+class _Flight:
+    """Single-flight slot: first submitter computes, the rest wait."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    answer: _Answer | None = None
+    error: BaseException | None = None
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the service knows about one submission."""
+
+    query: BGPQuery
+    attrs: tuple[str, ...]
+    rows: set[tuple]
+    plan: LogicalPlan
+    report: ExecutionReport
+    job_signature: str
+    plan_cache_hit: bool
+    result_cache_hit: bool
+    coalesced: bool
+    cacheable: bool
+    timings: QueryTimings
+    graph_version: int
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    @property
+    def response_time(self) -> float:
+        """Simulated cluster response time (not wall-clock)."""
+        return self.report.response_time
+
+    @property
+    def num_jobs(self) -> int:
+        return self.report.num_jobs
+
+    @property
+    def pwoc(self) -> bool:
+        return self.job_signature == "M"
+
+    def to_report(self, system: str = "QueryService") -> SystemReport:
+        return SystemReport(
+            system=system,
+            query_name=self.query.name or str(self.query),
+            answers=self.rows,
+            response_time=self.response_time,
+            num_jobs=self.num_jobs,
+            job_signature=self.job_signature,
+            pwoc=self.pwoc,
+            details={"plan": self.plan, "report": self.report, "outcome": self},
+        )
+
+
+class QueryService:
+    """A concurrent, caching SPARQL-BGP query service over one store."""
+
+    def __init__(self, graph: RDFGraph, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.graph = graph
+        self.store = partition_graph(graph, self.config.num_nodes)
+        self.catalog = CatalogStatistics.from_graph(graph)
+        self.estimator = CardinalityEstimator(self.catalog)
+        self.coster = PlanCoster(self.estimator, self.config.params)
+        self.executor = PlanExecutor(
+            self.store,
+            ClusterConfig(num_nodes=self.config.num_nodes),
+            self.config.params,
+        )
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.result_cache = ResultCache(self.config.result_cache_size)
+        self.stats = ServiceStats()
+        self._version = 0
+        self._store_lock = _ReadWriteLock()
+        self._flights: dict[tuple, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._pool_lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            return self._pool
+
+    # -- reusable planning/execution steps (uncached) ----------------------
+
+    def optimize(self, query: BGPQuery) -> tuple[LogicalPlan, OptimizerResult]:
+        """CliqueSquare plans + cost-based selection of the best one."""
+        result = cliquesquare(
+            query,
+            self.config.option,
+            max_plans=self.config.max_plans,
+            timeout_s=self.config.timeout_s,
+        )
+        if not result.plans:
+            raise ValueError(
+                f"{self.config.option} produced no plan for {query.name or query}"
+            )
+        best, _ = select_best_plan(result.unique_plans(), self.coster)
+        return best, result
+
+    def prepare(self, plan: LogicalPlan) -> PreparedPlan:
+        """Translate + compile a logical plan (pure, reusable)."""
+        return self.executor.prepare(plan)
+
+    def execute_plan(self, plan: LogicalPlan) -> ExecutionResult:
+        """Run an arbitrary logical plan under the store's read lock."""
+        return self.execute_prepared(self.executor.prepare(plan))
+
+    def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
+        with self._store_lock.read():
+            return self.executor.execute_prepared(prepared)
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def graph_version(self) -> int:
+        return self._version
+
+    def add_triples(self, triples) -> int:
+        """Add triples to the live graph; returns the number of new ones.
+
+        Bumps the graph version (lazily invalidating every cached
+        result), refreshes catalog statistics, and — if configured —
+        drops cached plans so later queries re-optimize against the new
+        statistics.
+        """
+        self._check_open()
+        with self._store_lock.write():
+            added = 0
+            try:
+                for triple in triples:
+                    s, p, o = triple
+                    if self.graph.add(s, p, o):
+                        self.store.add((s, p, o))
+                        added += 1
+            finally:
+                # Even if a later triple is rejected mid-batch, whatever
+                # was applied must invalidate cached results and refresh
+                # the statistics — otherwise stale answers keep serving.
+                if added:
+                    self._version += 1
+                    # Swap in a fresh estimator/coster pair rather than
+                    # resetting in place: an optimize() racing this
+                    # mutation keeps its consistent pre-mutation view and
+                    # writes its memoized cardinalities into the discarded
+                    # estimator, not the new one.
+                    self.catalog = CatalogStatistics.from_graph(self.graph)
+                    self.estimator = CardinalityEstimator(self.catalog)
+                    self.coster = PlanCoster(self.estimator, self.config.params)
+                    if self.config.invalidate_plans_on_mutation:
+                        self.plan_cache.clear()
+                    self.stats.record_mutation()
+        return added
+
+    # -- serving -----------------------------------------------------------
+
+    def submit(self, query: BGPQuery | str, name: str = "") -> QueryOutcome:
+        """Answer one query, through the plan and result caches."""
+        self._check_open()
+        started = time.perf_counter()
+        try:
+            parsed = parse_query(query, name) if isinstance(query, str) else query
+        except ValueError:
+            self.stats.record_error()
+            raise
+        try:
+            t0 = time.perf_counter()
+            canon = canonicalize(parsed, self.config.canonical_budget)
+            canonicalize_s = time.perf_counter() - t0
+        except CanonicalizationBudgetExceeded:
+            return self._submit_uncacheable(parsed, started)
+        answer, coalesced = self._resolve(canon)
+        outcome = self._project(parsed, canon, answer, coalesced, started)
+        outcome.timings = replace(outcome.timings, canonicalize_s=canonicalize_s)
+        self.stats.record_query(
+            outcome.timings,
+            plan_hit=outcome.plan_cache_hit,
+            result_hit=outcome.result_cache_hit,
+            coalesced=coalesced,
+        )
+        return outcome
+
+    def submit_batch(
+        self, queries, *, dedup: bool = True, return_exceptions: bool = False
+    ) -> list[QueryOutcome | BaseException]:
+        """Answer many independent queries, concurrently.
+
+        With ``dedup`` (the default), queries sharing a canonical
+        signature are *coalesced*: each distinct shape optimizes and
+        executes once and every duplicate reuses the answer — on a
+        repeated workload mix a batch therefore does strictly less work
+        than submitting its members one by one.
+
+        Queries are independent, so with ``return_exceptions`` a failing
+        member (parse error, planning error) yields its exception object
+        in the result list instead of aborting the rest of the batch; by
+        default the first failure propagates.
+
+        Batch timings measure submission-to-availability: each member's
+        ``total_s`` starts when the batch is submitted.
+        """
+        batch_started = time.perf_counter()
+        items: list[BGPQuery | BaseException] = []
+        for q in queries:
+            try:
+                items.append(parse_query(q) if isinstance(q, str) else q)
+            except ValueError as exc:
+                if not return_exceptions:
+                    raise
+                self.stats.record_error()
+                items.append(exc)
+        if not items:
+            return []
+        if len(items) == 1:
+            only = items[0]
+            if isinstance(only, BaseException):
+                return [only]
+            try:
+                return [self.submit(only)]
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                return [exc]
+        pool = self._ensure_pool()
+        if not dedup:
+            futures = [
+                None if isinstance(it, BaseException) else pool.submit(self.submit, it)
+                for it in items
+            ]
+            outcomes: list[QueryOutcome | BaseException] = []
+            for item, future in zip(items, futures):
+                if future is None:
+                    outcomes.append(item)
+                    continue
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    if not return_exceptions:
+                        raise
+                    outcomes.append(exc)
+            return outcomes
+        #: per member: ("err", exc) | ("unc", future) | ("ok", query, canon, canon_s)
+        entries: list[tuple] = []
+        flights: dict[tuple, object] = {}
+        for item in items:
+            if isinstance(item, BaseException):
+                entries.append(("err", item))
+                continue
+            t0 = time.perf_counter()
+            try:
+                canon = canonicalize(item, self.config.canonical_budget)
+            except CanonicalizationBudgetExceeded:
+                entries.append(
+                    ("unc", pool.submit(self._submit_uncacheable, item, batch_started))
+                )
+                continue
+            entries.append(("ok", item, canon, time.perf_counter() - t0))
+            if canon.signature not in flights:
+                flights[canon.signature] = pool.submit(self._resolve, canon)
+        outcomes = []
+        leaders: set[tuple] = set()
+        for entry in entries:
+            if entry[0] == "err":
+                outcomes.append(entry[1])
+                continue
+            if entry[0] == "unc":
+                try:
+                    outcomes.append(entry[1].result())
+                except Exception as exc:
+                    # _submit_uncacheable already recorded the error.
+                    if not return_exceptions:
+                        raise
+                    outcomes.append(exc)
+                continue
+            _, query, canon, canonicalize_s = entry
+            try:
+                answer, coalesced = flights[canon.signature].result()
+            except Exception as exc:
+                # The flight leader already recorded the error.
+                if not return_exceptions:
+                    raise
+                outcomes.append(exc)
+                continue
+            coalesced = coalesced or canon.signature in leaders
+            leaders.add(canon.signature)
+            outcome = self._project(query, canon, answer, coalesced, batch_started)
+            outcome.timings = replace(
+                outcome.timings, canonicalize_s=canonicalize_s
+            )
+            self.stats.record_query(
+                outcome.timings,
+                plan_hit=outcome.plan_cache_hit,
+                result_hit=outcome.result_cache_hit,
+                coalesced=coalesced,
+            )
+            outcomes.append(outcome)
+        return outcomes
+
+    def snapshot_stats(self) -> StatsSnapshot:
+        return self.stats.snapshot(self._version)
+
+    # -- internals ---------------------------------------------------------
+
+    def _resolve(self, canon: CanonicalQuery) -> tuple[_Answer, bool]:
+        """Answer a canonical query, via caches and single-flight."""
+        entry = self.result_cache.get_current(canon.signature, self._version)
+        if entry is not None:
+            return (
+                _Answer(
+                    attrs=entry.attrs,
+                    rows=entry.rows,
+                    plan=entry.plan,
+                    report=entry.report,
+                    job_signature=entry.job_signature,
+                    plan_hit=True,
+                    result_hit=True,
+                    optimize_s=0.0,
+                    execute_s=0.0,
+                    version=entry.version,
+                ),
+                False,
+            )
+        with self._flights_lock:
+            flight = self._flights.get(canon.signature)
+            leader = flight is None
+            if leader:
+                flight = self._flights[canon.signature] = _Flight()
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.answer is not None
+            if flight.answer.version != self._version:
+                # The flight predates a mutation that committed after we
+                # joined; its rows are stale for us. Recompute at the
+                # current version instead of serving them.
+                return self._resolve(canon)
+            return flight.answer, True
+        try:
+            answer = self._compute(canon)
+            flight.answer = answer
+            return answer, False
+        except BaseException as exc:
+            flight.error = exc
+            self.stats.record_error()
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(canon.signature, None)
+            flight.done.set()
+
+    def _compute(self, canon: CanonicalQuery) -> _Answer:
+        entry = self.plan_cache.get(canon.signature)
+        plan_hit = entry is not None
+        if entry is None:
+            t0 = time.perf_counter()
+            plan, optimizer = self.optimize(canon.query)
+            prepared = self.executor.prepare(plan)
+            optimize_s = time.perf_counter() - t0
+            entry = PlanEntry(
+                plan=plan,
+                prepared=prepared,
+                optimize_s=optimize_s,
+                plan_count=optimizer.plan_count,
+                truncated=optimizer.truncated,
+            )
+            self.plan_cache.put(canon.signature, entry)
+        else:
+            optimize_s = 0.0
+        t0 = time.perf_counter()
+        with self._store_lock.read():
+            version = self._version
+            result = self.executor.execute_prepared(entry.prepared)
+        execute_s = time.perf_counter() - t0
+        answer = _Answer(
+            attrs=result.attrs,
+            rows=frozenset(result.rows),
+            plan=entry.plan,
+            report=result.report,
+            job_signature=result.job_signature(),
+            plan_hit=plan_hit,
+            result_hit=False,
+            optimize_s=optimize_s,
+            execute_s=execute_s,
+            version=version,
+        )
+        self.result_cache.put(
+            canon.signature,
+            ResultEntry(
+                version=version,
+                attrs=answer.attrs,
+                rows=answer.rows,
+                plan=answer.plan,
+                report=answer.report,
+                job_signature=answer.job_signature,
+            ),
+        )
+        return answer
+
+    def _project(
+        self,
+        query: BGPQuery,
+        canon: CanonicalQuery,
+        answer: _Answer,
+        coalesced: bool,
+        started: float,
+    ) -> QueryOutcome:
+        """Map a canonical-space answer back onto *query*'s variables."""
+        wanted = [canon.mapping[v] for v in query.distinguished]
+        index = [answer.attrs.index(c) for c in wanted]
+        if index == list(range(len(answer.attrs))):
+            rows = set(answer.rows)
+        else:
+            rows = {tuple(row[i] for i in index) for row in answer.rows}
+        total_s = time.perf_counter() - started
+        return QueryOutcome(
+            query=query,
+            attrs=tuple(query.distinguished),
+            rows=rows,
+            plan=answer.plan,
+            report=answer.report,
+            job_signature=answer.job_signature,
+            plan_cache_hit=answer.plan_hit,
+            result_cache_hit=answer.result_hit,
+            coalesced=coalesced,
+            cacheable=True,
+            timings=QueryTimings(
+                optimize_s=answer.optimize_s,
+                execute_s=answer.execute_s,
+                total_s=total_s,
+            ),
+            graph_version=answer.version,
+        )
+
+    def _submit_uncacheable(
+        self, query: BGPQuery, started: float
+    ) -> QueryOutcome:
+        """Serve a query the canonicalizer gave up on, bypassing caches."""
+        t0 = time.perf_counter()
+        try:
+            plan, _ = self.optimize(query)
+            prepared = self.executor.prepare(plan)
+        except Exception:
+            self.stats.record_error()
+            raise
+        optimize_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with self._store_lock.read():
+            version = self._version
+            result = self.executor.execute_prepared(prepared)
+        execute_s = time.perf_counter() - t0
+        timings = QueryTimings(
+            optimize_s=optimize_s,
+            execute_s=execute_s,
+            total_s=time.perf_counter() - started,
+        )
+        self.stats.record_query(timings, plan_hit=False, result_hit=False)
+        return QueryOutcome(
+            query=query,
+            attrs=result.attrs,
+            rows=set(result.rows),
+            plan=plan,
+            report=result.report,
+            job_signature=result.job_signature(),
+            plan_cache_hit=False,
+            result_cache_hit=False,
+            coalesced=False,
+            cacheable=False,
+            timings=timings,
+            graph_version=version,
+        )

@@ -1,0 +1,203 @@
+"""Service telemetry: per-query timings and aggregate statistics.
+
+The service records one :class:`QueryTimings` per submission and folds
+it into a :class:`ServiceStats` accumulator; :meth:`ServiceStats.snapshot`
+produces an immutable summary (hit rates, latency percentiles,
+throughput) suitable for logging or assertion in benchmarks.
+
+Latency reservoirs are bounded (the most recent ``window`` samples per
+series) so a long-lived service does not grow without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile (``p`` in [0, 100]); 0.0 on no samples."""
+    if not samples:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one latency series, in seconds."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    total: float
+
+    @classmethod
+    def of(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, p50=0.0, p95=0.0, p99=0.0, mean=0.0, total=0.0)
+        total = sum(samples)
+        return cls(
+            count=len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            mean=total / len(samples),
+            total=total,
+        )
+
+
+@dataclass(frozen=True)
+class QueryTimings:
+    """Wall-clock breakdown of one submission, in seconds."""
+
+    canonicalize_s: float = 0.0
+    optimize_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable aggregate view of a service's lifetime."""
+
+    submitted: int
+    errors: int
+    plan_hits: int
+    plan_misses: int
+    result_hits: int
+    result_misses: int
+    coalesced: int
+    mutations: int
+    graph_version: int
+    uptime_s: float
+    optimize: LatencySummary
+    execute: LatencySummary
+    total: LatencySummary
+
+    @property
+    def plan_hit_rate(self) -> float:
+        seen = self.plan_hits + self.plan_misses
+        return self.plan_hits / seen if seen else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        seen = self.result_hits + self.result_misses
+        return self.result_hits / seen if seen else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.submitted / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    def format(self) -> str:
+        """A compact human-readable rendering."""
+        lines = [
+            f"queries: {self.submitted} ({self.errors} errors, "
+            f"{self.coalesced} coalesced), mutations: {self.mutations} "
+            f"(graph v{self.graph_version})",
+            f"plan cache:   {self.plan_hits}/{self.plan_hits + self.plan_misses} hits "
+            f"({100 * self.plan_hit_rate:.1f}%)",
+            f"result cache: {self.result_hits}/{self.result_hits + self.result_misses} hits "
+            f"({100 * self.result_hit_rate:.1f}%)",
+            f"throughput:   {self.throughput_qps:.1f} q/s over {self.uptime_s:.2f}s",
+        ]
+        for label, summary in (
+            ("optimize", self.optimize),
+            ("execute", self.execute),
+            ("total", self.total),
+        ):
+            lines.append(
+                f"{label:>8} latency: p50={1e3 * summary.p50:.2f}ms "
+                f"p95={1e3 * summary.p95:.2f}ms p99={1e3 * summary.p99:.2f}ms "
+                f"(n={summary.count})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceStats:
+    """Mutable accumulator behind the service front end."""
+
+    window: int = 4096
+    submitted: int = 0
+    errors: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    coalesced: int = 0
+    mutations: int = 0
+    _optimize: deque = field(default_factory=deque, repr=False)
+    _execute: deque = field(default_factory=deque, repr=False)
+    _total: deque = field(default_factory=deque, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _started: float = field(default_factory=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("_optimize", "_execute", "_total"):
+            setattr(self, name, deque(getattr(self, name), maxlen=self.window))
+
+    def record_query(
+        self,
+        timings: QueryTimings,
+        *,
+        plan_hit: bool,
+        result_hit: bool,
+        coalesced: bool = False,
+    ) -> None:
+        with self._lock:
+            self.submitted += 1
+            if coalesced:
+                self.coalesced += 1
+            if result_hit:
+                self.result_hits += 1
+                # A result hit never consults the plan cache.
+            else:
+                self.result_misses += 1
+                if coalesced:
+                    # The submission rode a flight another query started:
+                    # it paid for neither optimization nor execution, so
+                    # count it as amortized (a hit) and record no samples.
+                    self.plan_hits += 1
+                elif plan_hit:
+                    self.plan_hits += 1
+                    self._execute.append(timings.execute_s)
+                else:
+                    self.plan_misses += 1
+                    self._optimize.append(timings.optimize_s)
+                    self._execute.append(timings.execute_s)
+            self._total.append(timings.total_s)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_mutation(self) -> None:
+        with self._lock:
+            self.mutations += 1
+
+    def snapshot(self, graph_version: int = 0) -> StatsSnapshot:
+        with self._lock:
+            return StatsSnapshot(
+                submitted=self.submitted,
+                errors=self.errors,
+                plan_hits=self.plan_hits,
+                plan_misses=self.plan_misses,
+                result_hits=self.result_hits,
+                result_misses=self.result_misses,
+                coalesced=self.coalesced,
+                mutations=self.mutations,
+                graph_version=graph_version,
+                uptime_s=time.monotonic() - self._started,
+                optimize=LatencySummary.of(list(self._optimize)),
+                execute=LatencySummary.of(list(self._execute)),
+                total=LatencySummary.of(list(self._total)),
+            )

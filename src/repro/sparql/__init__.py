@@ -1,1 +1,28 @@
-"""repro.sparql subpackage."""
+"""repro.sparql subpackage: BGP AST, parser, canonical forms, evaluator."""
+
+from repro.sparql.ast import BGPQuery, TriplePattern
+from repro.sparql.canonical import (
+    CanonicalizationBudgetExceeded,
+    CanonicalQuery,
+    canonicalize,
+    structure_signature,
+)
+from repro.sparql.parser import (
+    SPARQLSyntaxError,
+    SparqlSyntaxError,
+    parse_query,
+    tokenize,
+)
+
+__all__ = [
+    "BGPQuery",
+    "CanonicalQuery",
+    "CanonicalizationBudgetExceeded",
+    "SPARQLSyntaxError",
+    "SparqlSyntaxError",
+    "TriplePattern",
+    "canonicalize",
+    "parse_query",
+    "structure_signature",
+    "tokenize",
+]

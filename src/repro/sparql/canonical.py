@@ -1,0 +1,212 @@
+"""Canonical forms for BGP queries (structure signatures).
+
+The query service (``repro.service``) memoizes optimizer output per
+*query shape*: two queries that differ only by variable renaming and/or
+triple-pattern reordering share one cached plan.  This module computes a
+canonical form — an exact invariant, not a lossy hash — so that
+
+    signature(q1) == signature(q2)   iff   q1 ≅ q2
+
+where ≅ is isomorphism of basic graph patterns: a bijection of variables
+that maps the pattern multiset of one query onto the other's and the
+distinguished-variable set onto the other's.  Constants are part of the
+shape (two queries probing different IRIs cost differently and compile
+to different scans, so they must not share a plan-cache entry).
+
+The algorithm is the classical individualization–refinement scheme used
+for graph canonization, specialized to the small hypergraphs that BGP
+queries are (a variable is a vertex; each triple pattern connects the
+variables it mentions):
+
+1. colour every variable by local invariants (distinguished?, the
+   multiset of (pattern skeleton, positions) it occurs in);
+2. refine colours with neighbouring colours until the partition is
+   stable (1-WL / colour refinement);
+3. if some colour class still holds several variables, individualize
+   each candidate in turn, re-refine, and keep the lexicographically
+   least canonical form among the branches.
+
+BGP queries have at most a few dozen variables and almost always enough
+constants to make refinement discrete, so the search is tiny; a budget
+caps pathological symmetric inputs, and callers fall back to treating
+such a query as uncacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.terms import is_variable
+from repro.sparql.ast import BGPQuery, TriplePattern
+
+
+class CanonicalizationBudgetExceeded(RuntimeError):
+    """The individualization search exceeded its node budget.
+
+    Raised only for highly symmetric queries (large constant-free
+    cliques/cycles); the service treats those as uncacheable rather
+    than spending unbounded time canonizing them.
+    """
+
+
+@dataclass
+class CanonicalQuery:
+    """A query together with its canonical form.
+
+    ``query`` is the renamed, pattern-sorted canonical variant (safe to
+    optimize in place of the original — its answers are the original's
+    modulo the variable ``mapping``), ``signature`` is a hashable value
+    equal across isomorphic queries, and ``mapping`` sends each original
+    variable to its canonical name.
+    """
+
+    query: BGPQuery
+    signature: tuple
+    mapping: dict[str, str]
+
+
+def _skeleton(tp: TriplePattern) -> tuple:
+    """The pattern with variables replaced by local occurrence indexes.
+
+    Captures constants and intra-pattern variable equalities (``?x p ?x``
+    vs ``?x p ?y``) while forgetting variable names.
+    """
+    local: dict[str, int] = {}
+    out = []
+    for term in (tp.s, tp.p, tp.o):
+        if is_variable(term):
+            out.append(("v", str(local.setdefault(term, len(local)))))
+        else:
+            out.append(("c", term))
+    return tuple(out)
+
+
+def _rank(keys: dict[str, tuple]) -> dict[str, int]:
+    """Convert comparable colour keys into dense integer ranks."""
+    order = {key: i for i, key in enumerate(sorted(set(keys.values())))}
+    return {v: order[key] for v, key in keys.items()}
+
+
+class _Canonizer:
+    def __init__(self, query: BGPQuery, budget: int) -> None:
+        self.query = query
+        self.budget = budget
+        self.distinguished = frozenset(query.distinguished)
+        self.variables = query.variables()
+        #: per pattern: (skeleton, {var: positions})
+        self.pattern_info = [
+            (_skeleton(tp), {v: tp.positions_of(v) for v in tp.variables()})
+            for tp in query.patterns
+        ]
+        #: patterns (indexes) touching each variable
+        self.touching: dict[str, list[int]] = {v: [] for v in self.variables}
+        for i, (_, occ) in enumerate(self.pattern_info):
+            for v in occ:
+                self.touching[v].append(i)
+        self.best: tuple | None = None
+        self.best_order: tuple[str, ...] | None = None
+
+    # -- colour refinement -------------------------------------------------
+
+    def initial_ranks(self) -> dict[str, int]:
+        keys = {
+            v: (
+                v in self.distinguished,
+                tuple(
+                    sorted(
+                        (self.pattern_info[i][0], self.pattern_info[i][1][v])
+                        for i in self.touching[v]
+                    )
+                ),
+            )
+            for v in self.variables
+        }
+        return _rank(keys)
+
+    def refine(self, ranks: dict[str, int]) -> dict[str, int]:
+        while True:
+            keys = {}
+            for v in self.variables:
+                signature = []
+                for i in self.touching[v]:
+                    skel, occ = self.pattern_info[i]
+                    others = tuple(
+                        sorted((ranks[u], occ[u]) for u in occ if u != v)
+                    )
+                    signature.append((skel, occ[v], others))
+                keys[v] = (ranks[v], tuple(sorted(signature)))
+            new_ranks = _rank(keys)
+            if new_ranks == ranks:
+                return ranks
+            ranks = new_ranks
+
+    # -- individualization search -----------------------------------------
+
+    def search(self, ranks: dict[str, int]) -> None:
+        self.budget -= 1
+        if self.budget < 0:
+            raise CanonicalizationBudgetExceeded(
+                f"canonicalization budget exhausted for {self.query}"
+            )
+        tied: list[str] | None = None
+        by_rank: dict[int, list[str]] = {}
+        for v, r in ranks.items():
+            by_rank.setdefault(r, []).append(v)
+        for r in sorted(by_rank):
+            if len(by_rank[r]) > 1:
+                tied = sorted(by_rank[r])
+                break
+        if tied is None:
+            self._consider(ranks)
+            return
+        for v in tied:
+            keys = {
+                u: (ranks[u], 0 if u == v else 1) for u in self.variables
+            }
+            self.search(self.refine(_rank(keys)))
+
+    def _consider(self, ranks: dict[str, int]) -> None:
+        order = tuple(sorted(self.variables, key=lambda v: ranks[v]))
+        form = self._form(order)
+        if self.best is None or form < self.best:
+            self.best = form
+            self.best_order = order
+
+    def _form(self, order: tuple[str, ...]) -> tuple:
+        rename = {v: f"?c{i:03d}" for i, v in enumerate(order)}
+
+        def term(t: str) -> str:
+            return rename.get(t, t)
+
+        patterns = tuple(
+            sorted((term(tp.s), term(tp.p), term(tp.o)) for tp in self.query.patterns)
+        )
+        head = tuple(sorted(rename[v] for v in self.distinguished))
+        return (patterns, head)
+
+
+def canonicalize(query: BGPQuery, budget: int = 4096) -> CanonicalQuery:
+    """Compute the canonical form of *query*.
+
+    Raises :class:`CanonicalizationBudgetExceeded` when the symmetry
+    search would exceed *budget* refinement nodes.
+    """
+    canon = _Canonizer(query, budget)
+    if canon.variables:
+        canon.search(canon.refine(canon.initial_ranks()))
+    else:
+        canon._consider({})
+    assert canon.best is not None and canon.best_order is not None
+    patterns, head = canon.best
+    rename = {v: f"?c{i:03d}" for i, v in enumerate(canon.best_order)}
+    canonical = BGPQuery(
+        distinguished=head,
+        patterns=tuple(TriplePattern(*t) for t in patterns),
+        name=query.name,
+    )
+    return CanonicalQuery(query=canonical, signature=canon.best, mapping=rename)
+
+
+def structure_signature(query: BGPQuery, budget: int = 4096) -> tuple:
+    """The renaming/reordering-invariant signature of *query*."""
+    return canonicalize(query, budget).signature

@@ -10,17 +10,47 @@ Supported grammar (whitespace-insensitive, case-insensitive keywords)::
 Terms are IRIs (``<...>`` or prefixed names), literals (``"..."``),
 variables (``?name``), or the ``a`` shorthand for ``rdf:type``.  PREFIX
 declarations are accepted and ignored (prefixed names stay opaque).
+
+Syntax errors raise :class:`SparqlSyntaxError`, which carries the
+offending token and its (line, column) position in the query text so
+that service clients get actionable diagnostics instead of a bare
+``ValueError``.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 
 from repro.sparql.ast import BGPQuery, TriplePattern
 
 
-class SPARQLSyntaxError(ValueError):
-    """Raised when a query string cannot be parsed."""
+class SparqlSyntaxError(ValueError):
+    """Raised when a query string cannot be parsed.
+
+    ``token`` is the offending token text (``None`` when the input ended
+    prematurely) and ``position`` its 1-based ``(line, column)`` in the
+    query string.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        token: str | None = None,
+        position: tuple[int, int] | None = None,
+    ) -> None:
+        self.token = token
+        self.position = position
+        if position is not None:
+            where = f" at line {position[0]}, column {position[1]}"
+            shown = f": {token!r}" if token is not None else ""
+            message = f"{message}{where}{shown}"
+        super().__init__(message)
+
+
+#: Historical spelling, kept as an alias for existing callers.
+SPARQLSyntaxError = SparqlSyntaxError
 
 
 _TOKEN = re.compile(
@@ -34,20 +64,52 @@ _TOKEN = re.compile(
 )
 
 
-def tokenize(text: str) -> list[str]:
-    """Split a query string into tokens (IRIs, literals, punctuation, words)."""
-    tokens: list[str] = []
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its position in the source text."""
+
+    text: str
+    line: int
+    column: int
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.line, self.column)
+
+
+def lex(text: str) -> list[Token]:
+    """Split a query string into position-annotated tokens."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
     for match in _TOKEN.finditer(text):
-        tokens.append(match.group(0))
+        for nl in re.finditer(r"\n", text[pos : match.start()]):
+            line += 1
+            line_start = pos + nl.end()
+        pos = match.start()
+        tokens.append(
+            Token(text=match.group(0), line=line, column=match.start() - line_start + 1)
+        )
     return tokens
 
 
-def _strip_prefix_decls(tokens: list[str]) -> list[str]:
+def tokenize(text: str) -> list[str]:
+    """Split a query string into tokens (IRIs, literals, punctuation, words)."""
+    return [token.text for token in lex(text)]
+
+
+def _end_position(text: str) -> tuple[int, int]:
+    lines = text.split("\n")
+    return (len(lines), len(lines[-1]) + 1)
+
+
+def _strip_prefix_decls(tokens: list[Token]) -> list[Token]:
     """Drop ``PREFIX name: <iri>`` declarations from the token stream."""
-    out: list[str] = []
+    out: list[Token] = []
     i = 0
     while i < len(tokens):
-        if tokens[i].upper() == "PREFIX" and i + 2 < len(tokens):
+        if tokens[i].text.upper() == "PREFIX" and i + 2 < len(tokens):
             i += 3
         else:
             out.append(tokens[i])
@@ -57,48 +119,72 @@ def _strip_prefix_decls(tokens: list[str]) -> list[str]:
 
 def parse_query(text: str, name: str = "") -> BGPQuery:
     """Parse a SELECT BGP query into a :class:`BGPQuery`."""
-    tokens = _strip_prefix_decls(tokenize(text))
-    if not tokens or tokens[0].upper() != "SELECT":
-        raise SPARQLSyntaxError("query must start with SELECT")
+    tokens = _strip_prefix_decls(lex(text))
+    end = _end_position(text)
+    if not tokens:
+        raise SparqlSyntaxError("empty query", position=end)
+    if tokens[0].text.upper() != "SELECT":
+        raise SparqlSyntaxError(
+            "query must start with SELECT",
+            token=tokens[0].text,
+            position=tokens[0].position,
+        )
     i = 1
-    head: list[str] = []
+    head: list[Token] = []
     star = False
-    while i < len(tokens) and tokens[i].upper() != "WHERE":
+    while i < len(tokens) and tokens[i].text.upper() != "WHERE":
         tok = tokens[i]
-        if tok == "*":
+        if tok.text == "*":
             star = True
-        elif tok.startswith("?"):
-            if tok not in head:
+        elif tok.text.startswith("?"):
+            if tok.text not in [t.text for t in head]:
                 head.append(tok)
         else:
-            raise SPARQLSyntaxError(f"unexpected token in SELECT clause: {tok!r}")
+            raise SparqlSyntaxError(
+                "unexpected token in SELECT clause",
+                token=tok.text,
+                position=tok.position,
+            )
         i += 1
     if i >= len(tokens):
-        raise SPARQLSyntaxError("missing WHERE clause")
+        raise SparqlSyntaxError("missing WHERE clause", position=end)
     i += 1  # skip WHERE
-    if i >= len(tokens) or tokens[i] != "{":
-        raise SPARQLSyntaxError("expected '{' after WHERE")
+    if i >= len(tokens) or tokens[i].text != "{":
+        bad = tokens[i] if i < len(tokens) else None
+        raise SparqlSyntaxError(
+            "expected '{' after WHERE",
+            token=bad.text if bad else None,
+            position=bad.position if bad else end,
+        )
     i += 1
-    body: list[str] = []
+    body: list[Token] = []
     depth = 1
     while i < len(tokens):
-        if tokens[i] == "{":
-            raise SPARQLSyntaxError("nested groups are not part of the BGP dialect")
-        if tokens[i] == "}":
+        if tokens[i].text == "{":
+            raise SparqlSyntaxError(
+                "nested groups are not part of the BGP dialect",
+                token=tokens[i].text,
+                position=tokens[i].position,
+            )
+        if tokens[i].text == "}":
             depth -= 1
             i += 1
             break
         body.append(tokens[i])
         i += 1
     if depth != 0:
-        raise SPARQLSyntaxError("unbalanced braces in WHERE clause")
+        raise SparqlSyntaxError("unbalanced braces in WHERE clause", position=end)
     if i < len(tokens):
-        raise SPARQLSyntaxError(f"trailing tokens after '}}': {tokens[i:]}")
+        raise SparqlSyntaxError(
+            f"trailing tokens after '}}': {[t.text for t in tokens[i:]]}",
+            token=tokens[i].text,
+            position=tokens[i].position,
+        )
 
     patterns: list[TriplePattern] = []
-    group: list[str] = []
+    group: list[Token] = []
     for tok in body:
-        if tok == ".":
+        if tok.text == ".":
             if group:
                 patterns.append(_make_pattern(group))
                 group = []
@@ -111,22 +197,54 @@ def parse_query(text: str, name: str = "") -> BGPQuery:
                 patterns.append(_make_pattern(group))
                 group = []
     if group:
-        raise SPARQLSyntaxError(f"dangling terms in WHERE clause: {group}")
+        raise SparqlSyntaxError(
+            f"dangling terms in WHERE clause: {[t.text for t in group]}",
+            token=group[0].text,
+            position=group[0].position,
+        )
     if not patterns:
-        raise SPARQLSyntaxError("empty WHERE clause")
+        raise SparqlSyntaxError("empty WHERE clause", position=end)
 
     query_vars: list[str] = []
     for tp in patterns:
         for v in tp.variables():
             if v not in query_vars:
                 query_vars.append(v)
-    distinguished = tuple(query_vars) if star else tuple(head)
+    if not star:
+        for tok in head:
+            if tok.text not in query_vars:
+                raise SparqlSyntaxError(
+                    "distinguished variable not in query body",
+                    token=tok.text,
+                    position=tok.position,
+                )
+    distinguished = (
+        tuple(query_vars) if star else tuple(t.text for t in head)
+    )
     if not distinguished:
         distinguished = tuple(query_vars)
-    return BGPQuery(distinguished=distinguished, patterns=tuple(patterns), name=name)
+    try:
+        return BGPQuery(
+            distinguished=distinguished, patterns=tuple(patterns), name=name
+        )
+    except ValueError as exc:
+        # Any remaining AST-level validation failure still surfaces as a
+        # syntax error, so clients can rely on one exception type.
+        raise SparqlSyntaxError(str(exc), position=end) from exc
 
 
-def _make_pattern(terms: list[str]) -> TriplePattern:
-    if len(terms) != 3:
-        raise SPARQLSyntaxError(f"triple pattern needs exactly 3 terms: {terms}")
-    return TriplePattern(terms[0], terms[1], terms[2])
+def _make_pattern(tokens: list[Token]) -> TriplePattern:
+    if len(tokens) != 3:
+        raise SparqlSyntaxError(
+            f"triple pattern needs exactly 3 terms: {[t.text for t in tokens]}",
+            token=tokens[0].text if tokens else None,
+            position=tokens[0].position if tokens else None,
+        )
+    try:
+        return TriplePattern(tokens[0].text, tokens[1].text, tokens[2].text)
+    except ValueError as exc:
+        # TriplePattern rejects e.g. literals in subject/property position;
+        # surface those as syntax errors with the pattern's location.
+        raise SparqlSyntaxError(
+            str(exc), token=tokens[0].text, position=tokens[0].position
+        ) from exc

@@ -1,24 +1,26 @@
 """CSQ — the complete CliqueSquare system (§6's prototype).
 
-Wires together the §5.1 partitioner, the CliqueSquare-MSC optimizer with
-the §5.4 cost model for plan selection, the §5.2/§5.3 physical
-translation and the simulated MapReduce executor.
+Since the serving layer landed, ``CSQ`` is a thin *session* over a
+:class:`repro.service.QueryService`: the service owns the §5.1
+partitioner, the CliqueSquare-MSC optimizer with the §5.4 cost model,
+the §5.2/§5.3 physical translation, the simulated MapReduce executor,
+and the plan/result caches.  The session keeps the historical one-shot
+API (``optimize`` / ``execute_plan`` / ``run``) used by the paper's
+figure benchmarks, while ``run`` is served through the caching path —
+repeated (or isomorphic) queries skip the optimizer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.algorithm import OptimizerResult, cliquesquare
+from repro.core.algorithm import OptimizerResult
 from repro.core.decomposition import MSC, DecompositionOption
 from repro.core.logical import LogicalPlan
-from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
-from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
-from repro.mapreduce.engine import ClusterConfig
-from repro.partitioning.triple_partitioner import partition_graph
-from repro.physical.executor import ExecutionResult, PlanExecutor
+from repro.physical.executor import ExecutionResult
 from repro.rdf.graph import RDFGraph
+from repro.service.service import QueryService, ServiceConfig
 from repro.sparql.ast import BGPQuery
 from repro.systems.base import SystemReport
 
@@ -33,58 +35,71 @@ class CSQConfig:
     timeout_s: float | None = 100.0
     params: CostParams = DEFAULT_PARAMS
 
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            num_nodes=self.num_nodes,
+            option=self.option,
+            max_plans=self.max_plans,
+            timeout_s=self.timeout_s,
+            params=self.params,
+        )
+
 
 class CSQ:
     """End-to-end CliqueSquare system over a simulated cluster."""
 
     name = "CSQ"
 
-    def __init__(self, graph: RDFGraph, config: CSQConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph: RDFGraph,
+        config: CSQConfig | None = None,
+        service: QueryService | None = None,
+    ) -> None:
         self.config = config or CSQConfig()
-        self.graph = graph
-        self.store = partition_graph(graph, self.config.num_nodes)
-        self.stats = CatalogStatistics.from_graph(graph)
-        self.estimator = CardinalityEstimator(self.stats)
-        self.coster = PlanCoster(self.estimator, self.config.params)
-        self.executor = PlanExecutor(
-            self.store,
-            ClusterConfig(num_nodes=self.config.num_nodes),
-            self.config.params,
-        )
+        if service is None:
+            service = QueryService(graph, self.config.service_config())
+        self.service = service
+
+    # Historical attribute surface, now owned by the service.  These are
+    # properties (not bindings taken at construction) because mutation
+    # via ``service.add_triples`` swaps the catalog/estimator/coster.
+
+    @property
+    def graph(self) -> RDFGraph:
+        return self.service.graph
+
+    @property
+    def store(self):
+        return self.service.store
+
+    @property
+    def stats(self):
+        return self.service.catalog
+
+    @property
+    def estimator(self):
+        return self.service.estimator
+
+    @property
+    def coster(self):
+        return self.service.coster
+
+    @property
+    def executor(self):
+        return self.service.executor
 
     # -- planning ---------------------------------------------------------
 
     def optimize(self, query: BGPQuery) -> tuple[LogicalPlan, OptimizerResult]:
         """CliqueSquare plans + cost-based selection of the best one."""
-        result = cliquesquare(
-            query,
-            self.config.option,
-            max_plans=self.config.max_plans,
-            timeout_s=self.config.timeout_s,
-        )
-        if not result.plans:
-            raise ValueError(
-                f"{self.config.option} produced no plan for {query.name or query}"
-            )
-        best, _ = select_best_plan(result.unique_plans(), self.coster)
-        return best, result
+        return self.service.optimize(query)
 
     # -- execution ---------------------------------------------------------
 
     def execute_plan(self, plan: LogicalPlan) -> ExecutionResult:
         """Run an arbitrary logical plan (used by the Fig. 20 baselines)."""
-        return self.executor.execute(plan)
+        return self.service.execute_plan(plan)
 
     def run(self, query: BGPQuery) -> SystemReport:
-        plan, _ = self.optimize(query)
-        result = self.executor.execute(plan)
-        return SystemReport(
-            system=self.name,
-            query_name=query.name or str(query),
-            answers=result.rows,
-            response_time=result.response_time,
-            num_jobs=result.num_jobs,
-            job_signature=result.job_signature(),
-            pwoc=result.job_signature() == "M",
-            details={"plan": plan, "report": result.report},
-        )
+        return self.service.submit(query).to_report(self.name)

@@ -142,3 +142,28 @@ class TestFirstLevelJoinColocation:
             for t in university_graph.match(o, "ub:subOrganizationOf", "?u"):
                 assert t in store.scan(node, "s", "ub:subOrganizationOf")
                 assert (s, p, o) in store.scan(node, "o", "ub:worksFor")
+
+
+class TestPlaceMemoization:
+    """place() memoizes the polynomial term hash (loading hot path)."""
+
+    def test_cached_hash_matches_direct_computation(self):
+        from repro.partitioning.triple_partitioner import _HASH_CACHE, _term_hash
+
+        def reference(value: str) -> int:
+            h = 0
+            for ch in value:
+                h = (h * 131 + ord(ch)) & 0x7FFFFFFF
+            return h
+
+        for value in ("", "a", "ub:worksFor", "<http://www.University0.edu>"):
+            assert _term_hash(value) == reference(value)
+            assert value in _HASH_CACHE
+            # The memoized path returns the identical hash.
+            assert _term_hash(value) == reference(value)
+
+    def test_place_stable_across_calls(self):
+        for num_nodes in (1, 7, 31):
+            assert place("ub:takesCourse", num_nodes) == place(
+                "ub:takesCourse", num_nodes
+            )

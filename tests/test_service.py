@@ -1,0 +1,353 @@
+"""Tests for repro.service: caching, invalidation, concurrency, stats."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.service.cache import LRUCache
+from repro.service.service import QueryService, ServiceConfig
+from repro.service.stats import LatencySummary, percentile
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from repro.systems.csq import CSQ, CSQConfig
+from repro.workloads import lubm, lubm_queries
+
+ALL_NAMES = [f"Q{i}" for i in range(1, 15)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return lubm.generate(lubm.LUBMConfig(universities=4))
+
+
+@pytest.fixture(scope="module")
+def service(graph):
+    with QueryService(graph) as svc:
+        yield svc
+
+
+def _rename(query, prefix):
+    renamed = {v: f"?{prefix}{i}" for i, v in enumerate(query.variables())}
+    body = " . ".join(
+        " ".join(renamed.get(t, t) for t in (tp.s, tp.p, tp.o))
+        for tp in query.patterns
+    )
+    head = " ".join(renamed[v] for v in query.distinguished)
+    return parse_query(f"SELECT {head} WHERE {{ {body} }}")
+
+
+class TestAnswers:
+    def test_matches_csq_run_for_every_lubm_query(self, graph, service):
+        """Acceptance: bit-identical answers to the classic CSQ path."""
+        csq = CSQ(graph, CSQConfig(num_nodes=service.config.num_nodes))
+        for name in ALL_NAMES:
+            q = lubm_queries.query(name)
+            assert service.submit(q).rows == csq.run(q).answers, name
+
+    def test_matches_reference_evaluator(self, graph, service):
+        for name in ALL_NAMES:
+            q = lubm_queries.query(name)
+            assert service.submit(q).rows == evaluate(q, graph), name
+
+    def test_accepts_query_strings(self, service):
+        out = service.submit(
+            "SELECT ?d WHERE { ?p ub:worksFor ?d }", name="adhoc"
+        )
+        assert out.query.name == "adhoc"
+        assert out.cardinality > 0
+
+
+class TestPlanCache:
+    def test_repeat_hits_plan_cache(self, graph):
+        with QueryService(graph, ServiceConfig(result_cache_size=0)) as svc:
+            q = lubm_queries.query("Q9")
+            cold = svc.submit(q)
+            warm = svc.submit(q)
+            assert not cold.plan_cache_hit
+            assert warm.plan_cache_hit and not warm.result_cache_hit
+            assert warm.timings.optimize_s == 0.0
+            assert warm.rows == cold.rows
+
+    def test_isomorphic_queries_share_plan(self, graph):
+        with QueryService(graph, ServiceConfig(result_cache_size=0)) as svc:
+            q = lubm_queries.query("Q6")
+            cold = svc.submit(q)
+            warm = svc.submit(_rename(q, "zz"))
+            assert warm.plan_cache_hit
+            assert warm.rows == cold.rows
+            assert len(svc.plan_cache) == 1
+
+    def test_column_order_follows_each_query(self, graph):
+        with QueryService(graph, ServiceConfig(result_cache_size=0)) as svc:
+            rows_xy = svc.submit(
+                "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }"
+            ).rows
+            rows_yx = svc.submit(
+                "SELECT ?s ?p WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d }"
+            ).rows
+            assert rows_xy == {(p, s) for s, p in rows_yx}
+
+
+class TestResultCache:
+    def test_repeat_hits_result_cache(self, graph):
+        with QueryService(graph) as svc:
+            q = lubm_queries.query("Q2")
+            cold = svc.submit(q)
+            warm = svc.submit(q)
+            assert not cold.result_cache_hit
+            assert warm.result_cache_hit
+            assert warm.rows == cold.rows
+
+    def test_mutation_invalidates_results(self):
+        graph = lubm.generate(lubm.LUBMConfig(universities=4))
+        with QueryService(graph) as svc:
+            q = parse_query(
+                "SELECT ?x WHERE { ?x rdf:type ub:AssistantProfessor . "
+                f"?x ub:doctoralDegreeFrom {lubm.UNIVERSITY0} }}"
+            )
+            before = svc.submit(q)
+            assert svc.submit(q).result_cache_hit
+            added = svc.add_triples(
+                [
+                    ("<NewProf>", "rdf:type", "ub:AssistantProfessor"),
+                    ("<NewProf>", "ub:doctoralDegreeFrom", lubm.UNIVERSITY0),
+                ]
+            )
+            assert added == 2
+            assert svc.graph_version == before.graph_version + 1
+            after = svc.submit(q)
+            assert not after.result_cache_hit
+            assert after.rows == before.rows | {("<NewProf>",)}
+            # Plans survive mutation (still correct, possibly re-costed).
+            assert after.plan_cache_hit
+
+    def test_mutation_refreshes_statistics(self, graph):
+        svc = QueryService(lubm.generate(lubm.LUBMConfig(universities=4)))
+        before = svc.catalog.triple_count
+        svc.add_triples([("<s>", "<brand-new-p>", "<o>")])
+        assert svc.catalog.triple_count == before + 1
+        assert "<brand-new-p>" in svc.catalog.per_property
+        assert svc.estimator.stats is svc.catalog
+        svc.close()
+
+    def test_duplicate_add_is_noop(self, graph):
+        svc = QueryService(lubm.generate(lubm.LUBMConfig(universities=4)))
+        triple = next(iter(svc.graph))
+        version = svc.graph_version
+        assert svc.add_triples([triple]) == 0
+        assert svc.graph_version == version
+        svc.close()
+
+
+class TestConcurrency:
+    def test_eight_way_parallel_submission_identical_answers(self, graph):
+        """Acceptance: concurrency changes nothing about the answers."""
+        with QueryService(graph) as svc:
+            expected = {
+                name: evaluate(lubm_queries.query(name), graph)
+                for name in ALL_NAMES
+            }
+            mix = [lubm_queries.query(n) for n in ALL_NAMES * 2]
+            random.Random(11).shuffle(mix)
+            results: dict[int, set] = {}
+            errors: list[BaseException] = []
+            barrier = threading.Barrier(8)
+
+            def worker(worker_id: int) -> None:
+                try:
+                    barrier.wait()
+                    for i, q in enumerate(mix):
+                        out = svc.submit(q)
+                        assert out.rows == expected[q.name], q.name
+                    results[worker_id] = set()
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 8
+            snap = svc.snapshot_stats()
+            assert snap.submitted == 8 * len(mix)
+            # Every shape optimized at most once (single-flight + cache).
+            assert snap.plan_misses <= len(ALL_NAMES)
+
+    def test_submit_batch_coalesces_duplicates(self, graph):
+        with QueryService(
+            graph, ServiceConfig(result_cache_size=0, max_workers=4)
+        ) as svc:
+            mix = [lubm_queries.query(n) for n in ("Q2", "Q3", "Q2", "Q3", "Q2")]
+            outcomes = svc.submit_batch(mix)
+            assert [o.query.name for o in outcomes] == [q.name for q in mix]
+            assert sum(o.coalesced for o in outcomes) == 3
+            expected = {
+                n: evaluate(lubm_queries.query(n), graph)
+                for n in ("Q2", "Q3")
+            }
+            for out in outcomes:
+                assert out.rows == expected[out.query.name]
+
+    def test_submit_batch_without_dedup(self, graph):
+        with QueryService(graph, ServiceConfig(max_workers=4)) as svc:
+            mix = [lubm_queries.query("Q4")] * 4
+            outcomes = svc.submit_batch(mix, dedup=False)
+            assert len(outcomes) == 4
+            assert len({frozenset(o.rows) for o in outcomes}) == 1
+
+
+class TestStats:
+    def test_snapshot_counts_and_rates(self, graph):
+        with QueryService(graph) as svc:
+            q = lubm_queries.query("Q2")
+            svc.submit(q)
+            svc.submit(q)
+            snap = svc.snapshot_stats()
+            assert snap.submitted == 2
+            assert snap.result_hits == 1 and snap.result_misses == 1
+            assert snap.plan_misses == 1
+            assert 0.0 < snap.result_hit_rate <= 0.5
+            assert snap.throughput_qps > 0
+            assert snap.total.count == 2
+            assert "plan cache" in snap.format()
+
+    def test_percentile_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 50) == 2.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile([], 99) == 0.0
+        with pytest.raises(ValueError):
+            percentile(samples, 101)
+        summary = LatencySummary.of(samples)
+        assert summary.count == 4 and summary.mean == 2.5
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_size_zero_disables(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestLifecycleAndFailure:
+    def test_failed_mutation_still_invalidates(self):
+        """A mid-batch invalid triple must not leave stale cached results."""
+        svc = QueryService(lubm.generate(lubm.LUBMConfig(universities=4)))
+        q = lubm_queries.query("Q2")
+        svc.submit(q)
+        assert svc.submit(q).result_cache_hit
+        with pytest.raises(ValueError):
+            svc.add_triples(
+                [
+                    ("<ok>", "<p>", "<o>"),
+                    ('"literal"', "<p>", "<o>"),  # rejected by validation
+                ]
+            )
+        # The valid prefix was applied, so the version must have moved on.
+        assert svc.graph_version == 1
+        assert not svc.submit(q).result_cache_hit
+        svc.close()
+
+    def test_closed_service_rejects_work(self, graph):
+        svc = QueryService(graph)
+        q = lubm_queries.query("Q2")
+        svc.submit(q)
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit(q)
+        with pytest.raises(RuntimeError):
+            svc.submit_batch([q, q])
+        with pytest.raises(RuntimeError):
+            svc.add_triples([("<s>", "<p>", "<o>")])
+
+
+class TestBatchErrorIsolation:
+    def test_return_exceptions_isolates_failures(self, graph):
+        with QueryService(graph) as svc:
+            good = lubm_queries.query("Q2")
+            outcomes = svc.submit_batch(
+                [good, "SELECT ?x WHERE { ?x p }", good],
+                return_exceptions=True,
+            )
+            assert len(outcomes) == 3
+            assert outcomes[0].rows == outcomes[2].rows
+            assert isinstance(outcomes[1], ValueError)
+
+    def test_default_propagates_first_failure(self, graph):
+        with QueryService(graph) as svc:
+            with pytest.raises(ValueError):
+                svc.submit_batch(
+                    [lubm_queries.query("Q2"), "SELECT ?x WHERE { ?x p }"]
+                )
+
+    def test_batch_timings_populated(self, graph):
+        with QueryService(graph, ServiceConfig(result_cache_size=0)) as svc:
+            outcomes = svc.submit_batch(
+                [lubm_queries.query("Q2"), lubm_queries.query("Q2")]
+            )
+            for out in outcomes:
+                assert out.timings.total_s > 0
+            assert any(o.timings.canonicalize_s > 0 for o in outcomes)
+
+
+class TestMutationSwapsCostModel:
+    def test_estimator_and_coster_rebuilt(self, graph):
+        svc = QueryService(lubm.generate(lubm.LUBMConfig(universities=4)))
+        old_estimator, old_coster = svc.estimator, svc.coster
+        svc.add_triples([("<s>", "<p-new>", "<o>")])
+        assert svc.estimator is not old_estimator
+        assert svc.coster is not old_coster
+        assert svc.estimator.stats is svc.catalog
+        # The CSQ session surface tracks the swap instead of going stale.
+        csq = CSQ(svc.graph, service=svc)
+        assert csq.estimator is svc.estimator
+        svc.add_triples([("<s2>", "<p-new2>", "<o2>")])
+        assert csq.estimator is svc.estimator
+        assert csq.stats is svc.catalog
+        svc.close()
+
+
+class TestUncacheableQueries:
+    def test_symmetric_queries_served_in_batch(self, graph):
+        # Automorphic queries exceed a tiny canonicalization budget and
+        # bypass the caches, but a batch must still answer them (and on
+        # the pool, not serially on the calling thread).
+        sym = parse_query(
+            "SELECT ?a ?b WHERE { ?a ub:advisor ?b . ?b ub:advisor ?a }"
+        )
+        q2 = lubm_queries.query("Q2")
+        with QueryService(graph, ServiceConfig(canonical_budget=2)) as svc:
+            outcomes = svc.submit_batch([sym, q2, sym])
+            assert [o.cacheable for o in outcomes] == [False, True, False]
+            assert outcomes[0].rows == outcomes[2].rows
+            assert outcomes[1].rows == evaluate(q2, graph)
+            assert len(svc.plan_cache) == 1  # only Q2's shape was cached
+
+    def test_plan_cache_entry_is_slim(self, graph):
+        with QueryService(graph, ServiceConfig(result_cache_size=0)) as svc:
+            q = lubm_queries.query("Q9")
+            svc.submit(q)
+            (entry,) = list(svc.plan_cache._data.values())
+            # The entry summarizes the enumeration instead of pinning the
+            # optimizer's full plan list (unbounded memory per shape).
+            assert not hasattr(entry, "optimizer")
+            assert entry.plan_count > 0
+            assert entry.truncated is False

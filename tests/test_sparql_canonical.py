@@ -1,0 +1,132 @@
+"""Unit tests for repro.sparql.canonical (query structure signatures)."""
+
+import random
+
+import pytest
+
+from repro.sparql.canonical import (
+    CanonicalizationBudgetExceeded,
+    canonicalize,
+    structure_signature,
+)
+from repro.sparql.evaluator import evaluate
+from repro.sparql.parser import parse_query
+from repro.workloads import lubm, lubm_queries
+
+ALL_NAMES = [f"Q{i}" for i in range(1, 15)]
+
+
+def _rename_and_shuffle(query, rng):
+    """An isomorphic copy: variables renamed, patterns reordered."""
+    variables = list(query.variables())
+    renamed = {v: f"?renamed{i}" for i, v in enumerate(variables)}
+    rng.shuffle(variables)
+    patterns = [
+        " ".join(renamed.get(t, t) for t in (tp.s, tp.p, tp.o))
+        for tp in query.patterns
+    ]
+    rng.shuffle(patterns)
+    head = " ".join(renamed[v] for v in query.distinguished)
+    return parse_query(f"SELECT {head} WHERE {{ {' . '.join(patterns)} }}")
+
+
+class TestInvariance:
+    def test_variable_renaming(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x p ?y . ?y q ?z }")
+        q2 = parse_query("SELECT ?a WHERE { ?a p ?b . ?b q ?c }")
+        assert structure_signature(q1) == structure_signature(q2)
+
+    def test_pattern_reordering(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x p ?y . ?y q ?z }")
+        q2 = parse_query("SELECT ?x WHERE { ?y q ?z . ?x p ?y }")
+        assert structure_signature(q1) == structure_signature(q2)
+
+    def test_renaming_plus_reordering_fuzz(self):
+        rng = random.Random(7)
+        for name in ALL_NAMES:
+            q = lubm_queries.query(name)
+            sig = structure_signature(q)
+            for _ in range(5):
+                assert structure_signature(_rename_and_shuffle(q, rng)) == sig
+
+    def test_symmetric_query(self):
+        q1 = parse_query("SELECT ?x ?y WHERE { ?x p ?y . ?y p ?x }")
+        q2 = parse_query("SELECT ?b ?a WHERE { ?b p ?a . ?a p ?b }")
+        assert structure_signature(q1) == structure_signature(q2)
+
+    def test_name_is_ignored(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x p ?y }", name="first")
+        q2 = parse_query("SELECT ?x WHERE { ?x p ?y }", name="second")
+        assert structure_signature(q1) == structure_signature(q2)
+
+
+class TestDiscrimination:
+    def test_different_constants_differ(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x p ?y }")
+        q2 = parse_query("SELECT ?x WHERE { ?x q ?y }")
+        assert structure_signature(q1) != structure_signature(q2)
+
+    def test_different_distinguished_set_differs(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x p ?y . ?y q ?z }")
+        q2 = parse_query("SELECT ?y WHERE { ?x p ?y . ?y q ?z }")
+        assert structure_signature(q1) != structure_signature(q2)
+
+    def test_different_topology_differs(self):
+        chain = parse_query("SELECT ?x WHERE { ?x p ?y . ?y p ?z }")
+        star = parse_query("SELECT ?x WHERE { ?x p ?y . ?x p ?z }")
+        assert structure_signature(chain) != structure_signature(star)
+
+    def test_intra_pattern_equality_differs(self):
+        loop = parse_query("SELECT ?x WHERE { ?x p ?x }")
+        edge = parse_query("SELECT ?x WHERE { ?x p ?y }")
+        assert structure_signature(loop) != structure_signature(edge)
+
+    def test_pattern_multiplicity_differs(self):
+        once = parse_query("SELECT ?x WHERE { ?x p ?y }")
+        twice = parse_query("SELECT ?x WHERE { ?x p ?y . ?x p ?y }")
+        assert structure_signature(once) != structure_signature(twice)
+
+    def test_workload_queries_all_distinct(self):
+        signatures = {
+            structure_signature(lubm_queries.query(n)) for n in ALL_NAMES
+        }
+        assert len(signatures) == len(ALL_NAMES)
+
+
+class TestCanonicalQuery:
+    def test_mapping_rebuilds_canonical_form(self):
+        q = lubm_queries.query("Q7")
+        canon = canonicalize(q)
+        renamed = sorted(
+            tuple(canon.mapping.get(t, t) for t in (tp.s, tp.p, tp.o))
+            for tp in q.patterns
+        )
+        assert [tuple((tp.s, tp.p, tp.o)) for tp in canon.query.patterns] == renamed
+        assert sorted(canon.mapping[v] for v in q.distinguished) == list(
+            canon.query.distinguished
+        )
+
+    def test_canonical_query_answers_match(self):
+        graph = lubm.generate(lubm.LUBMConfig(universities=4))
+        for name in ("Q2", "Q4", "Q9"):
+            q = lubm_queries.query(name)
+            canon = canonicalize(q)
+            original = evaluate(q, graph)
+            canonical = evaluate(canon.query, graph)
+            wanted = [canon.mapping[v] for v in q.distinguished]
+            index = [canon.query.distinguished.index(w) for w in wanted]
+            remapped = {tuple(r[i] for i in index) for r in canonical}
+            assert original == remapped, name
+
+    def test_budget_exhaustion_raises(self):
+        # Swapping ?x and ?y is an automorphism, so colour refinement
+        # cannot discriminate them and the search must branch — which a
+        # budget of 2 nodes (root + one branch) does not allow.
+        q = parse_query("SELECT ?x ?y WHERE { ?x p ?y . ?y p ?x }")
+        with pytest.raises(CanonicalizationBudgetExceeded):
+            canonicalize(q, budget=2)
+        # With the default budget the same query canonicalizes fine.
+        sig = structure_signature(q)
+        assert structure_signature(
+            parse_query("SELECT ?b ?a WHERE { ?a p ?b . ?b p ?a }")
+        ) == sig

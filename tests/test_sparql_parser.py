@@ -83,3 +83,66 @@ class TestParserErrors:
     def test_trailing_tokens(self):
         with pytest.raises(SPARQLSyntaxError):
             parse_query("SELECT ?x WHERE { ?x p ?y } LIMIT 5")
+
+
+class TestErrorDiagnostics:
+    """SparqlSyntaxError carries the offending token and its position."""
+
+    def test_alias_spelling(self):
+        from repro.sparql.parser import SparqlSyntaxError
+
+        assert SparqlSyntaxError is SPARQLSyntaxError
+        assert issubclass(SparqlSyntaxError, ValueError)
+
+    def test_bad_select_token_position(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("SELECT foo WHERE { ?x p ?y }")
+        assert excinfo.value.token == "foo"
+        assert excinfo.value.position == (1, 8)
+        assert "line 1, column 8" in str(excinfo.value)
+        assert "'foo'" in str(excinfo.value)
+
+    def test_position_tracks_lines(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("SELECT ?x WHERE {\n  ?x p ?y .\n  ?z q }")
+        assert excinfo.value.token == "?z"
+        assert excinfo.value.position == (3, 3)
+
+    def test_eof_errors_point_past_the_end(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("SELECT ?x")
+        assert excinfo.value.token is None
+        assert excinfo.value.position == (1, 10)
+
+    def test_wrong_keyword_start(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("ASK { ?x p ?y }")
+        assert excinfo.value.token == "ASK"
+        assert excinfo.value.position == (1, 1)
+
+    def test_literal_in_subject_position_reported(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query('SELECT ?x WHERE { ?x p ?y . "lit" p ?x }')
+        assert excinfo.value.token == '"lit"'
+        assert excinfo.value.position == (1, 29)
+
+    def test_nested_group_position(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("SELECT ?x WHERE { { ?x p ?y } }")
+        assert excinfo.value.position == (1, 19)
+
+    def test_lex_positions(self):
+        from repro.sparql.parser import lex
+
+        tokens = lex('SELECT ?x\nWHERE { ?x "a b" ?y }')
+        assert [t.text for t in tokens][:3] == ["SELECT", "?x", "WHERE"]
+        where = tokens[2]
+        assert (where.line, where.column) == (2, 1)
+        literal = next(t for t in tokens if t.text == '"a b"')
+        assert literal.line == 2
+
+    def test_distinguished_not_in_body_is_syntax_error(self):
+        with pytest.raises(SPARQLSyntaxError) as excinfo:
+            parse_query("SELECT ?z WHERE { ?x p ?y }")
+        assert excinfo.value.token == "?z"
+        assert excinfo.value.position == (1, 8)
