@@ -1,0 +1,170 @@
+"""Backend scaling: serial vs thread vs process wall-clock on a LUBM mix.
+
+Not a paper figure — this benchmark characterizes the pluggable
+execution backends added to the simulator:
+
+* **serial** is the reference: one Python thread runs every map/reduce
+  task, so a CPU-bound mix is limited to a single core;
+* **thread** fans tasks out on a thread pool: identical answers, but the
+  GIL serializes the CPU-bound task bodies, so it measures dispatch
+  overhead more than parallelism;
+* **process** fans each level's tasks across a ``ProcessPoolExecutor``:
+  the store snapshot ships to workers once per pool, per-task traffic is
+  the task spec plus its declared HDFS inputs, and results merge in
+  submission order — answers are byte-identical to serial (asserted
+  below and in tests/test_backends.py), only wall-clock changes.
+
+On a multi-core machine the process backend must clear a >= 1.5x
+speedup over serial on >= 4 workers; on starved machines (1 CPU —
+common in sandboxes) true parallel speedup is physically impossible,
+so the run degrades to a smoke test that still asserts correctness and
+records the observed table.  Set BACKEND_BENCH_STRICT=0 to skip the
+wall-clock gate on noisy shared runners.
+
+Results land in ``benchmarks/results/backend_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.mapreduce.backends import ProcessBackend, ThreadBackend
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.workloads import lubm, lubm_queries
+
+#: Non-selective LUBM queries: scans and joins over the whole dataset,
+#: which is what makes the mix CPU-bound rather than overhead-bound.
+MIX = ("Q1", "Q3", "Q5", "Q6", "Q7", "Q8")
+UNIVERSITIES = 12
+NUM_NODES = 7
+WORKERS = 4
+ROUNDS = 5
+REQUIRED_SPEEDUP = 1.5
+
+STRICT = os.environ.get("BACKEND_BENCH_STRICT", "1") != "0"
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _process_pools_work() -> bool:
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+def test_backend_scaling(record_table):
+    graph = lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
+    store = partition_graph(graph, NUM_NODES)
+    serial = PlanExecutor(store)
+
+    plans = []
+    for name in MIX:
+        query = lubm_queries.query(name)
+        plan = cliquesquare(query, MSC, timeout_s=30).plans[0]
+        plans.append((name, serial.prepare(plan)))
+
+    reference = {name: serial.execute_prepared(p).rows for name, p in plans}
+
+    def measure(executor) -> tuple[float, dict[str, set]]:
+        answers = {}
+        for name, prepared in plans:  # warm-up: starts pools, fills caches
+            answers[name] = executor.execute_prepared(prepared).rows
+        # Best-of-N: scheduler noise on shared runners only ever slows a
+        # pass down, so the minimum is the stable, gateable figure.
+        best = float("inf")
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            for _, prepared in plans:
+                executor.execute_prepared(prepared)
+            best = min(best, time.perf_counter() - t0)
+        return best, answers
+
+    process_ok = _process_pools_work()
+    rows = []
+    serial_time, _ = measure(serial)
+    rows.append(("serial", 1, serial_time, 1.0, "yes"))
+
+    thread = PlanExecutor(store, backend=ThreadBackend(WORKERS))
+    try:
+        thread_time, thread_answers = measure(thread)
+    finally:
+        thread.close()
+    rows.append(
+        (
+            "thread",
+            WORKERS,
+            thread_time,
+            serial_time / thread_time,
+            "yes" if thread_answers == reference else "NO",
+        )
+    )
+
+    process_speedup = None
+    process_identical = None
+    if process_ok:
+        process = PlanExecutor(store, backend=ProcessBackend(WORKERS, fallback=False))
+        try:
+            process_time, process_answers = measure(process)
+        finally:
+            process.close()
+        process_identical = process_answers == reference
+        process_speedup = serial_time / process_time
+        rows.append(
+            (
+                "process",
+                WORKERS,
+                process_time,
+                process_speedup,
+                "yes" if process_identical else "NO",
+            )
+        )
+
+    cpus = _cpus()
+    lines = [
+        "backend_scaling: wall-clock per pass over a CPU-bound LUBM mix",
+        f"(LUBM universities={UNIVERSITIES}, |G|={len(graph)}, "
+        f"{NUM_NODES} simulated nodes, mix={'+'.join(MIX)}, "
+        f"best of {ROUNDS} rounds, {cpus} CPU(s) available)",
+        "",
+        f"{'backend':<10} {'workers':>7} {'s/pass':>10} {'speedup':>9} {'answers==serial':>16}",
+    ]
+    for name, workers, seconds, speedup, identical in rows:
+        lines.append(
+            f"{name:<10} {workers:>7} {seconds:>10.4f} {speedup:>8.2f}x {identical:>16}"
+        )
+    if not process_ok:
+        lines.append("")
+        lines.append("process backend: UNAVAILABLE on this machine (skipped)")
+    if cpus < 2:
+        lines.append("")
+        lines.append(
+            f"note: {cpus} CPU available — parallel speedup is not "
+            f"achievable here; the >= {REQUIRED_SPEEDUP}x gate applies on "
+            ">= 4 CPUs (see CI backend-smoke)"
+        )
+    record_table("backend_scaling", "\n".join(lines))
+
+    # Correctness is asserted unconditionally.
+    assert thread_answers == reference
+    if process_ok:
+        assert process_identical, "process backend answers diverged from serial"
+
+    # Wall-clock is gated only where parallelism is physically possible.
+    if STRICT and process_ok and cpus >= 4:
+        assert process_speedup >= REQUIRED_SPEEDUP, (
+            f"process backend speedup {process_speedup:.2f}x < "
+            f"{REQUIRED_SPEEDUP}x on {cpus} CPUs"
+        )

@@ -54,8 +54,19 @@ from repro.core.variable_graph import VariableGraph
 from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
 from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.mapreduce.engine import ClusterConfig, MapReduceEngine
-from repro.partitioning.triple_partitioner import PartitionedStore, partition_graph
+from repro.partitioning.triple_partitioner import (
+    PartitionedStore,
+    StoreSnapshot,
+    partition_graph,
+)
 from repro.physical.executor import PlanExecutor
 from repro.rdf.graph import RDFGraph
 from repro.service.service import QueryOutcome, QueryService, ServiceConfig
@@ -82,6 +93,7 @@ __all__ = [
     "CostParams",
     "DEFAULT_PARAMS",
     "DecompositionOption",
+    "ExecutionBackend",
     "H2RDFPlus",
     "Join",
     "LogicalPlan",
@@ -96,6 +108,7 @@ __all__ = [
     "PartitionedStore",
     "PlanCoster",
     "PlanExecutor",
+    "ProcessBackend",
     "Project",
     "QueryOutcome",
     "QueryService",
@@ -103,11 +116,14 @@ __all__ = [
     "SC",
     "SC_PLUS",
     "Select",
+    "SerialBackend",
     "ServiceConfig",
     "ServiceStats",
     "ShapeSystem",
     "SparqlSyntaxError",
     "StatsSnapshot",
+    "StoreSnapshot",
+    "ThreadBackend",
     "TriplePattern",
     "VariableGraph",
     "XC",
@@ -120,6 +136,7 @@ __all__ = [
     "cliquesquare",
     "evaluate",
     "height",
+    "make_backend",
     "optimal_height",
     "parse_query",
     "partition_graph",

@@ -1,0 +1,397 @@
+"""Pluggable task-execution backends for the MapReduce engine.
+
+The engine schedules a job graph level by level; a backend decides *how*
+the tasks of a level actually run:
+
+* :class:`SerialBackend` — in the calling thread, one task after
+  another.  The timing-model reference: every other backend must
+  produce byte-identical answers and identical simulated reports.
+* :class:`ThreadBackend` — a shared :class:`ThreadPoolExecutor`.
+  Overlaps whatever releases the GIL; CPU-bound task work stays
+  GIL-serialized.
+* :class:`ProcessBackend` — a :class:`ProcessPoolExecutor` fanning the
+  tasks of a level across worker processes.  Requires picklable task
+  specs; the partitioned-store snapshot is shipped once per pool (free
+  under the ``fork`` start method) and per-task HDFS traffic is cut to
+  the slice each spec declares via ``hdfs_slice()`` (for map chains,
+  one node's partitions of the shuffled intermediates).
+
+Determinism: every backend returns task results **in submission order**
+regardless of completion order, and shuffle routing uses the
+process-independent :func:`~repro.mapreduce.jobs.stable_hash`, so merged
+outputs are reproducible across backends and across runs.
+
+The process backend degrades gracefully: where process pools are
+unavailable (sandboxed CI, restricted containers) or a task spec cannot
+be pickled (closure-style tasks), it falls back to serial execution and
+reports the reason through its ``on_fallback`` callback — the query
+service surfaces that as a warning in :class:`~repro.service.stats.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.mapreduce.jobs import TaskContext, TaskSpec
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when a backend cannot run and fallback is disabled."""
+
+
+class _InfraFailure(Exception):
+    """Internal marker wrapping an infrastructure-level task failure."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class TaskInvocation:
+    """One task to run: a spec plus its per-call arguments.
+
+    Map tasks invoke ``spec.run(ctx)``; reduce tasks invoke
+    ``spec.run(ctx, partition, grouped)``.
+    """
+
+    spec: TaskSpec
+    args: tuple = ()
+
+
+class ExecutionBackend(ABC):
+    """How the tasks of one scheduling level get executed."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
+        """Run all invocations; return their results in submission order."""
+
+    def prime(self, ctx: TaskContext) -> None:
+        """Optional warm-up (e.g. start worker processes) before serving."""
+
+    def close(self) -> None:
+        """Release worker pools; the backend must not be used afterwards."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline — today's semantics, and the reference."""
+
+    name = "serial"
+
+    def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
+        return [inv.spec.run(ctx, *inv.args) for inv in invocations]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Fan tasks out on a thread pool (shared context, no pickling)."""
+
+    name = "thread"
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise ValueError(f"ThreadBackend needs >= 1 worker, got {num_workers}")
+        self.num_workers = num_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
+        if len(invocations) <= 1:
+            return [inv.spec.run(ctx, *inv.args) for inv in invocations]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("backend is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-backend",
+                )
+            pool = self._pool
+        futures = [pool.submit(inv.spec.run, ctx, *inv.args) for inv in invocations]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+# -- process backend ----------------------------------------------------------
+
+# Worker-process state, installed once per pool by the initializer: the
+# store snapshot is by far the heaviest input, and it is identical for
+# every task of a pool's lifetime (the pool is rebuilt when the store
+# version changes).
+_WORKER_NUM_NODES: int = 0
+_WORKER_STORE = None
+
+
+def _worker_init(num_nodes: int, store) -> None:
+    global _WORKER_NUM_NODES, _WORKER_STORE
+    _WORKER_NUM_NODES = num_nodes
+    _WORKER_STORE = store
+
+
+def _worker_run(spec: TaskSpec, args: tuple, hdfs_files: dict):
+    from repro.mapreduce.hdfs import HDFS
+
+    ctx = TaskContext(
+        num_nodes=_WORKER_NUM_NODES,
+        store=_WORKER_STORE,
+        hdfs=HDFS(num_nodes=_WORKER_NUM_NODES, files=hdfs_files),
+    )
+    return spec.run(ctx, *args)
+
+
+#: Errors a *pool creation* attempt can raise when process pools are
+#: simply unavailable on this machine (sandboxed CI, missing semaphores,
+#: fork denied).
+_POOL_CREATION_ERRORS = (
+    OSError,
+    PermissionError,
+    NotImplementedError,
+    ImportError,
+    ValueError,
+)
+
+
+def _is_infra_error(exc: BaseException) -> bool:
+    """Did process execution itself fail, as opposed to the task?
+
+    Worker death and pickling failures are infrastructure: the same task
+    would succeed in-process.  Pickling errors surface from the
+    submission machinery as PicklingError, or as TypeError/AttributeError
+    mentioning pickling ("cannot pickle ...", "Can't pickle ...") — a
+    task's own TypeError/OSError must NOT match, or a genuine bug would
+    silently demote the backend and be re-run (and possibly masked)
+    serially.
+    """
+    if isinstance(exc, (BrokenProcessPool, pickle.PicklingError)):
+        return True
+    if isinstance(exc, (TypeError, AttributeError)):
+        return "pickle" in str(exc).lower()
+    return False
+
+
+def default_process_workers() -> int:
+    """Worker count matched to the CPUs this process may actually use."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        cpus = os.cpu_count() or 1
+    return max(1, cpus)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan tasks of a level out across a process pool.
+
+    The pool is created lazily (or via :meth:`prime`) and keyed to the
+    store snapshot's identity token: a mutation bumps the store version,
+    and the next ``run`` transparently rebuilds the pool so workers never
+    serve from a stale store.
+
+    With ``fallback=True`` (the default) any infrastructure failure —
+    pool creation denied, worker death, unpicklable task spec — demotes
+    the backend to serial execution for good, reporting the reason once
+    through ``on_fallback``.  With ``fallback=False`` the same failures
+    raise :class:`BackendUnavailable`.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        fallback: bool = True,
+        on_fallback: Callable[[str], None] | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        if num_workers is None:
+            num_workers = default_process_workers()
+        if num_workers < 1:
+            raise ValueError(f"ProcessBackend needs >= 1 worker, got {num_workers}")
+        self.num_workers = num_workers
+        self.fallback = fallback
+        self.on_fallback = on_fallback
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_token: object = None
+        self._closed = False
+        self._serial: SerialBackend | None = None
+        #: guards pool creation/swap/demotion (run() may be called from
+        #: many service threads at once; submissions themselves are
+        #: thread-safe on the pool)
+        self._lock = threading.Lock()
+
+    # -- pool management ---------------------------------------------------
+
+    def _context(self):
+        if self._mp_context is not None:
+            return multiprocessing.get_context(self._mp_context)
+        # fork is dramatically cheaper where available: workers inherit
+        # the store snapshot instead of unpickling it.
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _store_token(self, ctx: TaskContext) -> object:
+        snapshot = ctx.store
+        if snapshot is None:
+            return ("no-store", ctx.num_nodes)
+        return snapshot.token
+
+    def _create_pool(self, ctx: TaskContext) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            mp_context=self._context(),
+            initializer=_worker_init,
+            initargs=(ctx.num_nodes, ctx.store),
+        )
+
+    def _ensure_pool(self, ctx: TaskContext) -> ProcessPoolExecutor:
+        token = self._store_token(ctx)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("backend is closed")
+            if self._pool is not None and token != self._pool_token:
+                # The store changed (mutation bumped its version): the
+                # workers' inherited snapshot is stale, rebuild the pool.
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = self._create_pool(ctx)
+                self._pool_token = token
+            return self._pool
+
+    def _demote(self, reason: str) -> SerialBackend:
+        if not self.fallback:
+            raise BackendUnavailable(reason)
+        with self._lock:
+            if self._serial is None:
+                self._serial = SerialBackend()
+                if self.on_fallback is not None:
+                    self.on_fallback(reason)
+                else:
+                    # Never demote silently: a bare executor without a
+                    # stats hook still gets a visible signal.
+                    warnings.warn(
+                        f"ProcessBackend demoted to serial: {reason}",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            if self._pool is not None:
+                try:
+                    self._pool.shutdown(wait=False)
+                except Exception:
+                    pass
+                self._pool = None
+            return self._serial
+
+    # -- ExecutionBackend --------------------------------------------------
+
+    def prime(self, ctx: TaskContext) -> None:
+        """Start the worker pool up-front (before any service threads
+        exist, which keeps fork-based pools out of multithreaded forks)."""
+        if self._serial is not None:
+            return
+        try:
+            self._ensure_pool(ctx)
+        except _POOL_CREATION_ERRORS as exc:
+            self._demote(f"process pool unavailable: {exc!r}")
+
+    def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
+        if self._serial is not None:
+            return self._serial.run(invocations, ctx)
+        if len(invocations) <= 1:
+            # Not worth a round-trip; also serves closure specs untouched.
+            return [inv.spec.run(ctx, *inv.args) for inv in invocations]
+        try:
+            pool = self._ensure_pool(ctx)
+        except _POOL_CREATION_ERRORS as exc:
+            serial = self._demote(f"process pool unavailable: {exc!r}")
+            return serial.run(invocations, ctx)
+        try:
+            hdfs = ctx.hdfs
+            futures = [
+                pool.submit(
+                    _worker_run,
+                    inv.spec,
+                    inv.args,
+                    inv.spec.hdfs_slice(hdfs) if hdfs is not None else {},
+                )
+                for inv in invocations
+            ]
+            results = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:
+                    if _is_infra_error(exc):
+                        raise _InfraFailure(exc) from exc
+                    raise  # a genuine task error: surface it unchanged
+            return results
+        except _InfraFailure as wrapped:
+            exc = wrapped.cause
+            serial = self._demote(
+                f"process execution failed ({type(exc).__name__}: {exc}); "
+                "falling back to serial"
+            )
+            # Task specs are pure (all effects flow through their returned
+            # rows/metrics), so re-running the whole level is safe.
+            return serial.run(invocations, ctx)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+#: Names accepted by :func:`make_backend` (and ServiceConfig.backend).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def make_backend(
+    backend: "str | ExecutionBackend | None",
+    num_workers: int | None = None,
+    on_fallback: Callable[[str], None] | None = None,
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    ``num_workers`` applies to thread/process backends; ``None`` picks
+    4 threads or one process per available CPU.
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "thread":
+        return ThreadBackend(num_workers if num_workers is not None else 4)
+    if backend == "process":
+        return ProcessBackend(num_workers, on_fallback=on_fallback)
+    raise ValueError(
+        f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )

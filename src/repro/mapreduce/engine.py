@@ -1,15 +1,24 @@
 """The simulated MapReduce execution engine.
 
 Executes a :class:`JobGraph` level by level (independent jobs run
-concurrently; dependent jobs wait), really running every task callable
-on real tuples, and charges simulated time from the task counters and
-the §5.4 unit costs:
+concurrently; dependent jobs wait), really running every task spec on
+real tuples, and charges simulated time from the task counters and the
+§5.4 unit costs:
 
 * a job's map phase time is the maximum over nodes of the node's map
   work (nodes work in parallel, tasks on one node serially);
 * the reduce phase likewise is the maximum over reducers;
 * each job pays a fixed initialization overhead (``job_overhead``);
 * the response time of a level is its slowest job; levels are barriers.
+
+*How* the tasks of a level physically run is delegated to an
+:class:`~repro.mapreduce.backends.ExecutionBackend`: all map tasks of a
+level fan out together, then all reduce tasks, with results consumed in
+submission order so that shuffle grouping — and therefore answers and
+reports — is identical whichever backend ran the tasks.  The simulated
+timing model depends only on the returned counters, never on wall-clock,
+so a report is backend-invariant by construction (the backend name is
+recorded on it for observability).
 
 Total work (the quantity the cost model of §5.4 estimates) is reported
 alongside the response time.
@@ -21,8 +30,13 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    TaskInvocation,
+)
 from repro.mapreduce.counters import ExecutionReport, JobMetrics, TaskMetrics
-from repro.mapreduce.jobs import JobGraph, MapReduceJob, Row
+from repro.mapreduce.jobs import JobGraph, MapReduceJob, Row, TaskContext
 
 
 @dataclass
@@ -36,91 +50,143 @@ class ClusterConfig:
             raise ValueError("a cluster needs at least one node")
 
 
+class _JobState:
+    """Per-job accumulation while its level executes."""
+
+    def __init__(self, job: MapReduceJob, num_nodes: int, overhead: float) -> None:
+        self.job = job
+        self.metrics = JobMetrics(
+            name=job.name, overhead=overhead, map_only=job.map_only
+        )
+        self.node_work: dict[int, float] = defaultdict(float)
+        self.reduce_work: dict[int, float] = defaultdict(float)
+        self.shuffle: dict[int, dict[int, list[Row]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self.outputs_per_node: list[list[Row]] = [[] for _ in range(num_nodes)]
+
+
 class MapReduceEngine:
-    """Runs job graphs on a simulated cluster."""
+    """Runs job graphs on a simulated cluster via an execution backend."""
 
     def __init__(
         self,
         cluster: ClusterConfig | None = None,
         params: CostParams = DEFAULT_PARAMS,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         self.params = params
+        self.backend = backend or SerialBackend()
 
-    def execute(self, graph: JobGraph) -> ExecutionReport:
+    def execute(self, graph: JobGraph, ctx: TaskContext | None = None) -> ExecutionReport:
         """Run all jobs; return the execution report.
 
+        ``ctx`` carries the worker-visible state (store snapshot, HDFS
+        namespace); omitting it suits self-contained closure-style jobs.
         Job ``on_complete`` callbacks receive the per-node output rows
         (reducer outputs live on the reducer's node; map-only outputs on
-        the mapper's node), letting callers persist intermediates.
+        the mapper's node), letting callers persist intermediates; they
+        always run in the driver, after the level's tasks returned.
         """
-        report = ExecutionReport()
+        if ctx is None:
+            ctx = TaskContext(num_nodes=self.cluster.num_nodes)
+        report = ExecutionReport(backend=self.backend.name)
         for level in graph.levels():
-            level_time = 0.0
-            names: list[str] = []
-            for job in level:
-                metrics = self._run_job(job)
-                report.jobs.append(metrics)
-                report.total_work += metrics.total_work
-                level_time = max(level_time, metrics.time)
-                names.append(job.name)
-            report.levels.append(names)
+            level_time = self._run_level(level, ctx, report)
+            report.levels.append([job.name for job in level])
             report.response_time += level_time
         return report
 
     # -- internals -----------------------------------------------------------
 
-    def _run_job(self, job: MapReduceJob) -> JobMetrics:
+    def _run_level(
+        self, level: list[MapReduceJob], ctx: TaskContext, report: ExecutionReport
+    ) -> float:
         params = self.params
-        metrics = JobMetrics(
-            name=job.name, overhead=params.job_overhead, map_only=job.map_only
-        )
-
-        # Map phase: run tasks, aggregate per-node work.
-        node_work: dict[int, float] = defaultdict(float)
-        shuffle: dict[int, dict[int, list[Row]]] = defaultdict(lambda: defaultdict(list))
-        outputs_per_node: list[list[Row]] = [
-            [] for _ in range(self.cluster.num_nodes)
+        num_nodes = self.cluster.num_nodes
+        states = [
+            _JobState(job, num_nodes, params.job_overhead) for job in level
         ]
-        for task in job.map_tasks:
-            emits, direct, task_metrics = task.run()
-            node_work[task.node] += task_metrics.time(params)
-            metrics.total_work += task_metrics.time(params)
-            for partition, tag, row in emits:
-                shuffle[partition % max(job.num_reducers, 1)][tag].append(row)
-            outputs_per_node[task.node % self.cluster.num_nodes].extend(direct)
-        metrics.map_time = max(node_work.values(), default=0.0)
 
-        # Reduce phase.
-        if not job.map_only:
-            assert job.reducer is not None
-            reducer_work: dict[int, float] = defaultdict(float)
+        # Map phase: fan every map task of the level out on the backend,
+        # then consume results in submission order (determinism: shuffle
+        # lists are appended in task order, not completion order).
+        invocations = [
+            TaskInvocation(task.spec)
+            for state in states
+            for task in state.job.map_tasks
+        ]
+        results = iter(self.backend.run(invocations, ctx))
+        for state in states:
+            job, metrics = state.job, state.metrics
+            for task in job.map_tasks:
+                emits, direct, task_metrics = next(results)
+                state.node_work[task.node] += task_metrics.time(params)
+                metrics.total_work += task_metrics.time(params)
+                for partition, tag, row in emits:
+                    state.shuffle[partition % max(job.num_reducers, 1)][tag].append(row)
+                state.outputs_per_node[task.node % num_nodes].extend(direct)
+            metrics.map_time = max(state.node_work.values(), default=0.0)
+
+        # Reduce phase: likewise, across all jobs of the level.
+        reduce_invocations: list[TaskInvocation] = []
+        owners: list[tuple[_JobState, int]] = []
+        for state in states:
+            job = state.job
+            if job.map_only:
+                continue
+            assert job.reduce_spec is not None
             for partition in range(job.num_reducers):
                 grouped = {
-                    tag: rows for tag, rows in shuffle.get(partition, {}).items()
+                    tag: rows for tag, rows in state.shuffle.get(partition, {}).items()
                 }
-                out_rows, task_metrics = job.reducer(partition, grouped)
-                node = partition % self.cluster.num_nodes
-                reducer_work[node] += task_metrics.time(params)
+                reduce_invocations.append(
+                    TaskInvocation(job.reduce_spec, (partition, grouped))
+                )
+                owners.append((state, partition))
+        if reduce_invocations:
+            reduce_results = self.backend.run(reduce_invocations, ctx)
+            for (state, partition), (out_rows, task_metrics) in zip(
+                owners, reduce_results
+            ):
+                metrics = state.metrics
+                node = partition % num_nodes
+                state.reduce_work[node] += task_metrics.time(params)
                 metrics.total_work += task_metrics.time(params)
                 metrics.tuples_shuffled += task_metrics.tuples_shuffled
-                outputs_per_node[node].extend(out_rows)
-            metrics.reduce_time = max(reducer_work.values(), default=0.0)
+                state.outputs_per_node[node].extend(out_rows)
+            for state in states:
+                if not state.job.map_only:
+                    state.metrics.reduce_time = max(
+                        state.reduce_work.values(), default=0.0
+                    )
 
-        metrics.total_work += params.job_overhead
-        metrics.output_tuples = sum(len(rows) for rows in outputs_per_node)
-        if job.on_complete is not None:
-            job.on_complete(outputs_per_node)
-        return metrics
+        # Close out the level: charge overheads, publish outputs.
+        level_time = 0.0
+        for state in states:
+            metrics = state.metrics
+            metrics.total_work += params.job_overhead
+            metrics.output_tuples = sum(
+                len(rows) for rows in state.outputs_per_node
+            )
+            if state.job.on_complete is not None:
+                state.job.on_complete(state.outputs_per_node)
+            report.jobs.append(metrics)
+            report.total_work += metrics.total_work
+            level_time = max(level_time, metrics.time)
+        return level_time
 
 
 def run_jobs(
     jobs: list[MapReduceJob],
     cluster: ClusterConfig | None = None,
     params: CostParams = DEFAULT_PARAMS,
+    backend: ExecutionBackend | None = None,
+    ctx: TaskContext | None = None,
 ) -> ExecutionReport:
     """Convenience: build a graph from *jobs* and execute it."""
     graph = JobGraph()
     for job in jobs:
         graph.add(job)
-    return MapReduceEngine(cluster, params).execute(graph)
+    return MapReduceEngine(cluster, params, backend).execute(graph, ctx)

@@ -1,10 +1,22 @@
 """The simulated MapReduce job model.
 
 A :class:`MapReduceJob` bundles map tasks (one per node per input), an
-optional reduce stage and dependency edges.  Tasks are plain callables
-so that any engine (CSQ's physical executor, the comparator systems'
-simulators) can express its work in the same currency; the engine only
-needs each task's output rows and :class:`TaskMetrics`.
+optional reduce stage and dependency edges.  Tasks carry *declarative
+specs* — picklable dataclasses whose ``run`` method evaluates the task
+against a :class:`TaskContext` — so any execution backend (serial,
+thread pool, process pool) can ship a task to a worker and get back its
+output rows plus :class:`TaskMetrics`.  Behaviour lives in the spec
+class, state in its fields; nothing in a spec may close over live
+engine objects.
+
+Closure-style tasks (the historical API, still used by ad-hoc
+simulations and tests) remain available through ``MapTask(run=...)`` /
+``MapReduceJob(reducer=...)``; they are wrapped into
+:class:`FnMapSpec` / :class:`FnReduceSpec`, which serial and thread
+backends execute in place.  A process backend cannot pickle closures:
+hitting one demotes that backend to serial for good (a one-time,
+backend-wide fallback with a recorded warning), so keep closure jobs
+off backends meant to serve spec-based work in parallel.
 
 Map tasks emit either *shuffle output* — (partition, tag, row) triples
 destined for reducers — or *direct output* rows (map-only jobs).
@@ -14,9 +26,13 @@ Reducers receive, for their partition, the rows grouped by tag.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.mapreduce.counters import TaskMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.mapreduce.hdfs import HDFS
+    from repro.partitioning.triple_partitioner import StoreSnapshot
 
 Row = tuple
 
@@ -31,12 +47,105 @@ ReduceFn = Callable[[int, dict[int, list[Row]]], tuple[list[Row], TaskMetrics]]
 
 
 @dataclass
+class TaskContext:
+    """Everything a worker needs to evaluate task specs.
+
+    The context is the only channel through which a spec reaches shared
+    state: the partitioned store (as a read-only snapshot) and the
+    intermediate-result namespace.  A process backend rebuilds an
+    equivalent context inside each worker (store shipped once per pool,
+    HDFS inputs sliced per task), so specs must not assume the context
+    object is shared with the driver.
+    """
+
+    num_nodes: int
+    store: "StoreSnapshot | None" = None
+    hdfs: "HDFS | None" = None
+
+
+class TaskSpec:
+    """Base class for declarative task specs.
+
+    Concrete specs are module-level dataclasses with plain-data fields,
+    so ``pickle`` round-trips them by reference to their class — the
+    contract that lets a :class:`~repro.mapreduce.backends.ProcessBackend`
+    ship work across process boundaries.
+    """
+
+    def hdfs_inputs(self) -> tuple[str, ...]:
+        """Names of the HDFS files this task reads (shipped to workers)."""
+        return ()
+
+    def hdfs_slice(self, hdfs: "HDFS") -> dict:
+        """The HDFS content to ship for a remote run of this task.
+
+        Defaults to the whole file for every name in :meth:`hdfs_inputs`;
+        specs that read only part of a file (e.g. one node's partitions)
+        should override this to cut per-task IPC.
+        """
+        return {name: hdfs.read(name) for name in self.hdfs_inputs()}
+
+    def run(self, ctx: TaskContext, *args):
+        raise NotImplementedError
+
+
+class MapTaskSpec(TaskSpec):
+    """A map task spec: ``run(ctx)`` returns a :data:`MapResult`."""
+
+
+class ReduceTaskSpec(TaskSpec):
+    """A reduce task spec: ``run(ctx, partition, grouped)`` returns
+    ``(rows, metrics)`` for one reduce partition."""
+
+
+@dataclass(frozen=True)
+class FnMapSpec(MapTaskSpec):
+    """Adapter for closure-style map tasks (not process-safe)."""
+
+    fn: Callable[[], MapResult]
+
+    def run(self, ctx: TaskContext, *args) -> MapResult:
+        return self.fn()
+
+
+@dataclass(frozen=True)
+class FnReduceSpec(ReduceTaskSpec):
+    """Adapter for closure-style reducers (not process-safe)."""
+
+    fn: ReduceFn
+
+    def run(self, ctx: TaskContext, partition: int, grouped: dict) -> tuple:
+        return self.fn(partition, grouped)
+
+
+@dataclass
 class MapTask:
-    """One map task, pinned to a cluster node."""
+    """One map task, pinned to a cluster node.
+
+    Construct with either a declarative ``spec`` (preferred; required
+    for process execution) or a legacy ``run`` closure, which is wrapped
+    into a :class:`FnMapSpec`.
+    """
 
     node: int
-    run: Callable[[], MapResult]
+    spec: MapTaskSpec | None = None
+    run: Callable[[], MapResult] | None = None
     label: str = ""
+
+    def __post_init__(self) -> None:
+        if (
+            self.spec is not None
+            and self.run is None
+            and not hasattr(self.spec, "run")
+            and callable(self.spec)
+        ):
+            # Legacy positional form MapTask(node, fn): the closure lands
+            # in the spec slot; treat it as run=.
+            self.spec, self.run = None, self.spec
+        if (self.spec is None) == (self.run is None):
+            raise ValueError("a MapTask needs exactly one of spec= or run=")
+        if self.spec is None:
+            self.spec = FnMapSpec(self.run)
 
 
 @dataclass
@@ -47,16 +156,23 @@ class MapReduceJob:
     map_tasks: list[MapTask]
     num_reducers: int = 0  # 0 -> map-only job
     reducer: ReduceFn | None = None
+    #: declarative reduce spec (preferred over the ``reducer`` closure)
+    reduce_spec: ReduceTaskSpec | None = None
     #: names of jobs whose output this job reads (scheduling DAG)
     depends_on: tuple[str, ...] = ()
     #: callback invoked with (per-node output rows) once the job finishes;
-    #: used by executors to register results in simulated HDFS.
+    #: used by executors to register results in simulated HDFS.  Always
+    #: runs in the driver process, so it may close over live state.
     on_complete: Callable[[list[list[Row]]], None] | None = None
 
     def __post_init__(self) -> None:
-        if self.num_reducers > 0 and self.reducer is None:
+        if self.reducer is not None and self.reduce_spec is not None:
+            raise ValueError(f"job {self.name} has both reducer and reduce_spec")
+        if self.reducer is not None:
+            self.reduce_spec = FnReduceSpec(self.reducer)
+        if self.num_reducers > 0 and self.reduce_spec is None:
             raise ValueError(f"job {self.name} has reducers but no reduce fn")
-        if self.num_reducers == 0 and self.reducer is not None:
+        if self.num_reducers == 0 and self.reduce_spec is not None:
             raise ValueError(f"job {self.name} has a reduce fn but 0 reducers")
 
     @property
@@ -65,8 +181,13 @@ class MapReduceJob:
 
 
 def stable_hash(values: tuple) -> int:
-    """Deterministic hash for shuffle partitioning (Python's builtin
-    string hash is randomized per process)."""
+    """Deterministic hash for shuffle partitioning.
+
+    Python's builtin string hash is randomized per process, which would
+    scatter a key to different reducers in different workers; this
+    polynomial hash is pure arithmetic over the text, so every backend —
+    and every worker process — routes a key identically.
+    """
     h = 17
     for value in values:
         text = value if isinstance(value, str) else repr(value)

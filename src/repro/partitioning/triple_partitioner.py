@@ -14,8 +14,9 @@ split by object value) — see ``layout.py``.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.partitioning.layout import PLACEMENTS, triple_file
 from repro.rdf.graph import RDFGraph, Triple
@@ -51,6 +52,76 @@ def place(value: str, num_nodes: int) -> int:
     return _term_hash(value) % num_nodes
 
 
+def _scan_files(
+    store: dict[str, Sequence[Triple]],
+    placement: str,
+    prop: str | None,
+    type_object: str | None,
+) -> list[Triple]:
+    """Shared scan logic over one node's file map (store and snapshot)."""
+    if prop is None:
+        prefix = placement + "|"
+        out: list[Triple] = []
+        for name, triples in store.items():
+            if name.startswith(prefix):
+                out.extend(triples)
+        return out
+    if type_object is not None:
+        return list(store.get(triple_file(placement, prop, type_object), ()))
+    # rdf:type without a bound object: gather its object-split files.
+    exact = store.get(f"{placement}|{prop}")
+    if exact is not None:
+        return list(exact)
+    prefix = f"{placement}|{prop}|"
+    out = []
+    for name, triples in store.items():
+        if name.startswith(prefix):
+            out.extend(triples)
+    return out
+
+
+#: Process-wide store identities, so snapshots of different stores (or
+#: different versions of one store) never alias in worker-pool caches.
+_STORE_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """A read-only view of a :class:`PartitionedStore` at one version.
+
+    Building one copies every file's triple list into a fresh tuple —
+    the triples themselves are shared, but the containers are not, so
+    later ``add`` calls on the store can never mutate a snapshot.  That
+    copy is O(stored triples) in pointer copies; :meth:`PartitionedStore
+    .snapshot` memoizes it per version, so a mutation batch pays it once
+    on the next query however many queries follow.  ``token`` identifies
+    (store, version): execution backends key their worker pools on it,
+    shipping the snapshot to workers once and rebuilding only when the
+    underlying store actually changed.
+    """
+
+    num_nodes: int
+    replicas: tuple[str, ...]
+    files: tuple[dict[str, tuple[Triple, ...]], ...]
+    token: tuple[int, int]
+
+    def scan(
+        self,
+        node: int,
+        placement: str,
+        prop: str | None = None,
+        type_object: str | None = None,
+    ) -> list[Triple]:
+        """Triples of one node's partition (see :meth:`PartitionedStore.scan`)."""
+        return _scan_files(self.files[node], placement, prop, type_object)
+
+    def file_names(self, node: int) -> list[str]:
+        return sorted(self.files[node].keys())
+
+    def total_stored(self) -> int:
+        return sum(len(ts) for node in self.files for ts in node.values())
+
+
 @dataclass
 class PartitionedStore:
     """The §5.1 storage layout: per node, per file, a list of triples.
@@ -65,6 +136,14 @@ class PartitionedStore:
     replicas: tuple[str, ...] = PLACEMENTS
     #: files[node][file_name] -> triples
     files: list[dict[str, list[Triple]]] = field(default_factory=list)
+    #: bumped on every mutation; versions key snapshot/worker-pool caches
+    version: int = field(default=0, init=False, compare=False)
+    uid: int = field(
+        default_factory=lambda: next(_STORE_IDS), init=False, compare=False
+    )
+    _snapshot: "StoreSnapshot | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.files:
@@ -86,6 +165,34 @@ class PartitionedStore:
             node = place(value, self.num_nodes)
             name = triple_file(placement, p, o)
             self.files[node].setdefault(name, []).append(triple)
+        self.version += 1
+        self._snapshot = None
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> StoreSnapshot:
+        """A read-only view of the store at its current version.
+
+        Snapshots are memoized per version, so the copy cost (pointer
+        copies of the file maps) is paid once per mutation batch however
+        many queries execute in between; workers receiving the snapshot
+        can scan it without ever touching the live, mutable store.
+        """
+        cached = self._snapshot
+        token = (self.uid, self.version)
+        if cached is not None and cached.token == token:
+            return cached
+        snapshot = StoreSnapshot(
+            num_nodes=self.num_nodes,
+            replicas=self.replicas,
+            files=tuple(
+                {name: tuple(triples) for name, triples in node.items()}
+                for node in self.files
+            ),
+            token=token,
+        )
+        self._snapshot = snapshot
+        return snapshot
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         count = 0
@@ -108,26 +215,7 @@ class PartitionedStore:
         ``prop=None`` scans the whole placement partition (the unbound-
         property case, which forces reading every file of the replica).
         """
-        store = self.files[node]
-        if prop is None:
-            prefix = placement + "|"
-            out: list[Triple] = []
-            for name, triples in store.items():
-                if name.startswith(prefix):
-                    out.extend(triples)
-            return out
-        if type_object is not None:
-            return list(store.get(triple_file(placement, prop, type_object), ()))
-        # rdf:type without a bound object: gather its object-split files.
-        exact = store.get(f"{placement}|{prop}")
-        if exact is not None:
-            return list(exact)
-        prefix = f"{placement}|{prop}|"
-        out = []
-        for name, triples in store.items():
-            if name.startswith(prefix):
-                out.extend(triples)
-        return out
+        return _scan_files(self.files[node], placement, prop, type_object)
 
     def file_names(self, node: int) -> list[str]:
         """All partition files on a node."""

@@ -5,6 +5,13 @@ node-locally, map joins star-join co-located tuples, shuffles hash rows
 to reducers, reduce joins combine their partition's groups.  Work
 counters feed the timing model of the engine, and the returned answers
 are exact (tested against the reference evaluator).
+
+Tasks are *declarative specs* (:class:`ChainMapSpec`,
+:class:`MapOnlySpec`, :class:`StarReduceSpec`): picklable dataclasses
+holding the physical operator chain plus routing data, evaluated against
+a :class:`~repro.mapreduce.jobs.TaskContext`.  That keeps plan execution
+backend-agnostic — the same compiled plan runs serially, on a thread
+pool, or fanned out across a process pool, with byte-identical answers.
 """
 
 from __future__ import annotations
@@ -13,12 +20,27 @@ from dataclasses import dataclass
 
 from repro.core.logical import LogicalPlan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import ExecutionBackend, make_backend
 from repro.mapreduce.counters import ExecutionReport, TaskMetrics
 from repro.mapreduce.engine import ClusterConfig, MapReduceEngine
 from repro.mapreduce.hdfs import HDFS, DistributedRelation
-from repro.mapreduce.jobs import JobGraph, MapReduceJob, MapTask, Row, stable_hash
+from repro.mapreduce.jobs import (
+    JobGraph,
+    MapReduceJob,
+    MapTask,
+    MapTaskSpec,
+    ReduceTaskSpec,
+    Row,
+    TaskContext,
+    stable_hash,
+)
 from repro.partitioning.triple_partitioner import PartitionedStore
-from repro.physical.job_compiler import CompiledPlan, JobSpec, compile_plan
+from repro.physical.job_compiler import (
+    CompiledPlan,
+    JobSpec,
+    compile_plan,
+    shuffler_sources,
+)
 from repro.physical.operators import (
     Filter,
     MapJoin,
@@ -39,12 +61,163 @@ class PreparedPlan:
     Preparation is pure (no cluster state is touched), so a prepared
     plan can be executed any number of times — and cached: the query
     service memoizes prepared plans per query shape to skip translation
-    and job compilation on repeated queries.
+    and job compilation on repeated queries.  All three layers are plain
+    dataclasses of plain data, so a prepared plan pickles: it can be
+    shipped to another process or persisted and re-executed there.
     """
 
     plan: LogicalPlan
     physical: PhysicalPlan
     compiled: CompiledPlan
+
+
+# -- chain evaluation ---------------------------------------------------------
+
+
+def eval_chain(
+    op: PhysicalOperator, node: int, ctx: TaskContext, metrics: TaskMetrics
+) -> Relation:
+    """Evaluate a map-side chain on one node's local data."""
+    if isinstance(op, MapScan):
+        triples = ctx.store.scan(node, op.placement, op.prop, op.type_object)
+        metrics.tuples_read += len(triples)
+        rows = []
+        for triple in triples:
+            row = bind_triple(op.pattern, triple)
+            if row is not None:
+                rows.append(row)
+        return Relation(op.attrs, rows)
+    if isinstance(op, Filter):
+        # The scan enforces the whole pattern via bind_triple; the
+        # filter's accounted work is one check per scanned tuple.
+        before = metrics.tuples_read
+        child = eval_chain(op.child, node, ctx, metrics)
+        metrics.checks += metrics.tuples_read - before
+        return child
+    if isinstance(op, MapJoin):
+        inputs = [eval_chain(c, node, ctx, metrics) for c in op.inputs]
+        output = star_join(inputs, on=op.on)
+        metrics.join_tuples += sum(len(r) for r in inputs) + len(output)
+        metrics.tuples_written += len(output)
+        return output
+    if isinstance(op, MapShuffler):
+        relation = ctx.hdfs.read(op.source)
+        rows = list(relation.partitions[node])
+        metrics.tuples_read += len(rows)
+        metrics.tuples_written += len(rows)
+        return Relation(relation.attrs, rows)
+    if isinstance(op, PhysProject):
+        # A pushed-down projection running inside the map task.
+        child = eval_chain(op.child, node, ctx, metrics)
+        metrics.checks += len(child)
+        return child.project(op.on)
+    raise TypeError(f"not a map-side operator: {type(op)!r}")
+
+
+# -- task specs ---------------------------------------------------------------
+
+
+class _ChainTaskSpec(MapTaskSpec):
+    """Shared remote-input logic for chain-evaluating map specs
+    (subclasses carry ``chain`` and ``node`` fields)."""
+
+    def hdfs_inputs(self) -> tuple[str, ...]:
+        return shuffler_sources(self.chain)
+
+    def hdfs_slice(self, hdfs: HDFS) -> dict:
+        # The chain only reads this node's partitions; ship those alone
+        # (the full relation would otherwise cross the process boundary
+        # once per node).
+        out = {}
+        for name in self.hdfs_inputs():
+            relation = hdfs.read(name)
+            out[name] = DistributedRelation(
+                attrs=relation.attrs,
+                partitions=[
+                    part if i == self.node else []
+                    for i, part in enumerate(relation.partitions)
+                ],
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class ChainMapSpec(_ChainTaskSpec):
+    """Map task feeding a reduce join: evaluate a chain on one node and
+    shuffle its rows to reducers by the join key's stable hash."""
+
+    chain: PhysicalOperator
+    node: int
+    tag: int
+    key_attrs: tuple[str, ...]
+    num_reducers: int
+
+    def run(self, ctx: TaskContext, *args):
+        metrics = TaskMetrics()
+        relation = eval_chain(self.chain, self.node, ctx, metrics)
+        # Hadoop spills map output to local disk before the shuffle.
+        # Map joins and map shufflers already counted that write
+        # (c(MJ)/c(MF) include it, §5.4); bare scan chains have not.
+        if not isinstance(self.chain, (MapJoin, MapShuffler)):
+            metrics.tuples_written += len(relation)
+        key = relation.key(self.key_attrs)
+        emits = [
+            (stable_hash(key(row)) % self.num_reducers, self.tag, row)
+            for row in relation.rows
+        ]
+        return emits, [], metrics
+
+
+@dataclass(frozen=True)
+class MapOnlySpec(_ChainTaskSpec):
+    """Map-only task: evaluate a chain on one node, emit direct output."""
+
+    chain: PhysicalOperator
+    node: int
+    project: tuple[str, ...] | None
+
+    def run(self, ctx: TaskContext, *args):
+        metrics = TaskMetrics()
+        relation = eval_chain(self.chain, self.node, ctx, metrics)
+        if self.project is not None:
+            metrics.checks += len(relation)
+            relation = relation.project(self.project)
+        metrics.tuples_written += len(relation)
+        return [], list(relation.rows), metrics
+
+
+@dataclass(frozen=True)
+class StarReduceSpec(ReduceTaskSpec):
+    """Reduce task of a repartition join: star-join the tagged groups of
+    one partition, optionally projecting the terminal job's output."""
+
+    on: tuple[str, ...]
+    child_attrs: tuple[tuple[str, ...], ...]
+    project: tuple[str, ...] | None
+
+    def run(self, ctx: TaskContext, partition: int, grouped: dict):
+        metrics = TaskMetrics()
+        inputs = []
+        for tag, attrs in enumerate(self.child_attrs):
+            rows = grouped.get(tag, [])
+            metrics.tuples_shuffled += len(rows)
+            # Reducers merge-read the transferred runs from disk.
+            metrics.tuples_read += len(rows)
+            inputs.append(Relation(attrs, rows))
+        if any(len(r) == 0 for r in inputs):
+            out_rows: list[Row] = []
+        else:
+            output = star_join(inputs, on=self.on)
+            metrics.join_tuples += sum(len(r) for r in inputs) + len(output)
+            if self.project is not None:
+                metrics.checks += len(output)
+                output = output.project(self.project)
+            out_rows = list(output.rows)
+        metrics.tuples_written += len(out_rows)
+        return out_rows, metrics
+
+
+# -- results ------------------------------------------------------------------
 
 
 @dataclass
@@ -71,18 +244,40 @@ class ExecutionResult:
 
 
 class PlanExecutor:
-    """Runs logical plans over a partitioned store on a simulated cluster."""
+    """Runs logical plans over a partitioned store on a simulated cluster.
+
+    ``backend`` selects how task specs physically execute: a backend
+    name (``"serial"``/``"thread"``/``"process"``), an
+    :class:`~repro.mapreduce.backends.ExecutionBackend` instance, or
+    ``None`` for serial.  Answers and simulated reports are identical
+    across backends; only wall-clock differs.
+    """
 
     def __init__(
         self,
         store: PartitionedStore,
         cluster: ClusterConfig | None = None,
         params: CostParams = DEFAULT_PARAMS,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         self.store = store
         self.cluster = cluster or ClusterConfig(num_nodes=store.num_nodes)
         self.params = params
-        self.engine = MapReduceEngine(self.cluster, params)
+        self.backend = make_backend(backend)
+        self.engine = MapReduceEngine(self.cluster, params, backend=self.backend)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend worker pools (no-op for serial)."""
+        self.backend.close()
+
+    def __enter__(self) -> "PlanExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- public API -----------------------------------------------------------
 
@@ -100,10 +295,15 @@ class PlanExecutor:
         """Run an already-prepared plan; return answers + report."""
         compiled = prepared.compiled
         hdfs = HDFS(num_nodes=self.cluster.num_nodes)
+        ctx = TaskContext(
+            num_nodes=self.cluster.num_nodes,
+            store=self.store.snapshot(),
+            hdfs=hdfs,
+        )
         graph = JobGraph()
         for spec in compiled.jobs:
             graph.add(self._build_job(spec, hdfs))
-        report = self.engine.execute(graph)
+        report = self.engine.execute(graph, ctx)
         result_rel = hdfs.read("result")
         rows = set(result_rel.all_rows())
         return ExecutionResult(
@@ -114,47 +314,6 @@ class PlanExecutor:
             physical=prepared.physical,
             compiled=compiled,
         )
-
-    # -- chain evaluation -------------------------------------------------------
-
-    def _eval_chain(
-        self, op: PhysicalOperator, node: int, hdfs: HDFS, metrics: TaskMetrics
-    ) -> Relation:
-        """Evaluate a map-side chain on one node's local data."""
-        if isinstance(op, MapScan):
-            triples = self.store.scan(node, op.placement, op.prop, op.type_object)
-            metrics.tuples_read += len(triples)
-            rows = []
-            for triple in triples:
-                row = bind_triple(op.pattern, triple)
-                if row is not None:
-                    rows.append(row)
-            return Relation(op.attrs, rows)
-        if isinstance(op, Filter):
-            # The scan enforces the whole pattern via bind_triple; the
-            # filter's accounted work is one check per scanned tuple.
-            before = metrics.tuples_read
-            child = self._eval_chain(op.child, node, hdfs, metrics)
-            metrics.checks += metrics.tuples_read - before
-            return child
-        if isinstance(op, MapJoin):
-            inputs = [self._eval_chain(c, node, hdfs, metrics) for c in op.inputs]
-            output = star_join(inputs, on=op.on)
-            metrics.join_tuples += sum(len(r) for r in inputs) + len(output)
-            metrics.tuples_written += len(output)
-            return output
-        if isinstance(op, MapShuffler):
-            relation = hdfs.read(op.source)
-            rows = list(relation.partitions[node])
-            metrics.tuples_read += len(rows)
-            metrics.tuples_written += len(rows)
-            return Relation(relation.attrs, rows)
-        if isinstance(op, PhysProject):
-            # A pushed-down projection running inside the map task.
-            child = self._eval_chain(op.child, node, hdfs, metrics)
-            metrics.checks += len(child)
-            return child.project(op.on)
-        raise TypeError(f"not a map-side operator: {type(op)!r}")
 
     # -- job construction ----------------------------------------------------------
 
@@ -168,40 +327,23 @@ class PlanExecutor:
         num_reducers = num_nodes
         map_tasks: list[MapTask] = []
         for tag, chain in enumerate(spec.map_chains):
-            key_attrs = rj.on
             for node in range(num_nodes):
                 map_tasks.append(
                     MapTask(
                         node=node,
                         label=f"{spec.name}/m{tag}@{node}",
-                        run=self._make_mapper(chain, tag, key_attrs, node, hdfs, num_reducers),
+                        spec=ChainMapSpec(
+                            chain=chain,
+                            node=node,
+                            tag=tag,
+                            key_attrs=rj.on,
+                            num_reducers=num_reducers,
+                        ),
                     )
                 )
 
         child_attrs = tuple(chain.attrs for chain in spec.map_chains)
         project = spec.project
-
-        def reducer(partition: int, grouped: dict[int, list[Row]]) -> tuple[list[Row], TaskMetrics]:
-            metrics = TaskMetrics()
-            inputs = []
-            for tag, attrs in enumerate(child_attrs):
-                rows = grouped.get(tag, [])
-                metrics.tuples_shuffled += len(rows)
-                # Reducers merge-read the transferred runs from disk.
-                metrics.tuples_read += len(rows)
-                inputs.append(Relation(attrs, rows))
-            if any(len(r) == 0 for r in inputs):
-                output = Relation(tuple(), [])
-                out_rows: list[Row] = []
-            else:
-                output = star_join(inputs, on=rj.on)
-                metrics.join_tuples += sum(len(r) for r in inputs) + len(output)
-                if project is not None:
-                    metrics.checks += len(output)
-                    output = output.project(project)
-                out_rows = list(output.rows)
-            metrics.tuples_written += len(out_rows)
-            return out_rows, metrics
 
         def on_complete(outputs: list[list[Row]]) -> None:
             attrs = project if project is not None else rj.attrs
@@ -214,56 +356,24 @@ class PlanExecutor:
             name=spec.name,
             map_tasks=map_tasks,
             num_reducers=num_reducers,
-            reducer=reducer,
+            reduce_spec=StarReduceSpec(
+                on=rj.on, child_attrs=child_attrs, project=project
+            ),
             depends_on=spec.depends,
             on_complete=on_complete,
         )
-
-    def _make_mapper(
-        self,
-        chain: PhysicalOperator,
-        tag: int,
-        key_attrs: tuple[str, ...],
-        node: int,
-        hdfs: HDFS,
-        num_reducers: int,
-    ):
-        def run():
-            metrics = TaskMetrics()
-            relation = self._eval_chain(chain, node, hdfs, metrics)
-            # Hadoop spills map output to local disk before the shuffle.
-            # Map joins and map shufflers already counted that write
-            # (c(MJ)/c(MF) include it, §5.4); bare scan chains have not.
-            if not isinstance(chain, (MapJoin, MapShuffler)):
-                metrics.tuples_written += len(relation)
-            key = relation.key(key_attrs)
-            emits = [
-                (stable_hash(key(row)) % num_reducers, tag, row)
-                for row in relation.rows
-            ]
-            return emits, [], metrics
-
-        return run
 
     def _build_map_only_job(self, spec: JobSpec, hdfs: HDFS) -> MapReduceJob:
         chain = spec.map_chains[0]
         project = spec.project
         out_attrs = project if project is not None else chain.attrs
 
-        def make_run(node: int):
-            def run():
-                metrics = TaskMetrics()
-                relation = self._eval_chain(chain, node, hdfs, metrics)
-                if project is not None:
-                    metrics.checks += len(relation)
-                    relation = relation.project(project)
-                metrics.tuples_written += len(relation)
-                return [], list(relation.rows), metrics
-
-            return run
-
         map_tasks = [
-            MapTask(node=node, label=f"{spec.name}@{node}", run=make_run(node))
+            MapTask(
+                node=node,
+                label=f"{spec.name}@{node}",
+                spec=MapOnlySpec(chain=chain, node=node, project=project),
+            )
             for node in range(self.cluster.num_nodes)
         ]
 

@@ -63,8 +63,18 @@ def render_jobs(compiled: CompiledPlan) -> str:
     return "\n".join(lines)
 
 
-def explain(plan: LogicalPlan, replicas: tuple[str, ...] = ("s", "p", "o")) -> str:
-    """Full three-layer explanation of a logical plan."""
+def explain(
+    plan: LogicalPlan,
+    replicas: tuple[str, ...] = ("s", "p", "o"),
+    backend: str = "serial",
+) -> str:
+    """Full three-layer explanation of a logical plan.
+
+    ``backend`` names the execution backend the jobs would run on
+    (serial / thread / process); it changes wall-clock only, never the
+    job structure or answers, and is surfaced here so an EXPLAIN of a
+    service-configured query shows where its tasks will execute.
+    """
     physical = translate(plan, replicas=replicas)
     compiled = compile_plan(physical)
     parts = [
@@ -73,7 +83,7 @@ def explain(plan: LogicalPlan, replicas: tuple[str, ...] = ("s", "p", "o")) -> s
         "== physical plan ==",
         render_physical(physical),
         f"== MapReduce jobs ({compiled.num_jobs}; signature "
-        f"{compiled.job_signature()}) ==",
+        f"{compiled.job_signature()}; backend {backend}) ==",
         render_jobs(compiled),
     ]
     return "\n".join(parts)

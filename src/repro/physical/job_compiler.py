@@ -68,8 +68,11 @@ def compile_plan(plan: PhysicalPlan) -> CompiledPlan:
             return job_of_rj[rj.output_name]
         depends: list[str] = []
         for child in rj.inputs:
-            if isinstance(child, MapShuffler):
-                producer = _find_rj(plan, child.source)
+            # A shuffler may sit below a pushed-down projection (or any
+            # other map-side operator), not only directly under the join;
+            # every shuffled source is a scheduling dependency.
+            for source in shuffler_sources(child):
+                producer = _find_rj(plan, source)
                 depends.append(compile_rj(producer).name)
         job = JobSpec(
             name=f"job-{rj.output_name}",
@@ -110,6 +113,23 @@ def compile_plan(plan: PhysicalPlan) -> CompiledPlan:
             )
         )
     return compiled
+
+
+def shuffler_sources(op: PhysicalOperator) -> tuple[str, ...]:
+    """The distinct MapShuffler sources inside one map-side chain.
+
+    These are both the chain's scheduling dependencies (the jobs that
+    produce those HDFS files) and the HDFS inputs a worker needs shipped
+    to evaluate the chain remotely.
+    """
+    out: list[str] = []
+    stack = [op]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, MapShuffler):
+            out.append(current.source)
+        stack.extend(current.children)
+    return tuple(dict.fromkeys(out))
 
 
 def _find_rj(plan: PhysicalPlan, output_name: str) -> ReduceJoin:

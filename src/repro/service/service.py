@@ -16,7 +16,14 @@ partitioned store (§5.1) that amortizes optimization across a workload:
   calls racing on one shape);
 * a readers–writer lock lets any number of queries read the store
   concurrently while :meth:`add_triples` gets exclusive access, and
-  every submission is recorded in :class:`~repro.service.stats.ServiceStats`.
+  every submission is recorded in :class:`~repro.service.stats.ServiceStats`;
+* task execution is delegated to a pluggable
+  :class:`~repro.mapreduce.backends.ExecutionBackend`
+  (``ServiceConfig.backend``): ``"process"`` fans each query's
+  map/reduce tasks out across worker processes — the GIL-free path that
+  lets :meth:`submit_batch` actually parallelize CPU-bound work — with
+  automatic serial fallback (recorded as a stats warning) where process
+  pools are unavailable.
 
 The classic CSQ system (:mod:`repro.systems.csq`) is a thin session over
 this service; later scaling work (sharding, async backends, admission
@@ -36,8 +43,10 @@ from repro.core.logical import LogicalPlan
 from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
 from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import make_backend
 from repro.mapreduce.counters import ExecutionReport
 from repro.mapreduce.engine import ClusterConfig
+from repro.mapreduce.jobs import TaskContext
 from repro.partitioning.triple_partitioner import partition_graph
 from repro.physical.executor import ExecutionResult, PlanExecutor, PreparedPlan
 from repro.rdf.graph import RDFGraph, Triple
@@ -125,6 +134,15 @@ class ServiceConfig:
     result_cache_size: int | None = 256
     #: worker threads for submit_batch
     max_workers: int = 8
+    #: task execution backend: "serial" | "thread" | "process" (or an
+    #: ExecutionBackend instance).  "process" actually parallelizes the
+    #: CPU-bound map/reduce work of each query across worker processes;
+    #: where process pools are unavailable it falls back to serial and
+    #: records a warning in ServiceStats.
+    backend: str = "serial"
+    #: workers for the thread/process execution backend (None = auto:
+    #: 4 threads, or one process per available CPU)
+    backend_workers: int | None = None
     #: individualization budget of the canonicalizer
     canonical_budget: int = 4096
     #: drop cached plans when the graph (hence statistics) changes
@@ -213,10 +231,16 @@ class QueryService:
         self.catalog = CatalogStatistics.from_graph(graph)
         self.estimator = CardinalityEstimator(self.catalog)
         self.coster = PlanCoster(self.estimator, self.config.params)
+        self.backend = make_backend(
+            self.config.backend,
+            num_workers=self.config.backend_workers,
+            on_fallback=self._on_backend_fallback,
+        )
         self.executor = PlanExecutor(
             self.store,
             ClusterConfig(num_nodes=self.config.num_nodes),
             self.config.params,
+            backend=self.backend,
         )
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
@@ -228,8 +252,19 @@ class QueryService:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        # Start process workers (if any) before serving threads exist:
+        # fork-based pools must not be created from a multithreaded
+        # batch submission mid-flight.
+        self.backend.prime(
+            TaskContext(
+                num_nodes=self.config.num_nodes, store=self.store.snapshot()
+            )
+        )
 
     # -- lifecycle ---------------------------------------------------------
+
+    def _on_backend_fallback(self, message: str) -> None:
+        self.stats.record_warning(message)
 
     def close(self) -> None:
         with self._pool_lock:
@@ -237,6 +272,7 @@ class QueryService:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            self.backend.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -328,6 +364,17 @@ class QueryService:
                     if self.config.invalidate_plans_on_mutation:
                         self.plan_cache.clear()
                     self.stats.record_mutation()
+                    # Rebuild process worker pools now, while the write
+                    # lock quiesces every query thread: a fork-based pool
+                    # must not be (re)created mid-batch from a pool
+                    # thread, and the workers' store snapshot is stale
+                    # anyway.
+                    self.backend.prime(
+                        TaskContext(
+                            num_nodes=self.config.num_nodes,
+                            store=self.store.snapshot(),
+                        )
+                    )
         return added
 
     # -- serving -----------------------------------------------------------

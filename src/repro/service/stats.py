@@ -82,6 +82,8 @@ class StatsSnapshot:
     optimize: LatencySummary
     execute: LatencySummary
     total: LatencySummary
+    #: operational warnings (e.g. an execution backend falling back)
+    warnings: tuple[str, ...] = ()
 
     @property
     def plan_hit_rate(self) -> float:
@@ -119,6 +121,8 @@ class StatsSnapshot:
                 f"p95={1e3 * summary.p95:.2f}ms p99={1e3 * summary.p99:.2f}ms "
                 f"(n={summary.count})"
             )
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
 
@@ -135,6 +139,7 @@ class ServiceStats:
     result_misses: int = 0
     coalesced: int = 0
     mutations: int = 0
+    warnings: list = field(default_factory=list)
     _optimize: deque = field(default_factory=deque, repr=False)
     _execute: deque = field(default_factory=deque, repr=False)
     _total: deque = field(default_factory=deque, repr=False)
@@ -184,6 +189,12 @@ class ServiceStats:
         with self._lock:
             self.mutations += 1
 
+    def record_warning(self, message: str) -> None:
+        """Record an operational warning (deduplicated, kept forever)."""
+        with self._lock:
+            if message not in self.warnings:
+                self.warnings.append(message)
+
     def snapshot(self, graph_version: int = 0) -> StatsSnapshot:
         with self._lock:
             return StatsSnapshot(
@@ -200,4 +211,5 @@ class ServiceStats:
                 optimize=LatencySummary.of(list(self._optimize)),
                 execute=LatencySummary.of(list(self._execute)),
                 total=LatencySummary.of(list(self._total)),
+                warnings=tuple(self.warnings),
             )

@@ -34,6 +34,9 @@ class CSQConfig:
     max_plans: int | None = 20_000
     timeout_s: float | None = 100.0
     params: CostParams = DEFAULT_PARAMS
+    #: task execution backend ("serial" | "thread" | "process")
+    backend: str = "serial"
+    backend_workers: int | None = None
 
     def service_config(self) -> ServiceConfig:
         return ServiceConfig(
@@ -42,6 +45,8 @@ class CSQConfig:
             max_plans=self.max_plans,
             timeout_s=self.timeout_s,
             params=self.params,
+            backend=self.backend,
+            backend_workers=self.backend_workers,
         )
 
 
@@ -57,9 +62,24 @@ class CSQ:
         service: QueryService | None = None,
     ) -> None:
         self.config = config or CSQConfig()
+        self._owns_service = service is None
         if service is None:
             service = QueryService(graph, self.config.service_config())
         self.service = service
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the owned service's pools (no-op on a shared service)."""
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "CSQ":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # Historical attribute surface, now owned by the service.  These are
     # properties (not bindings taken at construction) because mutation

@@ -1,0 +1,620 @@
+"""Execution backends: spec picklability, cross-backend equivalence,
+fallback behaviour, report merging, and ordering stability."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.cost.params import CostParams
+from repro.mapreduce.backends import (
+    BackendUnavailable,
+    ProcessBackend,
+    SerialBackend,
+    TaskInvocation,
+    ThreadBackend,
+    make_backend,
+)
+from repro.mapreduce.counters import ExecutionReport, JobMetrics, TaskMetrics
+from repro.mapreduce.engine import ClusterConfig, run_jobs
+from repro.mapreduce.jobs import (
+    FnMapSpec,
+    MapReduceJob,
+    MapTask,
+    TaskContext,
+    stable_hash,
+)
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import (
+    ChainMapSpec,
+    MapOnlySpec,
+    PlanExecutor,
+    StarReduceSpec,
+)
+from repro.relational.relation import Relation
+from repro.sparql.parser import parse_query
+from tests.conftest import make_university_graph
+
+
+def _process_pools_work() -> bool:
+    """True when this machine can actually run a process pool.
+
+    Probes with a builtin: this runs at import time, and pickling a
+    class defined in this module would deadlock on the import lock (the
+    pool's feeder thread re-imports the half-imported module).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+class _SquareSpec:
+    """Minimal picklable spec for backend plumbing tests."""
+
+    def hdfs_inputs(self):
+        return ()
+
+    def run(self, ctx, x):
+        return x * x
+
+
+PROCESS_OK = _process_pools_work()
+needs_process = pytest.mark.skipif(
+    not PROCESS_OK, reason="process pools unavailable in this environment"
+)
+
+
+@pytest.fixture(scope="module")
+def university():
+    graph = make_university_graph()
+    store = partition_graph(graph, 7)
+    return graph, store
+
+
+def _prepare(store, text):
+    executor = PlanExecutor(store)
+    query = parse_query(text)
+    plan = cliquesquare(query, MSC).plans[0]
+    return executor, executor.prepare(plan)
+
+
+TWO_LEVEL_QUERY = (
+    "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+    "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }"
+)
+
+
+class TestSpecPickling:
+    def test_prepared_plan_round_trip(self, university):
+        _, store = university
+        executor, prepared = _prepare(store, TWO_LEVEL_QUERY)
+        clone = pickle.loads(pickle.dumps(prepared))
+        assert clone.compiled.final_attrs == prepared.compiled.final_attrs
+        assert clone.compiled.num_jobs == prepared.compiled.num_jobs
+        # The unpickled plan is executable and answers identically.
+        assert (
+            executor.execute_prepared(clone).rows
+            == executor.execute_prepared(prepared).rows
+        )
+
+    def test_job_and_task_specs_round_trip(self, university):
+        _, store = university
+        _, prepared = _prepare(store, TWO_LEVEL_QUERY)
+        for job_spec in prepared.compiled.jobs:
+            assert pickle.loads(pickle.dumps(job_spec)) == job_spec
+            for tag, chain in enumerate(job_spec.map_chains):
+                spec = ChainMapSpec(
+                    chain=chain, node=0, tag=tag, key_attrs=("?d",), num_reducers=7
+                )
+                assert pickle.loads(pickle.dumps(spec)) == spec
+            if job_spec.reduce_join is not None:
+                reduce_spec = StarReduceSpec(
+                    on=job_spec.reduce_join.on,
+                    child_attrs=tuple(c.attrs for c in job_spec.map_chains),
+                    project=job_spec.project,
+                )
+                assert pickle.loads(pickle.dumps(reduce_spec)) == reduce_spec
+
+    def test_map_only_spec_round_trip(self, university):
+        _, store = university
+        _, prepared = _prepare(
+            store, "SELECT ?p ?d WHERE { ?p ub:worksFor ?d }"
+        )
+        chain = prepared.compiled.jobs[0].map_chains[0]
+        spec = MapOnlySpec(chain=chain, node=3, project=("?p", "?d"))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_physical_and_logical_plans_round_trip(self, university):
+        _, store = university
+        _, prepared = _prepare(store, TWO_LEVEL_QUERY)
+        assert pickle.loads(pickle.dumps(prepared.plan)) == prepared.plan
+        physical = pickle.loads(pickle.dumps(prepared.physical))
+        assert str(physical.root) == str(prepared.physical.root)
+        assert len(physical.reduce_joins) == len(prepared.physical.reduce_joins)
+
+    def test_store_snapshot_round_trip(self, university):
+        _, store = university
+        snapshot = store.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.token == snapshot.token
+        assert clone.total_stored() == snapshot.total_stored()
+        assert clone.scan(0, "s") == snapshot.scan(0, "s")
+
+
+class TestStableHashDeterminism:
+    SAMPLES = [
+        ("<http://example.org/a>",),
+        ("<e1>", "<e2>"),
+        ("ub:worksFor", '"literal value"', "<D0.U3>"),
+        (42, "mixed"),
+    ]
+
+    def test_deterministic_in_process(self):
+        assert [stable_hash(s) for s in self.SAMPLES] == [
+            stable_hash(s) for s in self.SAMPLES
+        ]
+
+    @needs_process
+    def test_deterministic_across_processes(self):
+        backend = ProcessBackend(2, fallback=False)
+        try:
+            results = backend.run(
+                [TaskInvocation(_HashSpec(), (s,)) for s in self.SAMPLES],
+                TaskContext(num_nodes=1),
+            )
+        finally:
+            backend.close()
+        assert results == [stable_hash(s) for s in self.SAMPLES]
+
+
+class _HashSpec:
+    def hdfs_inputs(self):
+        return ()
+
+    def run(self, ctx, values):
+        return stable_hash(values)
+
+
+class TestBackendEquivalence:
+    QUERIES = [
+        "SELECT ?p ?d WHERE { ?p ub:worksFor ?d }",
+        "SELECT ?d WHERE { ?d ub:subOrganizationOf <univ0> }",
+        "SELECT ?x WHERE { ?x rdf:type ub:FullProfessor }",
+        TWO_LEVEL_QUERY,
+        "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+        "?d ub:subOrganizationOf <univ0> }",
+    ]
+
+    def test_all_backends_agree(self, university):
+        _, store = university
+        serial = PlanExecutor(store)
+        backends = {"thread": PlanExecutor(store, backend=ThreadBackend(3))}
+        if PROCESS_OK:
+            backends["process"] = PlanExecutor(
+                store, backend=ProcessBackend(2, fallback=False)
+            )
+        try:
+            for text in self.QUERIES:
+                query = parse_query(text)
+                plan = cliquesquare(query, MSC).plans[0]
+                prepared = serial.prepare(plan)
+                reference = serial.execute_prepared(prepared)
+                for name, executor in backends.items():
+                    result = executor.execute_prepared(prepared)
+                    assert result.rows == reference.rows, (name, text)
+                    assert result.attrs == reference.attrs
+                    # The simulated timing model is backend-invariant.
+                    assert result.report.response_time == pytest.approx(
+                        reference.report.response_time
+                    )
+                    assert result.report.total_work == pytest.approx(
+                        reference.report.total_work
+                    )
+                    assert result.report.backend == name
+        finally:
+            for executor in backends.values():
+                executor.close()
+
+
+class TestMultiJobProcessExecution:
+    @needs_process
+    def test_sliced_shuffle_inputs_cross_process(self):
+        """A plan with stacked reduce joins ships only the task's node
+        partition of each shuffled intermediate to the worker."""
+        import random
+
+        from repro.rdf.graph import RDFGraph
+        from repro.sparql.evaluator import evaluate
+
+        rng = random.Random(7)
+        g = RDFGraph(validate=False)
+        values = [f"<e{i}>" for i in range(6)]
+        for _ in range(120):
+            g.add(rng.choice(values), f"p{rng.randrange(4)}", rng.choice(values))
+        query = parse_query(
+            "SELECT ?a WHERE { ?a p0 ?b . ?b p1 ?c . ?c p2 ?d . ?d p3 ?e }"
+        )
+        expected = evaluate(query, g)
+        # Subject-only replicas ablate co-location: object-position joins
+        # degrade to reduce joins, stacking into multi-job plans.
+        store = partition_graph(g, 4, replicas=("s",))
+        serial = PlanExecutor(store)
+        tested = 0
+        with PlanExecutor(store, backend=ProcessBackend(2, fallback=False)) as proc:
+            for plan in cliquesquare(query, MSC, timeout_s=20).unique_plans()[:10]:
+                prepared = serial.prepare(plan)
+                if prepared.compiled.num_jobs >= 2:
+                    tested += 1
+                    assert proc.execute_prepared(prepared).rows == expected
+        assert tested >= 1
+
+    @needs_process
+    def test_task_errors_surface_without_demotion(self):
+        """A genuine task bug raises to the caller; the backend must not
+        silently demote to serial (which could mask it)."""
+        backend = ProcessBackend(2, fallback=True)
+        try:
+            with pytest.raises(KeyError):
+                backend.run(
+                    [TaskInvocation(_BoomSpec()), TaskInvocation(_BoomSpec())],
+                    TaskContext(num_nodes=1),
+                )
+            assert backend._serial is None, "task error wrongly demoted backend"
+        finally:
+            backend.close()
+
+
+class _BoomSpec:
+    def hdfs_inputs(self):
+        return ()
+
+    def hdfs_slice(self, hdfs):
+        return {}
+
+    def run(self, ctx, *args):
+        raise KeyError("task bug")
+
+
+class TestLUBMEquivalence:
+    """Acceptance: process == serial on the whole LUBM tier-1 workload."""
+
+    @pytest.fixture(scope="class")
+    def lubm_store(self):
+        from repro.workloads import lubm
+
+        graph = lubm.generate(lubm.LUBMConfig(universities=4))
+        return graph, partition_graph(graph, 7)
+
+    @needs_process
+    def test_process_matches_serial_on_all_lubm_queries(self, lubm_store):
+        from repro.workloads import lubm_queries
+
+        _, store = lubm_store
+        serial = PlanExecutor(store)
+        process = PlanExecutor(store, backend=ProcessBackend(2, fallback=False))
+        try:
+            for name in [f"Q{i}" for i in range(1, 15)]:
+                query = lubm_queries.query(name)
+                plan = cliquesquare(query, MSC, timeout_s=30).plans[0]
+                prepared = serial.prepare(plan)
+                reference = serial.execute_prepared(prepared)
+                result = process.execute_prepared(prepared)
+                assert result.rows == reference.rows, name
+                assert result.attrs == reference.attrs, name
+                assert sorted(result.rows) == sorted(reference.rows), name
+                assert result.report.response_time == pytest.approx(
+                    reference.report.response_time
+                ), name
+        finally:
+            process.close()
+
+    @needs_process
+    def test_submit_batch_process_matches_serial(self, lubm_store):
+        """8-query batch through the service: identical answers whichever
+        backend executes the tasks (including coalesced duplicates)."""
+        from repro.service.service import QueryService, ServiceConfig
+        from repro.workloads import lubm_queries
+
+        graph, _ = lubm_store
+        names = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q1", "Q3", "Q8"]
+        batch = [lubm_queries.query(n) for n in names]
+
+        def run(backend):
+            config = ServiceConfig(
+                result_cache_size=0, backend=backend, backend_workers=2
+            )
+            with QueryService(graph, config) as service:
+                outcomes = service.submit_batch(batch)
+                assert not service.snapshot_stats().warnings
+                return outcomes
+
+        serial_outcomes = run("serial")
+        process_outcomes = run("process")
+        for name, a, b in zip(names, serial_outcomes, process_outcomes):
+            assert a.attrs == b.attrs, name
+            assert a.rows == b.rows, name
+            assert a.job_signature == b.job_signature, name
+
+
+class TestGuardsAndFallback:
+    def test_thread_backend_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_process_backend_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(0)
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_backend("quantum")
+
+    def test_make_backend_names(self):
+        assert make_backend(None).name == "serial"
+        assert make_backend("serial").name == "serial"
+        assert make_backend("thread", num_workers=2).name == "thread"
+        backend = make_backend("process", num_workers=1)
+        assert backend.name == "process"
+        backend.close()
+        passthrough = SerialBackend()
+        assert make_backend(passthrough) is passthrough
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        messages = []
+        backend = ProcessBackend(2, on_fallback=messages.append)
+        monkeypatch.setattr(
+            ProcessBackend,
+            "_create_pool",
+            lambda self, ctx: (_ for _ in ()).throw(OSError("no forks here")),
+        )
+        invocations = [TaskInvocation(_SquareSpec(), (n,)) for n in (2, 3, 4)]
+        assert backend.run(invocations, TaskContext(num_nodes=1)) == [4, 9, 16]
+        assert messages and "no forks here" in messages[0]
+        # Demotion is sticky: later runs go straight to serial, warn once.
+        assert backend.run(invocations, TaskContext(num_nodes=1)) == [4, 9, 16]
+        assert len(messages) == 1
+        backend.close()
+
+    def test_pool_failure_without_fallback_raises(self, monkeypatch):
+        backend = ProcessBackend(2, fallback=False)
+        monkeypatch.setattr(
+            ProcessBackend,
+            "_create_pool",
+            lambda self, ctx: (_ for _ in ()).throw(OSError("denied")),
+        )
+        with pytest.raises(BackendUnavailable):
+            backend.run(
+                [TaskInvocation(_SquareSpec(), (n,)) for n in (1, 2)],
+                TaskContext(num_nodes=1),
+            )
+        backend.close()
+
+    @needs_process
+    def test_closure_tasks_fall_back_to_serial(self):
+        """FnMapSpec wraps a closure — unpicklable, so the process
+        backend demotes itself instead of failing the job."""
+        messages = []
+        backend = ProcessBackend(2, on_fallback=messages.append)
+
+        def make(n):
+            return lambda: ([], [(n,)], TaskMetrics())
+
+        invocations = [TaskInvocation(FnMapSpec(make(n))) for n in (1, 2)]
+        results = backend.run(invocations, TaskContext(num_nodes=1))
+        assert [direct for _, direct, _ in results] == [[(1,)], [(2,)]]
+        assert messages
+        backend.close()
+
+    def test_service_fallback_records_warning(self, monkeypatch):
+        from repro.service.service import QueryService, ServiceConfig
+
+        monkeypatch.setattr(
+            ProcessBackend,
+            "_create_pool",
+            lambda self, ctx: (_ for _ in ()).throw(OSError("sandboxed CI")),
+        )
+        graph = make_university_graph()
+        with QueryService(
+            graph, ServiceConfig(num_nodes=4, backend="process")
+        ) as service:
+            outcome = service.submit("SELECT ?p ?d WHERE { ?p ub:worksFor ?d }")
+            assert outcome.rows
+            snapshot = service.snapshot_stats()
+            assert snapshot.warnings
+            assert "sandboxed CI" in snapshot.warnings[0]
+            assert "warning:" in snapshot.format()
+
+
+class TestLegacyTaskApi:
+    def test_positional_closure_still_works(self):
+        """Pre-refactor call shape MapTask(node, fn) keeps working."""
+        def mapper():
+            return [], [(1,)], TaskMetrics()
+
+        task = MapTask(0, mapper)
+        assert isinstance(task.spec, FnMapSpec)
+        assert task.spec.run(TaskContext(num_nodes=1)) == ([], [(1,)], TaskMetrics())
+
+    def test_spec_and_run_together_rejected(self):
+        with pytest.raises(ValueError):
+            MapTask(0, spec=FnMapSpec(lambda: None), run=lambda: None)
+
+    def test_neither_spec_nor_run_rejected(self):
+        with pytest.raises(ValueError):
+            MapTask(0)
+
+
+class TestExplainSurface:
+    def test_explain_names_the_backend(self, university):
+        from repro.physical.explain import explain
+
+        graph, _ = university
+        query = parse_query(TWO_LEVEL_QUERY)
+        plan = cliquesquare(query, MSC).plans[0]
+        assert "backend serial" in explain(plan)
+        assert "backend process" in explain(plan, backend="process")
+
+    def test_report_records_backend(self, university):
+        _, store = university
+        executor = PlanExecutor(store, backend=ThreadBackend(2))
+        try:
+            query = parse_query("SELECT ?p ?d WHERE { ?p ub:worksFor ?d }")
+            plan = cliquesquare(query, MSC).plans[0]
+            assert executor.execute(plan).report.backend == "thread"
+        finally:
+            executor.close()
+
+
+class TestReportMerging:
+    def test_job_metrics_merge(self):
+        a = JobMetrics(name="j", map_time=3.0, reduce_time=1.0, overhead=5.0,
+                       total_work=10.0, map_only=False, tuples_shuffled=4,
+                       output_tuples=2)
+        b = JobMetrics(name="j", map_time=2.0, reduce_time=4.0, overhead=5.0,
+                       total_work=7.0, map_only=False, tuples_shuffled=1,
+                       output_tuples=3)
+        a.merge(b)
+        assert a.map_time == 3.0 and a.reduce_time == 4.0
+        assert a.overhead == 5.0
+        # The fixed job overhead (included in each worker's total) is
+        # paid once, not per worker: 10 + 7 - 5.
+        assert a.total_work == 12.0
+        assert a.tuples_shuffled == 5 and a.output_tuples == 5
+        assert a.time == 5.0 + 3.0 + 4.0
+
+    def test_job_metrics_merge_rejects_other_job(self):
+        with pytest.raises(ValueError):
+            JobMetrics(name="a").merge(JobMetrics(name="b"))
+
+    def test_execution_report_merge_recomputes_response_time(self):
+        r1 = ExecutionReport(
+            jobs=[
+                JobMetrics(name="a", map_time=4.0, total_work=4.0),
+                JobMetrics(name="b", map_time=1.0, total_work=1.0),
+            ],
+            levels=[["a"], ["b"]],
+            response_time=5.0,
+            total_work=5.0,
+        )
+        r2 = ExecutionReport(
+            jobs=[
+                JobMetrics(name="a", map_time=2.0, total_work=2.0),
+                JobMetrics(name="b", map_time=6.0, total_work=6.0),
+            ],
+            levels=[["a"], ["b"]],
+            response_time=8.0,
+            total_work=8.0,
+        )
+        r1.merge(r2)
+        assert [j.name for j in r1.jobs] == ["a", "b"]
+        # per level: max over workers, levels are barriers
+        assert r1.response_time == pytest.approx(4.0 + 6.0)
+        assert r1.total_work == pytest.approx(13.0)
+
+    def test_execution_report_merge_pays_job_overhead_once(self):
+        """Per-worker engine totals each include the job overhead; the
+        merged report must not double-count it."""
+        workers = [
+            ExecutionReport(
+                jobs=[JobMetrics(name="j", map_time=w, overhead=100.0,
+                                 total_work=100.0 + w)],
+                levels=[["j"]],
+                response_time=100.0 + w,
+                total_work=100.0 + w,
+            )
+            for w in (3.0, 5.0)
+        ]
+        merged = workers[0].merge(workers[1])
+        assert merged.jobs[0].total_work == pytest.approx(100.0 + 3.0 + 5.0)
+        assert merged.total_work == pytest.approx(100.0 + 3.0 + 5.0)
+        assert merged.response_time == pytest.approx(100.0 + 5.0)
+
+    def test_execution_report_merge_disjoint_jobs(self):
+        r1 = ExecutionReport(jobs=[JobMetrics(name="a", map_time=1.0)], levels=[["a"]])
+        r2 = ExecutionReport(jobs=[JobMetrics(name="b", map_time=2.0)], levels=[["b"]])
+        r1.merge(r2)
+        assert sorted(j.name for j in r1.jobs) == ["a", "b"]
+        assert r1.levels == [["a", "b"]]
+        assert r1.response_time == pytest.approx(2.0)
+
+    def test_backend_name_survives_merge(self):
+        r1 = ExecutionReport(backend="process")
+        r2 = ExecutionReport(backend="process")
+        assert r1.merge(r2).backend == "process"
+        r3 = ExecutionReport(backend="serial")
+        assert r1.merge(r3).backend == "process+serial"
+
+
+class TestOrderingStability:
+    def test_relation_distinct_is_insertion_stable(self):
+        rel = Relation(("?a",), [(3,), (1,), (3,), (2,), (1,), (2,)])
+        assert rel.distinct().rows == [(3,), (1,), (2,)]
+
+    def test_relation_project_is_insertion_stable(self):
+        rel = Relation(("?a", "?b"), [(1, "x"), (2, "x"), (1, "y"), (2, "x")])
+        assert rel.project(("?b",)).rows == [("x",), ("y",)]
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [
+            SerialBackend,
+            lambda: ThreadBackend(3),
+            pytest.param(
+                lambda: ProcessBackend(2, fallback=False), marks=needs_process
+            ),
+        ],
+    )
+    def test_shuffle_merge_order_matches_task_order(self, backend_factory):
+        """Reducers must see rows grouped in map-task submission order,
+        whatever order the backend completed the tasks in."""
+        received: list[tuple] = []
+
+        def reducer(partition, grouped):
+            received.extend(grouped.get(0, []))
+            return [], TaskMetrics()
+
+        tasks = [
+            MapTask(node=n % 2, spec=_EmitSpec(start=n * 10))
+            for n in range(6)
+        ]
+        backend = backend_factory()
+        try:
+            run_jobs(
+                [
+                    MapReduceJob(
+                        name="order",
+                        map_tasks=tasks,
+                        num_reducers=1,
+                        reducer=reducer,
+                    )
+                ],
+                ClusterConfig(num_nodes=2),
+                CostParams(),
+                backend=backend,
+            )
+        finally:
+            backend.close()
+        assert received == [(n * 10 + i,) for n in range(6) for i in range(3)]
+
+
+class _EmitSpec:
+    """Emit three rows to partition 0, tagged 0 (picklable test spec)."""
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+
+    def __eq__(self, other):
+        return isinstance(other, _EmitSpec) and other.start == self.start
+
+    def hdfs_inputs(self):
+        return ()
+
+    def run(self, ctx):
+        return [(0, 0, (self.start + i,)) for i in range(3)], [], TaskMetrics()
