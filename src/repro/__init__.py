@@ -69,10 +69,23 @@ from repro.partitioning.triple_partitioner import (
 )
 from repro.physical.executor import PlanExecutor
 from repro.rdf.graph import RDFGraph
-from repro.service.service import QueryOutcome, QueryService, ServiceConfig
+from repro.service.service import (
+    BoundQuery,
+    PreparedQuery,
+    QueryOutcome,
+    QueryService,
+    ServiceConfig,
+)
 from repro.service.stats import ServiceStats, StatsSnapshot
 from repro.sparql.ast import BGPQuery, TriplePattern
-from repro.sparql.canonical import CanonicalQuery, canonicalize, structure_signature
+from repro.sparql.canonical import (
+    CanonicalQuery,
+    QueryTemplate,
+    TemplateParam,
+    canonicalize,
+    extract_template,
+    structure_signature,
+)
 from repro.sparql.evaluator import evaluate
 from repro.sparql.parser import SparqlSyntaxError, parse_query
 from repro.systems.csq import CSQ, CSQConfig
@@ -84,6 +97,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_OPTIONS",
     "BGPQuery",
+    "BoundQuery",
     "CSQ",
     "CSQConfig",
     "CanonicalQuery",
@@ -108,10 +122,12 @@ __all__ = [
     "PartitionedStore",
     "PlanCoster",
     "PlanExecutor",
+    "PreparedQuery",
     "ProcessBackend",
     "Project",
     "QueryOutcome",
     "QueryService",
+    "QueryTemplate",
     "RDFGraph",
     "SC",
     "SC_PLUS",
@@ -123,6 +139,7 @@ __all__ = [
     "SparqlSyntaxError",
     "StatsSnapshot",
     "StoreSnapshot",
+    "TemplateParam",
     "ThreadBackend",
     "TriplePattern",
     "VariableGraph",
@@ -135,6 +152,7 @@ __all__ = [
     "canonicalize",
     "cliquesquare",
     "evaluate",
+    "extract_template",
     "height",
     "make_backend",
     "optimal_height",

@@ -163,6 +163,47 @@ class Project(LogicalOperator):
         return f"pi[{on}]({self.child})"
 
 
+def rewrite_patterns(
+    op: LogicalOperator,
+    pattern_fn,
+    _memo: dict[int, LogicalOperator] | None = None,
+) -> LogicalOperator:
+    """Rebuild a sub-DAG with every Match pattern passed through
+    *pattern_fn*, preserving shared-sub-DAG identity (simple covers).
+
+    Used by the prepared-query machinery to move a plan between its
+    template form (parameter placeholders) and a bound form (concrete
+    constants); ``pattern_fn`` must not change which variables a pattern
+    mentions, so joins and projections revalidate unchanged.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    if isinstance(op, Match):
+        new: LogicalOperator = Match(pattern=pattern_fn(op.pattern))
+    elif isinstance(op, Join):
+        new = Join(
+            on=op.on,
+            inputs=tuple(
+                rewrite_patterns(c, pattern_fn, memo) for c in op.inputs
+            ),
+        )
+    elif isinstance(op, Select):
+        new = Select(
+            conditions=op.conditions,
+            child=rewrite_patterns(op.child, pattern_fn, memo),
+        )
+    elif isinstance(op, Project):
+        new = Project(
+            on=op.on, child=rewrite_patterns(op.child, pattern_fn, memo)
+        )
+    else:
+        raise TypeError(f"unknown operator {type(op)!r}")
+    memo[id(op)] = new
+    return new
+
+
 @cache
 def signature(op: LogicalOperator) -> tuple:
     """A canonical, hashable, order-insensitive description of a sub-DAG.

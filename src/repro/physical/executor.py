@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.logical import LogicalPlan
+from repro.core.logical import LogicalPlan, rewrite_patterns
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import ExecutionBackend, make_backend
 from repro.mapreduce.counters import ExecutionReport, TaskMetrics
@@ -49,7 +49,14 @@ from repro.physical.operators import (
     PhysicalOperator,
     PhysProject,
 )
-from repro.physical.translate import PhysicalPlan, bind_triple, translate
+from repro.physical.translate import (
+    PhysicalPlan,
+    bind_triple,
+    substitute_pattern,
+    substitute_plan,
+    translate,
+)
+from repro.sparql.ast import BGPQuery
 from repro.relational.joins import star_join
 from repro.relational.relation import Relation
 
@@ -64,11 +71,47 @@ class PreparedPlan:
     and job compilation on repeated queries.  All three layers are plain
     dataclasses of plain data, so a prepared plan pickles: it can be
     shipped to another process or persisted and re-executed there.
+
+    A prepared plan may be a *template*: its scan patterns can carry
+    ``$`` parameter placeholders where constants will go.  :meth:`bind`
+    substitutes concrete constants through all three layers without
+    re-planning — structure (placements, joins, job grouping) is decided
+    once per template, selection terms per binding.
     """
 
     plan: LogicalPlan
     physical: PhysicalPlan
     compiled: CompiledPlan
+
+    def bind(self, subst: dict[str, str]) -> "PreparedPlan":
+        """A copy with *subst* applied to every pattern term.
+
+        Late binding for parameterized templates: only the selection
+        terms inside scan patterns (hence the selection predicates the
+        compiled :class:`ChainMapSpec`/:class:`MapOnlySpec` tasks
+        evaluate) change; translation decisions are reused verbatim and
+        the job DAG recompiles to the identical shape.
+        """
+        if not subst:
+            return self
+
+        def bind_pattern(tp):
+            return substitute_pattern(tp, subst)
+
+        query = self.plan.query
+        bound_query = BGPQuery(
+            distinguished=query.distinguished,
+            patterns=tuple(bind_pattern(tp) for tp in query.patterns),
+            name=query.name,
+        )
+        plan = LogicalPlan(
+            root=rewrite_patterns(self.plan.root, bind_pattern),
+            query=bound_query,
+        )
+        physical = substitute_plan(self.physical, subst)
+        return PreparedPlan(
+            plan=plan, physical=physical, compiled=compile_plan(physical)
+        )
 
 
 # -- chain evaluation ---------------------------------------------------------

@@ -67,6 +67,7 @@ def explain(
     plan: LogicalPlan,
     replicas: tuple[str, ...] = ("s", "p", "o"),
     backend: str = "serial",
+    template: str | None = None,
 ) -> str:
     """Full three-layer explanation of a logical plan.
 
@@ -74,11 +75,18 @@ def explain(
     (serial / thread / process); it changes wall-clock only, never the
     job structure or answers, and is surfaced here so an EXPLAIN of a
     service-configured query shows where its tasks will execute.
+    ``template`` is the template-signature digest of a prepared query,
+    shown so an EXPLAIN identifies which plan-template cache entry the
+    query binds into.
     """
     physical = translate(plan, replicas=replicas)
     compiled = compile_plan(physical)
+    header = f"== logical plan (height {height(plan)}"
+    if template is not None:
+        header += f"; template {template}"
+    header += ") =="
     parts = [
-        f"== logical plan (height {height(plan)}) ==",
+        header,
         str(plan),
         "== physical plan ==",
         render_physical(physical),

@@ -193,6 +193,83 @@ def translate(
     return PhysicalPlan(root=root, reduce_joins=translator.reduce_joins)
 
 
+def substitute_pattern(
+    tp: TriplePattern, subst: dict[str, str]
+) -> TriplePattern:
+    """The pattern with every term found in *subst* replaced."""
+    if not (tp.s in subst or tp.p in subst or tp.o in subst):
+        return tp
+    return TriplePattern(
+        subst.get(tp.s, tp.s), subst.get(tp.p, tp.p), subst.get(tp.o, tp.o)
+    )
+
+
+def substitute_physical(
+    op: PhysicalOperator,
+    subst: dict[str, str],
+    _memo: dict[int, PhysicalOperator] | None = None,
+) -> PhysicalOperator:
+    """Rebuild a physical operator tree with terms substituted in every
+    scan pattern, preserving shared-operator identity (a reduce join
+    consumed by several shufflers stays one operator).
+
+    This is how a prepared template plan is *bound*: the structure —
+    placements, joins, shuffles, job grouping — is untouched, only the
+    selection terms inside the map-side patterns change, so the bound
+    plan recompiles to jobs with identical shape.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    new: PhysicalOperator
+    if isinstance(op, MapScan):
+        new = MapScan(
+            pattern=substitute_pattern(op.pattern, subst),
+            placement=op.placement,
+        )
+    elif isinstance(op, Filter):
+        child = substitute_physical(op.child, subst, memo)
+        assert isinstance(child, MapScan)
+        new = Filter(child=child)
+    elif isinstance(op, MapJoin):
+        new = MapJoin(
+            on=op.on,
+            inputs=tuple(
+                substitute_physical(c, subst, memo) for c in op.inputs
+            ),
+        )
+    elif isinstance(op, MapShuffler):
+        new = op  # references a producer by name; carries no patterns
+    elif isinstance(op, ReduceJoin):
+        new = ReduceJoin(
+            on=op.on,
+            inputs=tuple(
+                substitute_physical(c, subst, memo) for c in op.inputs
+            ),
+            output_name=op.output_name,
+        )
+    elif isinstance(op, PhysProject):
+        new = PhysProject(
+            on=op.on, child=substitute_physical(op.child, subst, memo)
+        )
+    else:
+        raise TypeError(f"unknown physical operator {type(op)!r}")
+    memo[id(op)] = new
+    return new
+
+
+def substitute_plan(plan: PhysicalPlan, subst: dict[str, str]) -> PhysicalPlan:
+    """A physical plan with *subst* applied throughout (see
+    :func:`substitute_physical`); reduce-join sharing is preserved."""
+    memo: dict[int, PhysicalOperator] = {}
+    root = substitute_physical(plan.root, subst, memo)
+    reduce_joins = [
+        substitute_physical(rj, subst, memo) for rj in plan.reduce_joins
+    ]
+    return PhysicalPlan(root=root, reduce_joins=reduce_joins)  # type: ignore[arg-type]
+
+
 def bind_triple(tp: TriplePattern, triple: tuple[str, str, str]) -> tuple | None:
     """Bind a pattern against a triple: the row of variable values, or
     None when constants or repeated variables mismatch."""

@@ -12,6 +12,11 @@ operate on plain strings (and, after dictionary encoding, on integers):
 * Blank nodes start with ``_:``: ``_:b0``.  The paper notes (footnote 1)
   that all results hold in the presence of blank nodes; we support them as
   constants.
+* Parameter placeholders start with ``$``: ``$uni``.  They stand for a
+  constant that will be supplied later (prepared-query templates,
+  :mod:`repro.sparql.canonical`); structurally they behave like opaque
+  constants, but they may never appear in data triples and must be bound
+  before a query executes.
 """
 
 from __future__ import annotations
@@ -43,9 +48,19 @@ def is_blank(term: str) -> bool:
     return term.startswith("_:")
 
 
+def is_placeholder(term: str) -> bool:
+    """Return True iff *term* is a parameter placeholder (``$name``)."""
+    return term.startswith("$")
+
+
 def is_iri(term: str) -> bool:
     """Return True iff *term* is an IRI (full or prefixed name)."""
-    return bool(term) and not (is_variable(term) or is_literal(term) or is_blank(term))
+    return bool(term) and not (
+        is_variable(term)
+        or is_literal(term)
+        or is_blank(term)
+        or is_placeholder(term)
+    )
 
 
 def is_constant(term: str) -> bool:
@@ -109,5 +124,5 @@ def validate_triple(s: str, p: str, o: str) -> None:
         raise ValueError(f"triple subject must be an IRI or blank node: {s!r}")
     if not is_iri(p):
         raise ValueError(f"triple property must be an IRI: {p!r}")
-    if is_variable(o) or not o:
+    if is_variable(o) or is_placeholder(o) or not o:
         raise ValueError(f"triple object must be a constant: {o!r}")

@@ -1,10 +1,13 @@
-"""repro.service — the concurrent query service with plan & result caching.
+"""repro.service — the concurrent query service with template, plan &
+result caching.
 
-Layered over one §5.1 partitioned store, the service amortizes the
-CliqueSquare optimizer across a workload: canonical query signatures
-key a plan cache (repeated query shapes skip optimization entirely), an
-LRU result cache short-circuits repeated fully-bound queries until the
-graph changes, and batches of independent queries run concurrently with
+Layered over one §5.1 partitioned store, the service exposes one
+prepare → bind → execute surface: constant-independent template
+signatures key a template cache (the optimizer runs once per query
+*structure*; constants late-bind into the compiled plan), instance keys
+(template + constants) key a bound-plan cache and an LRU result cache
+that short-circuits repeated fully-bound queries until the graph
+changes, and batches of independent queries run concurrently with
 duplicate submissions coalesced.  See :mod:`repro.service.service`.
 """
 
@@ -14,8 +17,12 @@ from repro.service.cache import (
     PlanEntry,
     ResultCache,
     ResultEntry,
+    TemplateCache,
+    TemplateEntry,
 )
 from repro.service.service import (
+    BoundQuery,
+    PreparedQuery,
     QueryOutcome,
     QueryService,
     ServiceConfig,
@@ -29,10 +36,12 @@ from repro.service.stats import (
 )
 
 __all__ = [
+    "BoundQuery",
     "LRUCache",
     "LatencySummary",
     "PlanCache",
     "PlanEntry",
+    "PreparedQuery",
     "QueryOutcome",
     "QueryService",
     "QueryTimings",
@@ -41,5 +50,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "StatsSnapshot",
+    "TemplateCache",
+    "TemplateEntry",
     "percentile",
 ]

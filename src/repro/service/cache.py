@@ -1,21 +1,26 @@
-"""Plan and result caches for the query service.
+"""Template, plan and result caches for the query service.
 
-Both caches are keyed on the *canonical signature* of a query
-(:mod:`repro.sparql.canonical`), so a cached entry serves every query
-isomorphic to the one that populated it — renamed variables, reordered
-patterns.
+The caches form a hierarchy keyed on canonical forms from
+:mod:`repro.sparql.canonical`:
 
-* :class:`PlanCache` memoizes the expensive optimizer pipeline: the
-  cost-selected logical plan together with its prepared (translated +
-  compiled) form.  Plans stay *correct* across data mutations (they
-  encode only query structure; scans read live store state), so the
-  cache survives graph updates — though the cached choice may drift from
+* :class:`TemplateCache` — keyed on the *constant-independent* template
+  signature — memoizes the expensive optimizer pipeline once per query
+  *structure*: the parameterized logical plan together with its prepared
+  (translated + compiled) template form.  Every query that differs only
+  in constants binds into this one entry without re-optimizing.
+* :class:`PlanCache` — keyed on the *instance key* (template signature +
+  binding vector) — memoizes fully-bound prepared plans, skipping even
+  the (cheap) bind/recompile step for repeated identical queries.
+  Plans stay *correct* across data mutations (they encode only query
+  structure; scans read live store state), so both plan-level caches
+  survive graph updates — though the cached choice may drift from
   cost-optimal as statistics move.
-* :class:`ResultCache` memoizes answers of fully-bound queries.  Answers
-  are stale the moment the graph changes, so every entry records the
-  graph version it was computed at and is dropped on version mismatch.
+* :class:`ResultCache` — keyed on the instance key — memoizes answers of
+  fully-bound queries.  Answers are stale the moment the graph changes,
+  so every entry records the graph version it was computed at and is
+  dropped on version mismatch.
 
-Both are LRU with O(1) operations and are safe for concurrent use.
+All are LRU with O(1) operations and are safe for concurrent use.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Generic, Hashable, TypeVar
 from repro.core.logical import LogicalPlan
 from repro.mapreduce.counters import ExecutionReport
 from repro.physical.executor import PreparedPlan
+from repro.sparql.canonical import QueryTemplate
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -102,7 +108,31 @@ class PlanEntry:
 
 
 class PlanCache(LRUCache[tuple, PlanEntry]):
-    """signature -> cost-selected, prepared plan."""
+    """instance key -> cost-selected, fully-bound prepared plan."""
+
+
+@dataclass
+class TemplateEntry:
+    """One memoized template optimization.
+
+    ``prepared`` is the template's prepared plan — scan patterns carry
+    ``$s<slot>`` placeholders where constants go — ready to
+    :meth:`~repro.physical.executor.PreparedPlan.bind`.  ``template`` is
+    the extraction that populated the entry (equivalent, for binding
+    purposes, to any other extraction with the same signature).
+    """
+
+    template: QueryTemplate
+    plan: LogicalPlan
+    prepared: PreparedPlan
+    optimize_s: float
+    #: summary of the enumeration that produced the plan
+    plan_count: int = 0
+    truncated: bool = False
+
+
+class TemplateCache(LRUCache[tuple, TemplateEntry]):
+    """template signature -> optimized-once parameterized plan."""
 
 
 @dataclass

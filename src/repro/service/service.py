@@ -1,45 +1,61 @@
 """The concurrent CliqueSquare query service.
 
 A :class:`QueryService` is a long-lived serving layer over one
-partitioned store (§5.1) that amortizes optimization across a workload:
+partitioned store (§5.1) that amortizes optimization across a workload.
+Its native currency is the *prepared query*: every submission — ad-hoc
+``submit``, ``submit_batch``, ``CSQ.run``, or an explicit
+:meth:`QueryService.prepare` — routes through one
+**prepare → bind → execute** pipeline:
 
-* submissions are canonicalized (:mod:`repro.sparql.canonical`), so the
-  optimizer+coster pipeline runs once per *query shape* and its output
-  is memoized in a :class:`~repro.service.cache.PlanCache`;
-* answers of fully-bound queries are memoized in an LRU
-  :class:`~repro.service.cache.ResultCache`, invalidated by a graph
-  version counter whenever triples are added;
-* :meth:`QueryService.submit_batch` schedules independent queries on a
-  shared thread pool and *coalesces* duplicates: queries with the same
-  canonical signature execute once and fan their answer out (the
-  single-flight discipline also applies to concurrent :meth:`submit`
-  calls racing on one shape);
-* a readers–writer lock lets any number of queries read the store
-  concurrently while :meth:`add_triples` gets exclusive access, and
-  every submission is recorded in :class:`~repro.service.stats.ServiceStats`;
-* task execution is delegated to a pluggable
-  :class:`~repro.mapreduce.backends.ExecutionBackend`
+* *prepare*: the query's liftable constants are extracted into a
+  parameterized :class:`~repro.sparql.canonical.QueryTemplate` whose
+  structure signature is constant-independent; the optimizer+coster
+  pipeline runs once per template and its prepared (translated +
+  compiled) plan is memoized in a
+  :class:`~repro.service.cache.TemplateCache`.  Queries that differ only
+  in constants — the dominant repetition pattern of production SPARQL
+  workloads — therefore trigger exactly one optimizer invocation.
+* *bind*: concrete constants are late-bound into the template's
+  compiled task specs (the selection predicates inside
+  ``ChainMapSpec``/``MapOnlySpec`` chains) without re-planning; bound
+  plans are memoized per instance in a
+  :class:`~repro.service.cache.PlanCache`, and fully-bound answers in an
+  LRU :class:`~repro.service.cache.ResultCache` invalidated by a graph
+  version counter whenever triples are added.
+* *execute*: runs under a readers–writer lock (any number of queries
+  read concurrently; :meth:`add_triples` gets exclusive access) on a
+  pluggable :class:`~repro.mapreduce.backends.ExecutionBackend`
   (``ServiceConfig.backend``): ``"process"`` fans each query's
-  map/reduce tasks out across worker processes — the GIL-free path that
-  lets :meth:`submit_batch` actually parallelize CPU-bound work — with
-  automatic serial fallback (recorded as a stats warning) where process
-  pools are unavailable.
+  map/reduce tasks out across worker processes — with automatic serial
+  fallback (recorded as a stats warning) where pools are unavailable.
+  A process pool receives each template once and only small binding
+  substitutions after it.
+
+:meth:`QueryService.submit_batch` schedules independent queries on a
+shared thread pool and *coalesces* duplicates: queries with the same
+instance key execute once and fan their answer out, and queries sharing
+only a template single-flight the optimization.  Every submission is
+recorded in :class:`~repro.service.stats.ServiceStats`, which breaks
+plan-level outcomes into full plan-cache hits, template hits, and cold
+optimizations.
 
 The classic CSQ system (:mod:`repro.systems.csq`) is a thin session over
 this service; later scaling work (sharding, async backends, admission
-control) is meant to slot in behind the same ``submit`` interface.
+control) is meant to slot in behind the same interface — shards receive
+a template once and per-query bindings after it.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings as _warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.core.algorithm import OptimizerResult, cliquesquare
 from repro.core.decomposition import MSC, DecompositionOption
-from repro.core.logical import LogicalPlan
+from repro.core.logical import LogicalPlan, rewrite_patterns
 from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
 from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
@@ -49,16 +65,24 @@ from repro.mapreduce.engine import ClusterConfig
 from repro.mapreduce.jobs import TaskContext
 from repro.partitioning.triple_partitioner import partition_graph
 from repro.physical.executor import ExecutionResult, PlanExecutor, PreparedPlan
+from repro.physical.explain import explain as explain_plan
 from repro.rdf.graph import RDFGraph, Triple
-from repro.service.cache import PlanCache, PlanEntry, ResultCache, ResultEntry
+from repro.service.cache import (
+    PlanCache,
+    PlanEntry,
+    ResultCache,
+    ResultEntry,
+    TemplateCache,
+    TemplateEntry,
+)
 from repro.service.stats import QueryTimings, ServiceStats, StatsSnapshot
 from repro.sparql.ast import BGPQuery
 from repro.sparql.canonical import (
     CanonicalizationBudgetExceeded,
-    CanonicalQuery,
-    canonicalize,
+    QueryTemplate,
+    extract_template,
 )
-from repro.sparql.parser import parse_query
+from repro.sparql.parser import SparqlSyntaxError, parse_query
 from repro.systems.base import SystemReport
 
 
@@ -128,8 +152,11 @@ class ServiceConfig:
     max_plans: int | None = 20_000
     timeout_s: float | None = 100.0
     params: CostParams = DEFAULT_PARAMS
-    #: LRU capacity of the plan cache (None = unbounded).
-    plan_cache_size: int | None = None
+    #: LRU capacity of the bound-plan cache (None = unbounded).  Keyed
+    #: per *instance* (template + constants), so on constant-varying
+    #: workloads it must stay bounded — a miss only re-binds the cached
+    #: template (cheap), never re-optimizes.
+    plan_cache_size: int | None = 1024
     #: LRU capacity of the result cache (0 disables result caching).
     result_cache_size: int | None = 256
     #: worker threads for submit_batch
@@ -147,6 +174,15 @@ class ServiceConfig:
     canonical_budget: int = 4096
     #: drop cached plans when the graph (hence statistics) changes
     invalidate_plans_on_mutation: bool = False
+    #: lift constants into parameterized plan templates, so queries that
+    #: differ only in constants share one optimizer run.  False keeps
+    #: explicit $params working but degenerates the template signature
+    #: to the classical constant-inclusive canonical signature (one
+    #: optimization per constant combination) — the legacy behaviour,
+    #: kept as an ablation/escape hatch.
+    enable_templates: bool = True
+    #: LRU capacity of the template cache (None = unbounded)
+    template_cache_size: int | None = None
 
 
 @dataclass
@@ -159,9 +195,11 @@ class _Answer:
     report: ExecutionReport
     job_signature: str
     plan_hit: bool
+    template_hit: bool
     result_hit: bool
     optimize_s: float
     execute_s: float
+    bind_s: float
     version: int
 
 
@@ -170,13 +208,39 @@ class _Flight:
     """Single-flight slot: first submitter computes, the rest wait."""
 
     done: threading.Event = field(default_factory=threading.Event)
-    answer: _Answer | None = None
+    value: object | None = None
     error: BaseException | None = None
+
+
+@dataclass(frozen=True)
+class _Instance:
+    """One fully-bound instance of a template, ready to resolve.
+
+    ``entry`` is set when the instance comes from a live
+    :class:`PreparedQuery` handle: even if the template cache has since
+    evicted (or a mutation invalidated) the shared entry, the handle's
+    own optimized template is used — a held prepared query never
+    re-optimizes.
+    """
+
+    template: QueryTemplate
+    values: tuple[str, ...]
+    key: tuple
+    entry: "TemplateEntry | None" = None
 
 
 @dataclass
 class QueryOutcome:
-    """Everything the service knows about one submission."""
+    """Everything the service knows about one submission.
+
+    This is the one result object of the unified prepare/bind/execute
+    surface: ``submit``, ``submit_batch``, ``PreparedQuery.execute`` and
+    ``CSQ.run`` all produce it, and :meth:`to_report` derives the
+    figure-benchmark :class:`~repro.systems.base.SystemReport` view from
+    it — including cache/template provenance (which cache level served
+    the submission, which template the plan came from, which parameter
+    values were bound).
+    """
 
     query: BGPQuery
     attrs: tuple[str, ...]
@@ -190,6 +254,13 @@ class QueryOutcome:
     cacheable: bool
     timings: QueryTimings
     graph_version: int
+    #: the submission bound new constants into a cached template
+    #: (optimizer skipped; bound-plan cache missed)
+    template_hit: bool = False
+    #: short digest of the template signature ("" for uncacheable queries)
+    template_digest: str = ""
+    #: (parameter name, bound constant) pairs, in slot order
+    parameters: tuple[tuple[str, str], ...] = ()
 
     @property
     def cardinality(self) -> int:
@@ -208,6 +279,26 @@ class QueryOutcome:
     def pwoc(self) -> bool:
         return self.job_signature == "M"
 
+    @property
+    def provenance(self) -> dict[str, object]:
+        """Where this answer came from, for logging/tooling."""
+        served_by = (
+            "result-cache"
+            if self.result_cache_hit
+            else "plan-cache"
+            if self.plan_cache_hit
+            else "template"
+            if self.template_hit
+            else "optimizer"
+        )
+        return {
+            "served_by": served_by,
+            "template": self.template_digest,
+            "parameters": self.parameters,
+            "coalesced": self.coalesced,
+            "graph_version": self.graph_version,
+        }
+
     def to_report(self, system: str = "QueryService") -> SystemReport:
         return SystemReport(
             system=system,
@@ -217,8 +308,166 @@ class QueryOutcome:
             num_jobs=self.num_jobs,
             job_signature=self.job_signature,
             pwoc=self.pwoc,
-            details={"plan": self.plan, "report": self.report, "outcome": self},
+            details={
+                "plan": self.plan,
+                "report": self.report,
+                "outcome": self,
+                "provenance": self.provenance,
+            },
         )
+
+
+class PreparedQuery:
+    """A canonicalized-once, optimized-once handle on a query shape.
+
+    Obtained from :meth:`QueryService.prepare`.  The query's liftable
+    constants (and explicit ``$name`` placeholders) are parameters;
+    :meth:`bind` supplies constants — positionally in query-text order,
+    or by name — and :meth:`execute` runs a binding without ever
+    re-entering the optimizer.  Lifted constants keep their original
+    values as defaults, so ``prepare(q).execute()`` answers exactly like
+    ``submit(q)``.
+    """
+
+    def __init__(
+        self,
+        service: "QueryService",
+        template: QueryTemplate,
+        entry: TemplateEntry,
+        template_cache_hit: bool,
+    ) -> None:
+        self._service = service
+        self.template = template
+        self._entry = entry
+        #: the template was already cached when this handle was prepared
+        self.template_cache_hit = template_cache_hit
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def query(self) -> BGPQuery:
+        """The source query this handle was prepared from."""
+        return self.template.source
+
+    @property
+    def name(self) -> str:
+        return self.template.source.name
+
+    @property
+    def params(self):
+        """The template's parameter slots (canonical order)."""
+        return self.template.params
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        """User-facing parameter names, in query-text occurrence order."""
+        return self.template.param_names
+
+    @property
+    def signature(self) -> tuple:
+        """The constant-independent template structure signature."""
+        return self.template.signature
+
+    def digest(self) -> str:
+        return self.template.digest()
+
+    @property
+    def plan(self) -> LogicalPlan:
+        """The template's cost-selected logical plan (placeholders)."""
+        return self._entry.plan
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"${n}" for n in self.param_names) or "no params"
+        return (
+            f"PreparedQuery({self.name or self.template.digest()}, {params})"
+        )
+
+    # -- the prepared surface ----------------------------------------------
+
+    def bind(self, *args: str, **kwargs: str) -> "BoundQuery":
+        """Bind constants to parameters; unbound lifted constants keep
+        their original values.  Positional arguments follow query-text
+        occurrence order; keywords use the parameter names (``$uni`` →
+        ``uni=...``)."""
+        names = self.param_names
+        if len(args) > len(names):
+            raise ValueError(
+                f"{self!r} takes at most {len(names)} positional values, "
+                f"got {len(args)}"
+            )
+        assigned: dict[str, str] = {}
+        for name, value in zip(names, args):
+            assigned[name] = value
+        for name, value in kwargs.items():
+            if name not in names:
+                raise ValueError(
+                    f"unknown parameter {name!r}; {self!r} has "
+                    f"{', '.join(names) or 'none'}"
+                )
+            if name in assigned:
+                raise ValueError(f"parameter {name!r} bound twice")
+            assigned[name] = value
+        values = list(self.template.default_values())
+        for i, param in enumerate(self.template.params):
+            if param.name in assigned:
+                values[i] = assigned[param.name]
+        checked = self.template.check_values(tuple(values))
+        return BoundQuery(prepared=self, values=checked)
+
+    def execute(self, *args: str, **kwargs: str) -> QueryOutcome:
+        """``bind(...).execute()`` in one call."""
+        return self.bind(*args, **kwargs).execute()
+
+    def explain(self) -> str:
+        """Template provenance plus the three-layer plan explanation."""
+        t = self.template
+        lines = [
+            f"== template {t.digest()} "
+            f"({len(t.params)} params; cached={self.template_cache_hit}) ==",
+            str(t.query),
+        ]
+        for p in t.params:
+            default = f" = {p.default}" if p.default is not None else ""
+            lines.append(f"  {p.placeholder} <- ${p.name} [{p.kind}]{default}")
+        lines.append(
+            explain_plan(
+                self._entry.plan,
+                backend=self._service.config.backend
+                if isinstance(self._service.config.backend, str)
+                else type(self._service.config.backend).__name__,
+                template=t.digest(),
+            )
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """A prepared query with every parameter bound: ready to execute."""
+
+    prepared: PreparedQuery
+    #: constants in canonical slot order
+    values: tuple[str, ...]
+
+    @property
+    def query(self) -> BGPQuery:
+        """The fully-bound query, in the source query's variable space."""
+        return self.prepared.template.bind_source(self.values)
+
+    @property
+    def parameters(self) -> tuple[tuple[str, str], ...]:
+        return tuple(
+            (p.name, v)
+            for p, v in zip(self.prepared.template.params, self.values)
+        )
+
+    @property
+    def instance_key(self) -> tuple:
+        return self.prepared.template.instance_key(self.values)
+
+    def execute(self) -> QueryOutcome:
+        """Run through the service's caches; never re-optimizes."""
+        return self.prepared._service._execute_bound(self)
 
 
 class QueryService:
@@ -243,11 +492,13 @@ class QueryService:
             backend=self.backend,
         )
         self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.template_cache = TemplateCache(self.config.template_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
         self.stats = ServiceStats()
         self._version = 0
         self._store_lock = _ReadWriteLock()
         self._flights: dict[tuple, _Flight] = {}
+        self._template_flights: dict[tuple, _Flight] = {}
         self._flights_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
@@ -312,15 +563,64 @@ class QueryService:
         best, _ = select_best_plan(result.unique_plans(), self.coster)
         return best, result
 
-    def prepare(self, plan: LogicalPlan) -> PreparedPlan:
-        """Translate + compile a logical plan (pure, reusable)."""
-        return self.executor.prepare(plan)
+    # -- the prepared-query surface ----------------------------------------
+
+    def prepare(
+        self, query: BGPQuery | str | LogicalPlan, name: str = ""
+    ) -> "PreparedQuery | PreparedPlan":
+        """Prepare a query once: canonicalize, extract its parameter
+        template, optimize (or fetch the cached template), and return a
+        :class:`PreparedQuery` to bind and execute many times.
+
+        Constants already in the query become parameters with those
+        constants as defaults; explicit ``$name`` placeholders become
+        required parameters.  Raises
+        :class:`~repro.sparql.canonical.CanonicalizationBudgetExceeded`
+        for pathologically symmetric queries (serve those via
+        :meth:`submit`, which falls back to an uncached path).
+
+        Passing a :class:`~repro.core.logical.LogicalPlan` is the
+        deprecated pre-template behaviour (translate+compile only) and
+        returns a raw :class:`~repro.physical.executor.PreparedPlan`.
+        """
+        self._check_open()
+        if isinstance(query, LogicalPlan):
+            _warnings.warn(
+                "QueryService.prepare(plan) is deprecated; use "
+                "prepare(query) -> PreparedQuery, or executor.prepare(plan) "
+                "for raw logical plans",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.executor.prepare(query)
+        parsed = self._parse(query, name)
+        template = self._extract(parsed)
+        entry, hit = self._template_entry(template)
+        return PreparedQuery(
+            service=self,
+            template=template,
+            entry=entry,
+            template_cache_hit=hit,
+        )
+
+    def explain(self, query: BGPQuery | str, name: str = "") -> str:
+        """Template signature + three-layer plan explanation of *query*."""
+        prepared = self.prepare(query, name)
+        assert isinstance(prepared, PreparedQuery)
+        return prepared.explain()
+
+    # -- legacy plan-level escape hatches ----------------------------------
 
     def execute_plan(self, plan: LogicalPlan) -> ExecutionResult:
-        """Run an arbitrary logical plan under the store's read lock."""
+        """Run an arbitrary logical plan under the store's read lock.
+
+        Low-level escape hatch for hand-built plans (figure baselines);
+        queries should go through prepare/bind/execute or submit.
+        """
         return self.execute_prepared(self.executor.prepare(plan))
 
     def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
+        """Run an already-prepared plan under the store's read lock."""
         with self._store_lock.read():
             return self.executor.execute_prepared(prepared)
 
@@ -362,6 +662,11 @@ class QueryService:
                     self.estimator = CardinalityEstimator(self.catalog)
                     self.coster = PlanCoster(self.estimator, self.config.params)
                     if self.config.invalidate_plans_on_mutation:
+                        # The optimizer's output lives in the template
+                        # cache; bound instances in the plan cache.  Both
+                        # must go for later queries to re-optimize
+                        # against the new statistics.
+                        self.template_cache.clear()
                         self.plan_cache.clear()
                     self.stats.record_mutation()
                     # Rebuild process worker pools now, while the write
@@ -380,29 +685,86 @@ class QueryService:
     # -- serving -----------------------------------------------------------
 
     def submit(self, query: BGPQuery | str, name: str = "") -> QueryOutcome:
-        """Answer one query, through the plan and result caches."""
+        """Answer one fully-bound query (prepare → bind → execute)."""
         self._check_open()
         started = time.perf_counter()
-        try:
-            parsed = parse_query(query, name) if isinstance(query, str) else query
-        except ValueError:
-            self.stats.record_error()
-            raise
+        parsed = self._parse(query, name)
+        self._reject_unbound(parsed)
         try:
             t0 = time.perf_counter()
-            canon = canonicalize(parsed, self.config.canonical_budget)
+            inst = self._instantiate(parsed)
             canonicalize_s = time.perf_counter() - t0
         except CanonicalizationBudgetExceeded:
             return self._submit_uncacheable(parsed, started)
-        answer, coalesced = self._resolve(canon)
-        outcome = self._project(parsed, canon, answer, coalesced, started)
+        answer, coalesced = self._resolve(inst)
+        outcome = self._project(parsed, inst, answer, coalesced, started)
         outcome.timings = replace(outcome.timings, canonicalize_s=canonicalize_s)
+        self._record(outcome, coalesced)
+        return outcome
+
+    def _parse(self, query: BGPQuery | str, name: str = "") -> BGPQuery:
+        """Parse a query string; every failure surfaces as a
+        :class:`~repro.sparql.parser.SparqlSyntaxError` carrying the
+        query *name*, and is recorded as a service error."""
+        if isinstance(query, BGPQuery):
+            return query
+        try:
+            return parse_query(query, name)
+        except SparqlSyntaxError:
+            self.stats.record_error()
+            raise
+        except ValueError as exc:
+            self.stats.record_error()
+            raise SparqlSyntaxError(str(exc), name=name) from exc
+
+    def _reject_unbound(self, parsed: BGPQuery) -> None:
+        unbound = parsed.placeholders()
+        if unbound:
+            self.stats.record_error()
+            raise ValueError(
+                f"query {parsed.name or parsed} has unbound parameters "
+                f"{', '.join(unbound)}; prepare() it and bind them"
+            )
+
+    def _extract(self, parsed: BGPQuery) -> QueryTemplate:
+        return extract_template(
+            parsed,
+            self.config.canonical_budget,
+            lift_constants=self.config.enable_templates,
+        )
+
+    def _instantiate(self, parsed: BGPQuery) -> _Instance:
+        """Template + default binding vector for a fully-bound query."""
+        template = self._extract(parsed)
+        values = template.check_values(template.default_values())
+        return _Instance(
+            template=template,
+            values=values,
+            key=template.instance_key(values),
+        )
+
+    def _record(self, outcome: QueryOutcome, coalesced: bool) -> None:
         self.stats.record_query(
             outcome.timings,
             plan_hit=outcome.plan_cache_hit,
             result_hit=outcome.result_cache_hit,
+            template_hit=outcome.template_hit,
             coalesced=coalesced,
         )
+
+    def _execute_bound(self, bound: "BoundQuery") -> QueryOutcome:
+        """Serve a :class:`BoundQuery` (extraction already paid)."""
+        self._check_open()
+        started = time.perf_counter()
+        inst = _Instance(
+            template=bound.prepared.template,
+            values=bound.values,
+            key=bound.instance_key,
+            entry=bound.prepared._entry,
+        )
+        answer, coalesced = self._resolve(inst)
+        outcome = self._project(bound.query, inst, answer, coalesced, started)
+        self._record(outcome, coalesced)
         return outcome
 
     def submit_batch(
@@ -410,11 +772,13 @@ class QueryService:
     ) -> list[QueryOutcome | BaseException]:
         """Answer many independent queries, concurrently.
 
-        With ``dedup`` (the default), queries sharing a canonical
-        signature are *coalesced*: each distinct shape optimizes and
-        executes once and every duplicate reuses the answer — on a
-        repeated workload mix a batch therefore does strictly less work
-        than submitting its members one by one.
+        With ``dedup`` (the default), queries sharing an instance key
+        (same template, same constants) are *coalesced*: each distinct
+        instance binds and executes once and every duplicate reuses the
+        answer; queries sharing only a *template* (same shape, different
+        constants) still single-flight the optimizer — on a repeated
+        workload mix a batch therefore does strictly less work than
+        submitting its members one by one.
 
         Queries are independent, so with ``return_exceptions`` a failing
         member (parse error, planning error) yields its exception object
@@ -428,11 +792,12 @@ class QueryService:
         items: list[BGPQuery | BaseException] = []
         for q in queries:
             try:
-                items.append(parse_query(q) if isinstance(q, str) else q)
+                parsed = self._parse(q)
+                self._reject_unbound(parsed)
+                items.append(parsed)
             except ValueError as exc:
                 if not return_exceptions:
                     raise
-                self.stats.record_error()
                 items.append(exc)
         if not items:
             return []
@@ -464,7 +829,7 @@ class QueryService:
                         raise
                     outcomes.append(exc)
             return outcomes
-        #: per member: ("err", exc) | ("unc", future) | ("ok", query, canon, canon_s)
+        #: per member: ("err", exc) | ("unc", future) | ("ok", query, inst, canon_s)
         entries: list[tuple] = []
         flights: dict[tuple, object] = {}
         for item in items:
@@ -473,15 +838,15 @@ class QueryService:
                 continue
             t0 = time.perf_counter()
             try:
-                canon = canonicalize(item, self.config.canonical_budget)
+                inst = self._instantiate(item)
             except CanonicalizationBudgetExceeded:
                 entries.append(
                     ("unc", pool.submit(self._submit_uncacheable, item, batch_started))
                 )
                 continue
-            entries.append(("ok", item, canon, time.perf_counter() - t0))
-            if canon.signature not in flights:
-                flights[canon.signature] = pool.submit(self._resolve, canon)
+            entries.append(("ok", item, inst, time.perf_counter() - t0))
+            if inst.key not in flights:
+                flights[inst.key] = pool.submit(self._resolve, inst)
         outcomes = []
         leaders: set[tuple] = set()
         for entry in entries:
@@ -497,101 +862,206 @@ class QueryService:
                         raise
                     outcomes.append(exc)
                 continue
-            _, query, canon, canonicalize_s = entry
+            _, query, inst, canonicalize_s = entry
             try:
-                answer, coalesced = flights[canon.signature].result()
+                answer, coalesced = flights[inst.key].result()
             except Exception as exc:
                 # The flight leader already recorded the error.
                 if not return_exceptions:
                     raise
                 outcomes.append(exc)
                 continue
-            coalesced = coalesced or canon.signature in leaders
-            leaders.add(canon.signature)
-            outcome = self._project(query, canon, answer, coalesced, batch_started)
+            coalesced = coalesced or inst.key in leaders
+            leaders.add(inst.key)
+            outcome = self._project(query, inst, answer, coalesced, batch_started)
             outcome.timings = replace(
                 outcome.timings, canonicalize_s=canonicalize_s
             )
-            self.stats.record_query(
-                outcome.timings,
-                plan_hit=outcome.plan_cache_hit,
-                result_hit=outcome.result_cache_hit,
-                coalesced=coalesced,
-            )
+            self._record(outcome, coalesced)
             outcomes.append(outcome)
         return outcomes
 
     def snapshot_stats(self) -> StatsSnapshot:
-        return self.stats.snapshot(self._version)
+        return self.stats.snapshot(
+            self._version, templates_cached=len(self.template_cache)
+        )
 
     # -- internals ---------------------------------------------------------
 
-    def _resolve(self, canon: CanonicalQuery) -> tuple[_Answer, bool]:
-        """Answer a canonical query, via caches and single-flight."""
-        entry = self.result_cache.get_current(canon.signature, self._version)
-        if entry is not None:
-            return (
-                _Answer(
-                    attrs=entry.attrs,
-                    rows=entry.rows,
-                    plan=entry.plan,
-                    report=entry.report,
-                    job_signature=entry.job_signature,
-                    plan_hit=True,
-                    result_hit=True,
-                    optimize_s=0.0,
-                    execute_s=0.0,
-                    version=entry.version,
-                ),
-                False,
-            )
+    def _single_flight(
+        self, flights: dict, key, compute, on_error=None
+    ) -> tuple[object, bool]:
+        """Run *compute* once per concurrent *key*: the first caller
+        computes, the rest wait and share the value (or the raised
+        error).  Returns ``(value, reused)``; ``reused`` is True for
+        waiters."""
         with self._flights_lock:
-            flight = self._flights.get(canon.signature)
+            flight = flights.get(key)
             leader = flight is None
             if leader:
-                flight = self._flights[canon.signature] = _Flight()
+                flight = flights[key] = _Flight()
         if not leader:
             flight.done.wait()
             if flight.error is not None:
                 raise flight.error
-            assert flight.answer is not None
-            if flight.answer.version != self._version:
-                # The flight predates a mutation that committed after we
-                # joined; its rows are stale for us. Recompute at the
-                # current version instead of serving them.
-                return self._resolve(canon)
-            return flight.answer, True
+            return flight.value, True
         try:
-            answer = self._compute(canon)
-            flight.answer = answer
-            return answer, False
+            value = compute()
+            flight.value = value
+            return value, False
         except BaseException as exc:
             flight.error = exc
-            self.stats.record_error()
+            if on_error is not None:
+                on_error()
             raise
         finally:
             with self._flights_lock:
-                self._flights.pop(canon.signature, None)
+                flights.pop(key, None)
             flight.done.set()
 
-    def _compute(self, canon: CanonicalQuery) -> _Answer:
-        entry = self.plan_cache.get(canon.signature)
+    def _resolve(self, inst: _Instance) -> tuple[_Answer, bool]:
+        """Answer a bound instance, via caches and single-flight."""
+        while True:
+            entry = self.result_cache.get_current(inst.key, self._version)
+            if entry is not None:
+                return (
+                    _Answer(
+                        attrs=entry.attrs,
+                        rows=entry.rows,
+                        plan=entry.plan,
+                        report=entry.report,
+                        job_signature=entry.job_signature,
+                        plan_hit=True,
+                        template_hit=False,
+                        result_hit=True,
+                        optimize_s=0.0,
+                        execute_s=0.0,
+                        bind_s=0.0,
+                        version=entry.version,
+                    ),
+                    False,
+                )
+            answer, reused = self._single_flight(
+                self._flights,
+                inst.key,
+                lambda: self._compute(inst),
+                on_error=self.stats.record_error,
+            )
+            assert isinstance(answer, _Answer)
+            if reused and answer.version != self._version:
+                # The flight predates a mutation that committed after we
+                # joined; its rows are stale for us. Recompute at the
+                # current version instead of serving them.
+                continue
+            return answer, reused
+
+    def _template_entry(
+        self, template: QueryTemplate, seed: TemplateEntry | None = None
+    ) -> tuple[TemplateEntry, bool]:
+        """The optimized-once entry for *template* (single-flight).
+
+        Returns ``(entry, hit)``; ``hit`` is True when the caller did
+        not pay for the optimization (cache hit, another thread's
+        in-flight optimization, or a caller-held *seed* entry from a
+        live PreparedQuery whose template the cache has since dropped —
+        the seed is used directly, without resurrecting it into the
+        shared cache, so mutation-triggered invalidation stays
+        effective for everyone else).
+        """
+        entry = self.template_cache.get(template.signature)
+        if entry is not None:
+            return entry, True
+        if seed is not None:
+            return seed, True
+
+        def build() -> TemplateEntry:
+            built = self._build_template_entry(template)
+            self.template_cache.put(template.signature, built)
+            return built
+
+        entry, reused = self._single_flight(
+            self._template_flights, template.signature, build
+        )
+        assert isinstance(entry, TemplateEntry)
+        return entry, reused
+
+    def _build_template_entry(self, template: QueryTemplate) -> TemplateEntry:
+        """Optimize a template once and prepare its parameterized plan.
+
+        Plan selection *sniffs* the extracting query's own constants
+        (classical prepared-statement parameter sniffing): the optimizer
+        and cost model see exactly the query that would have been
+        optimized without templates, and the chosen plan is then lifted
+        back to placeholder form.  When sniffing is impossible (explicit
+        placeholders without defaults, or constant-collapsed duplicate
+        patterns) the template itself is optimized, costing placeholders
+        like average-selectivity constants.
+        """
+        self.stats.record_optimizer_run()
+        t0 = time.perf_counter()
+        defaults = template.default_values()
+        plan: LogicalPlan | None = None
+        if template.arity and all(v is not None for v in defaults):
+            values = tuple(defaults)  # type: ignore[arg-type]
+            bound_query = template.bind_canonical(values)
+            # Bound pattern -> template pattern, to lift the chosen plan
+            # back to placeholder form.  Binding may collapse two
+            # distinct template patterns into one (duplicate patterns
+            # modulo constants) — the optimizer would then plan only one
+            # of them, so fall back to optimizing the template directly.
+            pairs: dict = {}
+            collapse = False
+            for btp, ttp in zip(bound_query.patterns, template.query.patterns):
+                if btp in pairs and pairs[btp] != ttp:
+                    collapse = True
+                    break
+                pairs.setdefault(btp, ttp)
+            if not collapse:
+                bound_plan, optimizer = self.optimize(bound_query)
+                plan = LogicalPlan(
+                    root=rewrite_patterns(
+                        bound_plan.root, lambda tp: pairs[tp]
+                    ),
+                    query=template.query,
+                )
+        if plan is None:
+            plan, optimizer = self.optimize(template.query)
+        prepared = self.executor.prepare(plan)
+        optimize_s = time.perf_counter() - t0
+        return TemplateEntry(
+            template=template,
+            plan=plan,
+            prepared=prepared,
+            optimize_s=optimize_s,
+            plan_count=optimizer.plan_count,
+            truncated=optimizer.truncated,
+        )
+
+    def _compute(self, inst: _Instance) -> _Answer:
+        entry = self.plan_cache.get(inst.key)
         plan_hit = entry is not None
+        template_hit = False
+        optimize_s = 0.0
+        bind_s = 0.0
         if entry is None:
+            tentry, template_hit = self._template_entry(
+                inst.template, inst.entry
+            )
             t0 = time.perf_counter()
-            plan, optimizer = self.optimize(canon.query)
-            prepared = self.executor.prepare(plan)
-            optimize_s = time.perf_counter() - t0
+            prepared = tentry.prepared.bind(
+                inst.template.substitution(inst.values)
+            )
+            bind_s = time.perf_counter() - t0
+            if not template_hit:
+                optimize_s = tentry.optimize_s
             entry = PlanEntry(
-                plan=plan,
+                plan=prepared.plan,
                 prepared=prepared,
                 optimize_s=optimize_s,
-                plan_count=optimizer.plan_count,
-                truncated=optimizer.truncated,
+                plan_count=tentry.plan_count,
+                truncated=tentry.truncated,
             )
-            self.plan_cache.put(canon.signature, entry)
-        else:
-            optimize_s = 0.0
+            self.plan_cache.put(inst.key, entry)
         t0 = time.perf_counter()
         with self._store_lock.read():
             version = self._version
@@ -604,13 +1074,15 @@ class QueryService:
             report=result.report,
             job_signature=result.job_signature(),
             plan_hit=plan_hit,
+            template_hit=template_hit,
             result_hit=False,
             optimize_s=optimize_s,
             execute_s=execute_s,
+            bind_s=bind_s,
             version=version,
         )
         self.result_cache.put(
-            canon.signature,
+            inst.key,
             ResultEntry(
                 version=version,
                 attrs=answer.attrs,
@@ -625,13 +1097,14 @@ class QueryService:
     def _project(
         self,
         query: BGPQuery,
-        canon: CanonicalQuery,
+        inst: _Instance,
         answer: _Answer,
         coalesced: bool,
         started: float,
     ) -> QueryOutcome:
         """Map a canonical-space answer back onto *query*'s variables."""
-        wanted = [canon.mapping[v] for v in query.distinguished]
+        mapping = inst.template.mapping
+        wanted = [mapping[v] for v in query.distinguished]
         index = [answer.attrs.index(c) for c in wanted]
         if index == list(range(len(answer.attrs))):
             rows = set(answer.rows)
@@ -652,15 +1125,23 @@ class QueryService:
             timings=QueryTimings(
                 optimize_s=answer.optimize_s,
                 execute_s=answer.execute_s,
+                bind_s=answer.bind_s,
                 total_s=total_s,
             ),
             graph_version=answer.version,
+            template_hit=answer.template_hit,
+            template_digest=inst.template.digest(),
+            parameters=tuple(
+                (p.name, v)
+                for p, v in zip(inst.template.params, inst.values)
+            ),
         )
 
     def _submit_uncacheable(
         self, query: BGPQuery, started: float
     ) -> QueryOutcome:
         """Serve a query the canonicalizer gave up on, bypassing caches."""
+        self.stats.record_optimizer_run()
         t0 = time.perf_counter()
         try:
             plan, _ = self.optimize(query)

@@ -61,6 +61,9 @@ class QueryTimings:
 
     canonicalize_s: float = 0.0
     optimize_s: float = 0.0
+    #: binding constants into the template's compiled plan (template
+    #: extraction itself is under canonicalize_s)
+    bind_s: float = 0.0
     execute_s: float = 0.0
     total_s: float = 0.0
 
@@ -80,10 +83,22 @@ class StatsSnapshot:
     graph_version: int
     uptime_s: float
     optimize: LatencySummary
+    bind: LatencySummary
     execute: LatencySummary
     total: LatencySummary
     #: operational warnings (e.g. an execution backend falling back)
     warnings: tuple[str, ...] = ()
+    #: submissions that skipped the optimizer by binding a cached
+    #: template (the bound-plan cache itself missed)
+    template_hits: int = 0
+    #: distinct templates currently held by the template cache
+    templates_cached: int = 0
+    #: times the CliqueSquare optimizer actually ran (template builds —
+    #: via submit or an explicit prepare() — plus uncacheable queries).
+    #: The three-way split of submission outcomes is ``plan_hits`` (full
+    #: bound-plan cache hit), ``template_hits`` (new constants bound
+    #: into a cached template), ``plan_misses`` (cold submission).
+    optimizer_runs: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -105,14 +120,18 @@ class StatsSnapshot:
             f"queries: {self.submitted} ({self.errors} errors, "
             f"{self.coalesced} coalesced), mutations: {self.mutations} "
             f"(graph v{self.graph_version})",
-            f"plan cache:   {self.plan_hits}/{self.plan_hits + self.plan_misses} hits "
-            f"({100 * self.plan_hit_rate:.1f}%)",
+            f"plan cache:   {self.plan_hits} full hits, "
+            f"{self.template_hits} template hits, "
+            f"{self.plan_misses} cold submissions "
+            f"({self.templates_cached} templates cached, "
+            f"{self.optimizer_runs} optimizer runs)",
             f"result cache: {self.result_hits}/{self.result_hits + self.result_misses} hits "
             f"({100 * self.result_hit_rate:.1f}%)",
             f"throughput:   {self.throughput_qps:.1f} q/s over {self.uptime_s:.2f}s",
         ]
         for label, summary in (
             ("optimize", self.optimize),
+            ("bind", self.bind),
             ("execute", self.execute),
             ("total", self.total),
         ):
@@ -135,19 +154,22 @@ class ServiceStats:
     errors: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    template_hits: int = 0
+    optimizer_runs: int = 0
     result_hits: int = 0
     result_misses: int = 0
     coalesced: int = 0
     mutations: int = 0
     warnings: list = field(default_factory=list)
     _optimize: deque = field(default_factory=deque, repr=False)
+    _bind: deque = field(default_factory=deque, repr=False)
     _execute: deque = field(default_factory=deque, repr=False)
     _total: deque = field(default_factory=deque, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _started: float = field(default_factory=time.monotonic, repr=False)
 
     def __post_init__(self) -> None:
-        for name in ("_optimize", "_execute", "_total"):
+        for name in ("_optimize", "_bind", "_execute", "_total"):
             setattr(self, name, deque(getattr(self, name), maxlen=self.window))
 
     def record_query(
@@ -156,6 +178,7 @@ class ServiceStats:
         *,
         plan_hit: bool,
         result_hit: bool,
+        template_hit: bool = False,
         coalesced: bool = False,
     ) -> None:
         with self._lock:
@@ -175,15 +198,27 @@ class ServiceStats:
                 elif plan_hit:
                     self.plan_hits += 1
                     self._execute.append(timings.execute_s)
+                elif template_hit:
+                    # New constants bound into a cached template: the
+                    # optimizer was skipped, only bind + execute ran.
+                    self.template_hits += 1
+                    self._bind.append(timings.bind_s)
+                    self._execute.append(timings.execute_s)
                 else:
                     self.plan_misses += 1
                     self._optimize.append(timings.optimize_s)
+                    self._bind.append(timings.bind_s)
                     self._execute.append(timings.execute_s)
             self._total.append(timings.total_s)
 
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_optimizer_run(self) -> None:
+        """Count one actual CliqueSquare optimizer invocation."""
+        with self._lock:
+            self.optimizer_runs += 1
 
     def record_mutation(self) -> None:
         with self._lock:
@@ -195,13 +230,18 @@ class ServiceStats:
             if message not in self.warnings:
                 self.warnings.append(message)
 
-    def snapshot(self, graph_version: int = 0) -> StatsSnapshot:
+    def snapshot(
+        self, graph_version: int = 0, templates_cached: int = 0
+    ) -> StatsSnapshot:
         with self._lock:
             return StatsSnapshot(
                 submitted=self.submitted,
                 errors=self.errors,
                 plan_hits=self.plan_hits,
                 plan_misses=self.plan_misses,
+                template_hits=self.template_hits,
+                templates_cached=templates_cached,
+                optimizer_runs=self.optimizer_runs,
                 result_hits=self.result_hits,
                 result_misses=self.result_misses,
                 coalesced=self.coalesced,
@@ -209,6 +249,7 @@ class ServiceStats:
                 graph_version=graph_version,
                 uptime_s=time.monotonic() - self._started,
                 optimize=LatencySummary.of(list(self._optimize)),
+                bind=LatencySummary.of(list(self._bind)),
                 execute=LatencySummary.of(list(self._execute)),
                 total=LatencySummary.of(list(self._total)),
                 warnings=tuple(self.warnings),

@@ -19,13 +19,20 @@ from repro.rdf.terms import (
     RDF_TYPE_SHORTHAND,
     is_constant,
     is_literal,
+    is_placeholder,
     is_variable,
 )
 
 
 @dataclass(frozen=True, order=True)
 class TriplePattern:
-    """A triple pattern (s p o) over (U ∪ V) x (U ∪ V) x (U ∪ L ∪ V)."""
+    """A triple pattern (s p o) over (U ∪ V) x (U ∪ V) x (U ∪ L ∪ V).
+
+    Subject and object positions additionally admit ``$name`` parameter
+    placeholders (prepared-query templates); the property position does
+    not — the property drives the §5.1 file layout and the cost model,
+    so it is part of a query's *structure*, never of its parameters.
+    """
 
     s: str
     p: str
@@ -38,6 +45,11 @@ class TriplePattern:
             raise ValueError(f"literal in subject position: {self.s!r}")
         if is_literal(self.p):
             raise ValueError(f"literal in property position: {self.p!r}")
+        if is_placeholder(self.p):
+            raise ValueError(
+                f"parameter placeholder in property position: {self.p!r} "
+                "(properties are structural and cannot be parameterized)"
+            )
 
     def variables(self) -> tuple[str, ...]:
         """Variables of this pattern, in s,p,o order, deduplicated."""
@@ -50,6 +62,14 @@ class TriplePattern:
     def constants(self) -> tuple[str, ...]:
         """Constant terms of this pattern, in s,p,o order."""
         return tuple(t for t in (self.s, self.p, self.o) if is_constant(t))
+
+    def placeholders(self) -> tuple[str, ...]:
+        """Parameter placeholders of this pattern, in s,o order, deduplicated."""
+        seen: list[str] = []
+        for term in (self.s, self.o):
+            if is_placeholder(term) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
 
     def positions_of(self, var: str) -> tuple[str, ...]:
         """Which of 's','p','o' hold *var*."""
@@ -97,6 +117,15 @@ class BGPQuery:
             for v in tp.variables():
                 if v not in seen:
                     seen.append(v)
+        return tuple(seen)
+
+    def placeholders(self) -> tuple[str, ...]:
+        """All parameter placeholders of the query, in first-occurrence order."""
+        seen: list[str] = []
+        for tp in self.patterns:
+            for p in tp.placeholders():
+                if p not in seen:
+                    seen.append(p)
         return tuple(seen)
 
     def join_variables(self) -> tuple[str, ...]:

@@ -8,13 +8,15 @@ Supported grammar (whitespace-insensitive, case-insensitive keywords)::
     pattern:= term term term
 
 Terms are IRIs (``<...>`` or prefixed names), literals (``"..."``),
-variables (``?name``), or the ``a`` shorthand for ``rdf:type``.  PREFIX
-declarations are accepted and ignored (prefixed names stay opaque).
+variables (``?name``), parameter placeholders (``$name``, subject/object
+positions only — prepared-query templates), or the ``a`` shorthand for
+``rdf:type``.  PREFIX declarations are accepted and ignored (prefixed
+names stay opaque).
 
 Syntax errors raise :class:`SparqlSyntaxError`, which carries the
-offending token and its (line, column) position in the query text so
-that service clients get actionable diagnostics instead of a bare
-``ValueError``.
+offending token, its (line, column) position in the query text, and the
+``name`` the caller gave the query, so that service clients get
+actionable diagnostics instead of a bare ``ValueError``.
 """
 
 from __future__ import annotations
@@ -29,8 +31,10 @@ class SparqlSyntaxError(ValueError):
     """Raised when a query string cannot be parsed.
 
     ``token`` is the offending token text (``None`` when the input ended
-    prematurely) and ``position`` its 1-based ``(line, column)`` in the
-    query string.
+    prematurely), ``position`` its 1-based ``(line, column)`` in the
+    query string, and ``name`` the caller-supplied query name (empty for
+    anonymous queries) — so a failing member of a named workload can be
+    identified from the exception alone.
     """
 
     def __init__(
@@ -39,9 +43,15 @@ class SparqlSyntaxError(ValueError):
         *,
         token: str | None = None,
         position: tuple[int, int] | None = None,
+        name: str = "",
     ) -> None:
         self.token = token
         self.position = position
+        self.name = name
+        #: the undecorated message, kept so callers can re-raise with a name
+        self.core_message = message
+        if name:
+            message = f"{name}: {message}"
         if position is not None:
             where = f" at line {position[0]}, column {position[1]}"
             shown = f": {token!r}" if token is not None else ""
@@ -117,8 +127,30 @@ def _strip_prefix_decls(tokens: list[Token]) -> list[Token]:
     return out
 
 
+#: Legal parameter placeholder spelling: ``$`` + identifier.
+_PLACEHOLDER = re.compile(r"^\$[A-Za-z_][A-Za-z0-9_]*$")
+
+
 def parse_query(text: str, name: str = "") -> BGPQuery:
-    """Parse a SELECT BGP query into a :class:`BGPQuery`."""
+    """Parse a SELECT BGP query into a :class:`BGPQuery`.
+
+    ``name`` labels the query; it is attached to the returned query and
+    to any :class:`SparqlSyntaxError` the parse raises.
+    """
+    try:
+        return _parse_query(text, name)
+    except SparqlSyntaxError as exc:
+        if name and not exc.name:
+            raise SparqlSyntaxError(
+                exc.core_message,
+                token=exc.token,
+                position=exc.position,
+                name=name,
+            ) from None
+        raise
+
+
+def _parse_query(text: str, name: str) -> BGPQuery:
     tokens = _strip_prefix_decls(lex(text))
     end = _end_position(text)
     if not tokens:
@@ -239,6 +271,20 @@ def _make_pattern(tokens: list[Token]) -> TriplePattern:
             f"triple pattern needs exactly 3 terms: {[t.text for t in tokens]}",
             token=tokens[0].text if tokens else None,
             position=tokens[0].position if tokens else None,
+        )
+    for tok in tokens:
+        if tok.text.startswith("$") and not _PLACEHOLDER.match(tok.text):
+            raise SparqlSyntaxError(
+                "malformed parameter placeholder (expected $identifier)",
+                token=tok.text,
+                position=tok.position,
+            )
+    if tokens[1].text.startswith("$"):
+        raise SparqlSyntaxError(
+            "parameter placeholder cannot appear in property position "
+            "(properties are structural)",
+            token=tokens[1].text,
+            position=tokens[1].position,
         )
     try:
         return TriplePattern(tokens[0].text, tokens[1].text, tokens[2].text)

@@ -4,10 +4,12 @@ Since the serving layer landed, ``CSQ`` is a thin *session* over a
 :class:`repro.service.QueryService`: the service owns the §5.1
 partitioner, the CliqueSquare-MSC optimizer with the §5.4 cost model,
 the §5.2/§5.3 physical translation, the simulated MapReduce executor,
-and the plan/result caches.  The session keeps the historical one-shot
-API (``optimize`` / ``execute_plan`` / ``run``) used by the paper's
-figure benchmarks, while ``run`` is served through the caching path —
-repeated (or isomorphic) queries skip the optimizer.
+and the template/plan/result caches.  The session keeps the historical
+one-shot API (``optimize`` / ``execute_plan`` / ``run``) used by the
+paper's figure benchmarks, while ``run`` routes through the service's
+unified prepare → bind → execute pipeline — repeated, isomorphic, or
+constant-varying queries skip the optimizer.  ``prepare`` exposes the
+prepared-query surface directly on the session.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from repro.core.logical import LogicalPlan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.physical.executor import ExecutionResult
 from repro.rdf.graph import RDFGraph
-from repro.service.service import QueryService, ServiceConfig
+from repro.service.service import PreparedQuery, QueryService, ServiceConfig
 from repro.sparql.ast import BGPQuery
 from repro.systems.base import SystemReport
 
@@ -115,6 +117,12 @@ class CSQ:
         """CliqueSquare plans + cost-based selection of the best one."""
         return self.service.optimize(query)
 
+    def prepare(self, query: BGPQuery | str, name: str = "") -> PreparedQuery:
+        """Prepare a parameterized query once; bind/execute many times."""
+        prepared = self.service.prepare(query, name)
+        assert isinstance(prepared, PreparedQuery)
+        return prepared
+
     # -- execution ---------------------------------------------------------
 
     def execute_plan(self, plan: LogicalPlan) -> ExecutionResult:
@@ -122,4 +130,5 @@ class CSQ:
         return self.service.execute_plan(plan)
 
     def run(self, query: BGPQuery) -> SystemReport:
+        """One-shot query — served through prepare → bind → execute."""
         return self.service.submit(query).to_report(self.name)
