@@ -31,8 +31,23 @@ plan & result caching; repeated query shapes skip the optimizer)::
             [lubm_queries.query(f"Q{i}") for i in (1, 2, 1, 2)]
         )
         print(service.snapshot_stats().format())
+
+Sharded deployment (``repro.cluster`` — the store hash-partitioned
+across shard workers behind a router; identical answers, per-shard
+worker pools)::
+
+    from repro import QueryService, ServiceConfig
+
+    service = QueryService(graph, ServiceConfig(shards=4, backend="process"))
 """
 
+from repro.cluster import (
+    ShardedPlanExecutor,
+    ShardedSnapshot,
+    ShardedStore,
+    ShardRouter,
+    shard_graph,
+)
 from repro.core.algorithm import OptimizerResult, best_effort_plan, cliquesquare
 from repro.core.binary import best_bushy_plan, best_linear_plan
 from repro.core.decomposition import (
@@ -75,6 +90,7 @@ from repro.service.service import (
     QueryOutcome,
     QueryService,
     ServiceConfig,
+    ServiceOverloaded,
 )
 from repro.service.stats import ServiceStats, StatsSnapshot
 from repro.sparql.ast import BGPQuery, TriplePattern
@@ -134,8 +150,13 @@ __all__ = [
     "Select",
     "SerialBackend",
     "ServiceConfig",
+    "ServiceOverloaded",
     "ServiceStats",
     "ShapeSystem",
+    "ShardRouter",
+    "ShardedPlanExecutor",
+    "ShardedSnapshot",
+    "ShardedStore",
     "SparqlSyntaxError",
     "StatsSnapshot",
     "StoreSnapshot",
@@ -159,5 +180,6 @@ __all__ = [
     "parse_query",
     "partition_graph",
     "select_best_plan",
+    "shard_graph",
     "structure_signature",
 ]

@@ -1,0 +1,29 @@
+"""repro.cluster — the sharded store and shard router.
+
+The distribution layer behind the query service: a
+:class:`~repro.cluster.sharded_store.ShardedStore` hash-partitions the
+§5.1 replicated layout across N shard workers (logical node ``n`` lives
+on shard ``n % N``, so every co-location guarantee the planner relies on
+holds shard-locally), a :class:`~repro.cluster.router.ShardRouter` ships
+task specs to shards and runs the cross-shard exchange between map and
+reduce phases, and per-shard catalog statistics aggregate into the exact
+global catalog the cost model consumes.  Enable it with
+``ServiceConfig(shards=N)`` — answers are identical for any shard count
+and any execution backend.
+"""
+
+from repro.cluster.router import ShardedPlanExecutor, ShardRouter, ShardRunSummary
+from repro.cluster.sharded_store import (
+    ShardedSnapshot,
+    ShardedStore,
+    shard_graph,
+)
+
+__all__ = [
+    "ShardRouter",
+    "ShardRunSummary",
+    "ShardedPlanExecutor",
+    "ShardedSnapshot",
+    "ShardedStore",
+    "shard_graph",
+]

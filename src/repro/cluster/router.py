@@ -1,0 +1,530 @@
+"""The shard router: coordinates one query's jobs across shard workers.
+
+The router is the distribution layer between the compiled job DAG and
+the per-shard execution backends:
+
+* **map levels run shard-local.**  Every map task is pinned to a logical
+  node, and each node is owned by exactly one shard, so the router
+  groups a level's map tasks by owning shard and hands each shard its
+  batch — the shard scans only its own :class:`~repro.partitioning
+  .triple_partitioner.StoreSnapshot`.  How a shard physically runs its
+  batch is that shard's :class:`~repro.mapreduce.backends
+  .ExecutionBackend` (serial, thread, or a per-shard process pool keyed
+  to the shard's snapshot token).
+* **the shuffle is the cross-shard exchange.**  Map emissions are routed
+  by the process-independent :func:`~repro.mapreduce.jobs.stable_hash`
+  to reduce partitions; partition ``p`` lives on node ``p % num_nodes``,
+  hence on that node's shard — rows whose key hashes to another shard's
+  partition cross shards here, and only here.  Job outputs are likewise
+  sliced per shard before the next level, so a shard's map shufflers
+  read purely shard-local intermediates.
+* **per-shard reports merge into one.**  Each shard accumulates its own
+  :class:`~repro.mapreduce.counters.JobMetrics` slice (its nodes' map
+  work, its partitions' reduce work); the router folds them through
+  :meth:`~repro.mapreduce.counters.ExecutionReport.merge`, which
+  combines phase times by max and work by sum — reproducing the
+  single-store engine's report for the same plan.
+
+Results are deterministic and backend/shard-count invariant: batches
+return in submission order, shuffle grouping follows the global task
+order, and node placement is identical to the unsharded store — so
+``shards=1`` and ``shards=4`` produce byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    TaskInvocation,
+    make_backend,
+    split_workers,
+)
+from repro.mapreduce.counters import ExecutionReport, JobMetrics
+from repro.mapreduce.engine import ClusterConfig
+from repro.mapreduce.hdfs import HDFS, DistributedRelation
+from repro.mapreduce.jobs import JobGraph, MapReduceJob, Row, TaskContext
+from repro.physical.executor import (
+    ExecutionResult,
+    PreparedPlan,
+    job_from_spec,
+    job_output_attrs,
+)
+from repro.physical.job_compiler import CompiledPlan, JobSpec, compile_plan
+from repro.physical.translate import translate
+from repro.core.logical import LogicalPlan
+
+from repro.cluster.sharded_store import ShardedSnapshot, ShardedStore
+
+
+@dataclass(frozen=True)
+class ShardRunSummary:
+    """Per-shard accounting of one query execution."""
+
+    #: map + reduce task invocations executed per shard
+    tasks: tuple[int, ...]
+    #: output rows landing on each shard's nodes (all jobs)
+    rows: tuple[int, ...]
+
+
+class _ShardJobState:
+    """Per-(job, level) accumulation, split by owning shard."""
+
+    def __init__(
+        self, job: MapReduceJob, num_nodes: int, num_shards: int, overhead: float
+    ) -> None:
+        self.job = job
+        self.shard_metrics = [
+            JobMetrics(name=job.name, overhead=overhead, map_only=job.map_only)
+            for _ in range(num_shards)
+        ]
+        self.node_work: dict[int, float] = defaultdict(float)
+        self.reduce_work: dict[int, float] = defaultdict(float)
+        self.shuffle: dict[int, dict[int, list[Row]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self.outputs_per_node: list[list[Row]] = [[] for _ in range(num_nodes)]
+
+
+class ShardRouter:
+    """Runs compiled job DAGs across shard workers with exchange steps."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_shards: int,
+        params: CostParams = DEFAULT_PARAMS,
+        backends: Sequence[ExecutionBackend] | None = None,
+        parallel_shards: bool = True,
+    ) -> None:
+        if backends is None:
+            backends = [make_backend(None) for _ in range(num_shards)]
+        if len(backends) != num_shards:
+            raise ValueError(
+                f"{num_shards} shards need {num_shards} backends, "
+                f"got {len(backends)}"
+            )
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+        self.params = params
+        self.backends = list(backends)
+        #: dispatch shard batches on driver threads so per-shard process
+        #: pools overlap; pointless for the serial backend (GIL-bound)
+        self.parallel_shards = parallel_shards and num_shards > 1
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._registered: set[tuple] = set()
+
+    # -- template registration ---------------------------------------------
+
+    @staticmethod
+    def plan_structure(compiled: CompiledPlan) -> tuple:
+        """The binding-independent structure key of a compiled plan.
+
+        Bound instances of one template share this key: binding only
+        rewrites selection constants inside scan patterns, never the job
+        names, chain counts or dependency edges.
+        """
+        return tuple(
+            (spec.name, len(spec.map_chains), spec.map_only, spec.depends)
+            for spec in compiled.jobs
+        )
+
+    def register(self, compiled: CompiledPlan) -> bool:
+        """Register a plan template's structure with every shard, once.
+
+        Returns True the first time a structure is seen.  Registration
+        is what makes the bindings-per-query flow explicit: the job DAG
+        shape is validated and recorded once per template, and each
+        query afterwards ships only its bound task specs (selection
+        constants) plus shuffle payloads — the store snapshot itself
+        reached each shard's pool when the pool was primed.
+        """
+        key = self.plan_structure(compiled)
+        with self._lock:
+            if key in self._registered:
+                return False
+            self._registered.add(key)
+            return True
+
+    @property
+    def templates_registered(self) -> int:
+        with self._lock:
+            return len(self._registered)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(4, 2 * self.num_shards),
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self, compiled: CompiledPlan, snapshot: ShardedSnapshot
+    ) -> tuple[DistributedRelation, ExecutionReport, ShardRunSummary]:
+        """Run a compiled plan over a sharded snapshot.
+
+        Returns the final output relation, the merged execution report,
+        and the per-shard run summary.
+        """
+        if snapshot.num_shards != self.num_shards:
+            raise ValueError(
+                f"snapshot has {snapshot.num_shards} shards, "
+                f"router routes {self.num_shards}"
+            )
+        self.register(compiled)
+        num_nodes, num_shards = self.num_nodes, self.num_shards
+        driver_hdfs = HDFS(num_nodes=num_nodes)
+        shard_hdfs = [HDFS(num_nodes=num_nodes) for _ in range(num_shards)]
+        ctxs = [
+            TaskContext(
+                num_nodes=num_nodes,
+                store=snapshot.shards[shard],
+                hdfs=shard_hdfs[shard],
+            )
+            for shard in range(num_shards)
+        ]
+        graph = JobGraph()
+        spec_of: dict[str, JobSpec] = {}
+        for spec in compiled.jobs:
+            job = job_from_spec(spec, num_nodes)
+            graph.add(job)
+            spec_of[job.name] = spec
+        reports = [
+            ExecutionReport(backend=self.backends[shard].name)
+            for shard in range(num_shards)
+        ]
+        tasks = [0] * num_shards
+        rows = [0] * num_shards
+        for level in graph.levels():
+            self._run_level(
+                level, spec_of, ctxs, reports, driver_hdfs, shard_hdfs,
+                tasks, rows,
+            )
+        merged = reports[0]
+        for other in reports[1:]:
+            merged.merge(other)
+        merged.shards = num_shards
+        result = driver_hdfs.read("result")
+        return result, merged, ShardRunSummary(tasks=tuple(tasks), rows=tuple(rows))
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_shards(
+        self,
+        per_shard: list[list[TaskInvocation]],
+        ctxs: list[TaskContext],
+    ) -> list[tuple[int, list]]:
+        """Run each shard's batch; results per shard in submission order."""
+        active = [s for s in range(self.num_shards) if per_shard[s]]
+        if len(active) > 1 and self.parallel_shards:
+            pool = self._dispatch_pool()
+            futures = [
+                (s, pool.submit(self.backends[s].run, per_shard[s], ctxs[s]))
+                for s in active
+            ]
+            return [(s, f.result()) for s, f in futures]
+        return [
+            (s, self.backends[s].run(per_shard[s], ctxs[s])) for s in active
+        ]
+
+    def _run_level(
+        self,
+        level: list[MapReduceJob],
+        spec_of: dict[str, JobSpec],
+        ctxs: list[TaskContext],
+        reports: list[ExecutionReport],
+        driver_hdfs: HDFS,
+        shard_hdfs: list[HDFS],
+        tasks: list[int],
+        rows: list[int],
+    ) -> None:
+        params = self.params
+        num_nodes, num_shards = self.num_nodes, self.num_shards
+        states = [
+            _ShardJobState(job, num_nodes, num_shards, params.job_overhead)
+            for job in level
+        ]
+
+        # Map phase: group the level's tasks by owning shard, preserving
+        # the global (engine) task order for deterministic consumption.
+        entries: list[tuple[_ShardJobState, object]] = []
+        per_shard_inv: list[list[TaskInvocation]] = [[] for _ in range(num_shards)]
+        per_shard_pos: list[list[int]] = [[] for _ in range(num_shards)]
+        for state in states:
+            for task in state.job.map_tasks:
+                shard = task.node % num_shards
+                per_shard_inv[shard].append(TaskInvocation(task.spec))
+                per_shard_pos[shard].append(len(entries))
+                entries.append((state, task))
+        results: list = [None] * len(entries)
+        for shard, batch in self._run_shards(per_shard_inv, ctxs):
+            tasks[shard] += len(batch)
+            for pos, result in zip(per_shard_pos[shard], batch):
+                results[pos] = result
+        for (state, task), (emits, direct, task_metrics) in zip(entries, results):
+            node = task.node
+            shard = node % num_shards
+            work = task_metrics.time(params)
+            state.node_work[node] += work
+            state.shard_metrics[shard].total_work += work
+            num_reducers = max(state.job.num_reducers, 1)
+            for partition, tag, row in emits:
+                state.shuffle[partition % num_reducers][tag].append(row)
+            state.outputs_per_node[node % num_nodes].extend(direct)
+        for state in states:
+            for shard in range(num_shards):
+                state.shard_metrics[shard].map_time = max(
+                    (
+                        work
+                        for node, work in state.node_work.items()
+                        if node % num_shards == shard
+                    ),
+                    default=0.0,
+                )
+
+        # Reduce phase: the exchange.  Partition p reduces on node
+        # p % num_nodes, so its grouped rows ship to that node's shard —
+        # this is the only point where tuples cross shard boundaries.
+        rentries: list[tuple[_ShardJobState, int]] = []
+        per_shard_rinv: list[list[TaskInvocation]] = [[] for _ in range(num_shards)]
+        per_shard_rpos: list[list[int]] = [[] for _ in range(num_shards)]
+        for state in states:
+            job = state.job
+            if job.map_only:
+                continue
+            assert job.reduce_spec is not None
+            for partition in range(job.num_reducers):
+                grouped = {
+                    tag: rows_
+                    for tag, rows_ in state.shuffle.get(partition, {}).items()
+                }
+                shard = (partition % num_nodes) % num_shards
+                per_shard_rinv[shard].append(
+                    TaskInvocation(job.reduce_spec, (partition, grouped))
+                )
+                per_shard_rpos[shard].append(len(rentries))
+                rentries.append((state, partition))
+        if rentries:
+            rresults: list = [None] * len(rentries)
+            for shard, batch in self._run_shards(per_shard_rinv, ctxs):
+                tasks[shard] += len(batch)
+                for pos, result in zip(per_shard_rpos[shard], batch):
+                    rresults[pos] = result
+            for (state, partition), (out_rows, task_metrics) in zip(
+                rentries, rresults
+            ):
+                node = partition % num_nodes
+                shard = node % num_shards
+                work = task_metrics.time(params)
+                state.reduce_work[node] += work
+                metrics = state.shard_metrics[shard]
+                metrics.total_work += work
+                metrics.tuples_shuffled += task_metrics.tuples_shuffled
+                state.outputs_per_node[node].extend(out_rows)
+            for state in states:
+                if state.job.map_only:
+                    continue
+                for shard in range(num_shards):
+                    state.shard_metrics[shard].reduce_time = max(
+                        (
+                            work
+                            for node, work in state.reduce_work.items()
+                            if node % num_shards == shard
+                        ),
+                        default=0.0,
+                    )
+
+        # Close out the level: publish outputs (full relation driver-side,
+        # shard-sliced for the next level's shard-local map shufflers),
+        # charge overheads, extend per-shard reports.
+        for state in states:
+            spec = spec_of[state.job.name]
+            attrs = job_output_attrs(spec)
+            driver_hdfs.write(
+                spec.output_name,
+                DistributedRelation(
+                    attrs=attrs, partitions=state.outputs_per_node
+                ),
+            )
+            for shard in range(num_shards):
+                shard_hdfs[shard].write(
+                    spec.output_name,
+                    DistributedRelation(
+                        attrs=attrs,
+                        partitions=[
+                            part if node % num_shards == shard else []
+                            for node, part in enumerate(state.outputs_per_node)
+                        ],
+                    ),
+                )
+            for shard in range(num_shards):
+                metrics = state.shard_metrics[shard]
+                metrics.total_work += params.job_overhead
+                metrics.output_tuples = sum(
+                    len(state.outputs_per_node[node])
+                    for node in range(num_nodes)
+                    if node % num_shards == shard
+                )
+                rows[shard] += metrics.output_tuples
+                reports[shard].jobs.append(metrics)
+                reports[shard].total_work += metrics.total_work
+        for shard in range(num_shards):
+            reports[shard].levels.append([state.job.name for state in states])
+            reports[shard].response_time += max(
+                (state.shard_metrics[shard].time for state in states),
+                default=0.0,
+            )
+
+
+class ShardedPlanExecutor:
+    """Drop-in :class:`~repro.physical.executor.PlanExecutor` over shards.
+
+    Same prepare/execute surface, but the store is a
+    :class:`ShardedStore` and execution routes through a
+    :class:`ShardRouter`: each shard gets its own execution backend —
+    for ``"process"``, a worker pool of its own, with the machine-wide
+    worker budget split across shards and each pool keyed to its shard's
+    snapshot token (a mutation rebuild touches only mutated shards).
+    """
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        cluster: ClusterConfig | None = None,
+        params: CostParams = DEFAULT_PARAMS,
+        backend: ExecutionBackend | str | None = None,
+        backend_workers: int | None = None,
+        on_fallback: Callable[[str], None] | None = None,
+    ) -> None:
+        self.store = store
+        self.cluster = cluster or ClusterConfig(num_nodes=store.num_nodes)
+        if self.cluster.num_nodes != store.num_nodes:
+            raise ValueError(
+                f"cluster has {self.cluster.num_nodes} nodes but the "
+                f"store places onto {store.num_nodes}"
+            )
+        self.params = params
+        if isinstance(backend, ExecutionBackend):
+            if store.num_shards > 1 and isinstance(backend, ProcessBackend):
+                raise ValueError(
+                    "a shared ProcessBackend cannot serve multiple shards "
+                    "(its pool is keyed to one snapshot); pass "
+                    "backend='process' to give each shard its own pool"
+                )
+            self.backends: list[ExecutionBackend] = [backend] * store.num_shards
+            parallel = not isinstance(backend, SerialBackend)
+        else:
+            workers = split_workers(
+                backend_workers, store.num_shards, backend or "serial"
+            )
+            self.backends = [
+                make_backend(
+                    backend,
+                    num_workers=workers,
+                    on_fallback=(
+                        None
+                        if on_fallback is None
+                        else (
+                            lambda message, shard=shard: on_fallback(
+                                f"shard {shard}: {message}"
+                            )
+                        )
+                    ),
+                )
+                for shard in range(store.num_shards)
+            ]
+            parallel = backend not in (None, "serial")
+        self.router = ShardRouter(
+            num_nodes=store.num_nodes,
+            num_shards=store.num_shards,
+            params=params,
+            backends=self.backends,
+            parallel_shards=parallel,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def prime(self) -> None:
+        """Warm every shard's worker pool against its current snapshot.
+
+        Only shards whose snapshot token changed since the last prime
+        rebuild their pools; the rest keep their workers (and the store
+        slice those workers inherited).
+        """
+        snapshot = self.store.snapshot()
+        for shard, backend in enumerate(self.backends):
+            backend.prime(
+                TaskContext(
+                    num_nodes=self.cluster.num_nodes,
+                    store=snapshot.shards[shard],
+                )
+            )
+
+    def close(self) -> None:
+        self.router.close()
+        for backend in self.backends:
+            backend.close()
+
+    def __enter__(self) -> "ShardedPlanExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- public API -----------------------------------------------------------
+
+    def prepare(self, plan: LogicalPlan) -> PreparedPlan:
+        """Translate and compile *plan* without running it."""
+        physical = translate(plan, replicas=self.store.replicas)
+        compiled = compile_plan(physical)
+        return PreparedPlan(plan=plan, physical=physical, compiled=compiled)
+
+    def register_template(self, prepared: PreparedPlan) -> bool:
+        """Register a prepared template's job structure on every shard.
+
+        Called once per template by the query service; afterwards every
+        binding of the template ships only its binding-substituted task
+        specs to the shards.
+        """
+        return self.router.register(prepared.compiled)
+
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        return self.execute_prepared(self.prepare(plan))
+
+    def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
+        """Run an already-prepared plan across the shards."""
+        relation, report, summary = self.router.execute(
+            prepared.compiled, self.store.snapshot()
+        )
+        return ExecutionResult(
+            attrs=prepared.compiled.final_attrs,
+            rows=set(relation.all_rows()),
+            report=report,
+            plan=prepared.plan,
+            physical=prepared.physical,
+            compiled=prepared.compiled,
+            shard_tasks=summary.tasks,
+            shard_rows=summary.rows,
+        )

@@ -1,0 +1,303 @@
+"""The sharded §5.1 store: placement-hashed triples across shard workers.
+
+CliqueSquare's storage layout (``repro.partitioning``) places each
+triple three times — by the hash of its subject, property and object
+value — onto ``num_nodes`` logical nodes.  The sharded store keeps that
+placement *bit-for-bit identical* and adds one level underneath: logical
+node ``n`` is owned by shard ``n % num_shards``, and each shard holds an
+independent :class:`~repro.partitioning.triple_partitioner
+.PartitionedStore` containing exactly its nodes' partition files.
+
+Because the node placement is unchanged, every co-location guarantee the
+planner relies on (first-level joins are processed without
+communication, §5.1) holds *within a shard*: a map task for node ``n``
+runs on the shard owning ``n`` against purely shard-local data.  Only
+the shuffle between a job's map and reduce phase — and job outputs
+consumed by later jobs — cross shards, which is the router's exchange
+step (:mod:`repro.cluster.router`).
+
+Each shard also maintains shard-local catalog statistics computed from
+its own replicas.  The §5.1 placement makes those *disjoint* — a
+distinct subject lives on exactly one node of the subject replica, a
+property on one node of the property replica, an object on one node of
+the object replica — so :meth:`ShardedStore.aggregate_statistics` can
+sum them into the exact global :class:`~repro.cost.cardinality
+.CatalogStatistics` the cost model consumes, without any shard ever
+seeing the whole dataset.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cost.cardinality import CatalogStatistics, PropertyStats
+from repro.partitioning.layout import PLACEMENTS, parse_file_name
+from repro.partitioning.triple_partitioner import (
+    PartitionedStore,
+    StoreSnapshot,
+    place,
+)
+from repro.rdf.graph import RDFGraph, Triple
+
+#: Process-wide sharded-store identities (same role as the per-store uid:
+#: snapshots of different sharded stores must never alias in pool caches).
+_CLUSTER_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class ShardedSnapshot:
+    """Read-only view of a :class:`ShardedStore` at one version.
+
+    ``shards[i]`` is shard *i*'s own :class:`StoreSnapshot`; each carries
+    its own ``(store uid, version)`` token, so a mutation that touched
+    only some shards invalidates only those shards' worker pools — the
+    others keep serving from their unchanged snapshots.
+    """
+
+    num_nodes: int
+    num_shards: int
+    shards: tuple[StoreSnapshot, ...]
+    token: tuple
+
+    def shard_of_node(self, node: int) -> int:
+        return node % self.num_shards
+
+    def scan(
+        self,
+        node: int,
+        placement: str,
+        prop: str | None = None,
+        type_object: str | None = None,
+    ) -> list[Triple]:
+        """Scan one node's partition on the shard that owns the node."""
+        return self.shards[node % self.num_shards].scan(
+            node, placement, prop, type_object
+        )
+
+    def total_stored(self) -> int:
+        return sum(s.total_stored() for s in self.shards)
+
+
+class ShardedStore:
+    """N shard workers, each holding one slice of the §5.1 layout.
+
+    The public surface mirrors :class:`PartitionedStore` (``add``,
+    ``add_all``, ``snapshot``, ``scan``, ``node_of``, ``total_stored``)
+    so the query service can swap one in transparently; routing-specific
+    extras (``shard_of_node``, per-shard statistics) feed the shard
+    router and the explain/telemetry paths.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_shards: int,
+        replicas: tuple[str, ...] = PLACEMENTS,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        if num_shards > num_nodes:
+            # Ownership is node-granular (shard = node % num_shards), so
+            # extra shards could never own a node: they would only hold
+            # idle worker pools and skew worker-budget splitting.
+            raise ValueError(
+                f"cannot spread {num_nodes} nodes over {num_shards} shards; "
+                "use at most one shard per node"
+            )
+        if tuple(replicas) != PLACEMENTS:
+            # Shard-local statistics lean on the disjointness of all
+            # three replicas; the replica-ablation path stays on the
+            # single-store executor.
+            raise ValueError(
+                "a sharded store requires the full 3-way replication "
+                f"scheme {PLACEMENTS}, got {tuple(replicas)}"
+            )
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+        self.replicas = tuple(replicas)
+        self.stores = [
+            PartitionedStore(num_nodes=num_nodes) for _ in range(num_shards)
+        ]
+        self.version = 0
+        self.uid = next(_CLUSTER_IDS)
+        #: serializes mutation against shard-statistics computation, so
+        #: a concurrent ``shard_statistics`` never iterates a shard's
+        #: file map mid-mutation nor caches a stale result after an
+        #: invalidation (the query service's RW lock already provides
+        #: this for service-owned stores; a bare ShardedStore gets the
+        #: same guarantee from this lock).
+        self._lock = threading.Lock()
+        self._stats_cache: list[CatalogStatistics | None] = [None] * num_shards
+
+    # -- topology ----------------------------------------------------------
+
+    def shard_of_node(self, node: int) -> int:
+        """The shard owning logical node *node*."""
+        return node % self.num_shards
+
+    @property
+    def node_shards(self) -> tuple[int, ...]:
+        """Shard owner per logical node (``node_shards[n]`` owns n)."""
+        return tuple(n % self.num_shards for n in range(self.num_nodes))
+
+    def nodes_of_shard(self, shard: int) -> tuple[int, ...]:
+        """The logical nodes shard *shard* owns."""
+        return tuple(
+            n for n in range(self.num_nodes) if n % self.num_shards == shard
+        )
+
+    def node_of(self, value: str) -> int:
+        """The node holding *value*'s co-location group (any placement)."""
+        return place(value, self.num_nodes)
+
+    def shard_of_value(self, value: str) -> int:
+        """The shard holding *value*'s co-location group."""
+        return self.shard_of_node(self.node_of(value))
+
+    # -- loading -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        """Route each §5.1 replica of *triple* to its owning shard."""
+        s, p, o = triple
+        with self._lock:
+            for placement, value in zip(PLACEMENTS, (s, p, o)):
+                node = place(value, self.num_nodes)
+                shard = node % self.num_shards
+                self.stores[shard].add_placement(placement, triple)
+                self._stats_cache[shard] = None
+            self.version += 1
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        count = 0
+        for triple in triples:
+            self.add(triple)
+            count += 1
+        return count
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> ShardedSnapshot:
+        """Per-shard snapshots plus a combined identity token.
+
+        Per-shard snapshots are memoized by the underlying stores, so
+        only shards actually touched by the last mutation batch pay the
+        copy (and only their worker pools rebuild).
+        """
+        shards = tuple(store.snapshot() for store in self.stores)
+        return ShardedSnapshot(
+            num_nodes=self.num_nodes,
+            num_shards=self.num_shards,
+            shards=shards,
+            token=(self.uid, tuple(s.token for s in shards)),
+        )
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan(
+        self,
+        node: int,
+        placement: str,
+        prop: str | None = None,
+        type_object: str | None = None,
+    ) -> list[Triple]:
+        """Triples of one node's partition (served by its owning shard)."""
+        return self.stores[node % self.num_shards].scan(
+            node, placement, prop, type_object
+        )
+
+    def file_names(self, node: int) -> list[str]:
+        return self.stores[node % self.num_shards].file_names(node)
+
+    # -- invariants / telemetry --------------------------------------------
+
+    def total_stored(self) -> int:
+        """Total stored triples across shards (3x the dataset)."""
+        return sum(store.total_stored() for store in self.stores)
+
+    def triples_per_shard(self) -> tuple[int, ...]:
+        """Stored triples (all replicas) per shard."""
+        return tuple(store.total_stored() for store in self.stores)
+
+    def replica_triples(self, placement: str) -> set[Triple]:
+        """The dataset as reconstructed from one replica, across shards."""
+        out: set[Triple] = set()
+        for store in self.stores:
+            out.update(store.replica_triples(placement))
+        return out
+
+    # -- catalog statistics ------------------------------------------------
+
+    def shard_statistics(self, shard: int) -> CatalogStatistics:
+        """Shard-local catalog statistics, computed from local replicas.
+
+        ``triple_count`` and ``per_property`` come from the shard's
+        property replica, ``distinct_subjects`` from its subject replica
+        and ``distinct_objects`` from its object replica — the three
+        placement-disjoint views that make shard catalogs sum exactly to
+        the global catalog.  Recomputed lazily per shard after a
+        mutation touched it.
+        """
+        with self._lock:
+            cached = self._stats_cache[shard]
+            if cached is None:
+                cached = _catalog_of(self.stores[shard])
+                self._stats_cache[shard] = cached
+            return cached
+
+    def aggregate_statistics(self) -> CatalogStatistics:
+        """The exact global catalog, aggregated from per-shard catalogs."""
+        return CatalogStatistics.merge_disjoint(
+            self.shard_statistics(shard) for shard in range(self.num_shards)
+        )
+
+
+def _catalog_of(store: PartitionedStore) -> CatalogStatistics:
+    """Catalog statistics of one shard's local partition files."""
+    subjects: set[str] = set()
+    objects: set[str] = set()
+    per_prop: dict[str, tuple[set[str], set[str], list[int]]] = {}
+    for node_files in store.files:
+        for name, triples in node_files.items():
+            placement, prop, _type_object = parse_file_name(name)
+            if placement == "s":
+                for s, _, _ in triples:
+                    subjects.add(s)
+            elif placement == "o":
+                for _, _, o in triples:
+                    objects.add(o)
+            else:
+                entry = per_prop.get(prop)
+                if entry is None:
+                    entry = per_prop[prop] = (set(), set(), [0])
+                prop_subjects, prop_objects, count = entry
+                for s, _, o in triples:
+                    prop_subjects.add(s)
+                    prop_objects.add(o)
+                count[0] += len(triples)
+    stats = CatalogStatistics(
+        triple_count=sum(entry[2][0] for entry in per_prop.values()),
+        distinct_subjects=len(subjects),
+        distinct_properties=len(per_prop),
+        distinct_objects=len(objects),
+    )
+    for prop, (prop_subjects, prop_objects, count) in per_prop.items():
+        stats.per_property[prop] = PropertyStats(
+            count=count[0],
+            distinct_subjects=len(prop_subjects),
+            distinct_objects=len(prop_objects),
+        )
+    return stats
+
+
+def shard_graph(
+    graph: RDFGraph | Sequence[Triple], num_nodes: int, num_shards: int
+) -> ShardedStore:
+    """Partition a graph across *num_shards* shard workers."""
+    store = ShardedStore(num_nodes=num_nodes, num_shards=num_shards)
+    store.add_all(graph)
+    return store

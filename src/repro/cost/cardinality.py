@@ -18,7 +18,8 @@ model (optimal substructure holds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 from repro.rdf.graph import RDFGraph
 from repro.rdf.terms import is_variable
@@ -32,6 +33,45 @@ class PropertyStats:
     count: int = 0
     distinct_subjects: int = 0
     distinct_objects: int = 0
+
+
+@dataclass(frozen=True)
+class TripleDelta:
+    """The catalog-visible novelty of one incoming triple.
+
+    Each flag records whether the triple introduces a value the graph
+    has not seen in that role yet; the flags must be computed *before*
+    the triple is inserted (see :func:`triple_delta`).  Applying the
+    delta to a :class:`CatalogStatistics` (:meth:`CatalogStatistics
+    .apply_delta`) reproduces exactly what a full
+    :meth:`CatalogStatistics.from_graph` recompute would produce, at
+    O(1) per triple instead of O(|G|) per mutation batch.
+    """
+
+    property: str
+    new_subject: bool
+    new_property: bool
+    new_object: bool
+    new_property_subject: bool
+    new_property_object: bool
+
+
+def triple_delta(graph: RDFGraph, s: str, p: str, o: str) -> TripleDelta | None:
+    """The :class:`TripleDelta` of adding (s, p, o) to *graph*.
+
+    Must be called **before** ``graph.add(s, p, o)``.  Returns ``None``
+    when the triple is already present (its insertion changes nothing).
+    """
+    if (s, p, o) in graph:
+        return None
+    return TripleDelta(
+        property=p,
+        new_subject=not graph.has_subject(s),
+        new_property=not graph.has_property(p),
+        new_object=not graph.has_object(o),
+        new_property_subject=not graph.has_subject_property(s, p),
+        new_property_object=not graph.has_property_object(p, o),
+    )
 
 
 @dataclass
@@ -67,6 +107,67 @@ class CatalogStatistics:
                 distinct_objects=len(objects),
             )
         return stats
+
+    def copy(self) -> "CatalogStatistics":
+        """An independent copy (per-property entries are not aliased)."""
+        return CatalogStatistics(
+            triple_count=self.triple_count,
+            distinct_subjects=self.distinct_subjects,
+            distinct_properties=self.distinct_properties,
+            distinct_objects=self.distinct_objects,
+            per_property={p: replace(ps) for p, ps in self.per_property.items()},
+        )
+
+    def apply_delta(self, delta: TripleDelta) -> None:
+        """Fold one new triple's :class:`TripleDelta` into the catalog.
+
+        The incremental path of the statistics: a mutation batch copies
+        the catalog once and applies one delta per genuinely new triple,
+        instead of recomputing every count from the graph.  Equivalent
+        to :meth:`from_graph` on the post-mutation graph (asserted in
+        tests/test_cluster.py).
+        """
+        self.triple_count += 1
+        self.distinct_subjects += delta.new_subject
+        self.distinct_properties += delta.new_property
+        self.distinct_objects += delta.new_object
+        prop = self.per_property.get(delta.property)
+        if prop is None:
+            prop = self.per_property[delta.property] = PropertyStats()
+        prop.count += 1
+        prop.distinct_subjects += delta.new_property_subject
+        prop.distinct_objects += delta.new_property_object
+
+    @classmethod
+    def merge_disjoint(
+        cls, parts: Iterable["CatalogStatistics"]
+    ) -> "CatalogStatistics":
+        """Aggregate per-shard catalogs into the global catalog.
+
+        Exact when the parts are *placement-disjoint*, which the §5.1
+        layout guarantees for shard-local statistics: every distinct
+        subject lives on exactly one node of the subject replica (hence
+        one shard), every property on one node of the property replica,
+        every object on one node of the object replica — so distinct
+        counts sum and the per-property maps union without overlap.
+        """
+        total = cls()
+        for part in parts:
+            total.triple_count += part.triple_count
+            total.distinct_subjects += part.distinct_subjects
+            total.distinct_properties += part.distinct_properties
+            total.distinct_objects += part.distinct_objects
+            for p, ps in part.per_property.items():
+                mine = total.per_property.get(p)
+                if mine is None:
+                    total.per_property[p] = replace(ps)
+                else:
+                    # Overlap only happens for non-disjoint inputs; sum
+                    # the counts (exact) and the distincts (upper bound).
+                    mine.count += ps.count
+                    mine.distinct_subjects += ps.distinct_subjects
+                    mine.distinct_objects += ps.distinct_objects
+        return total
 
 
 class CardinalityEstimator:

@@ -368,6 +368,25 @@ class ProcessBackend(ExecutionBackend):
                 self._pool = None
 
 
+def split_workers(total: int | None, parts: int, backend: str) -> int | None:
+    """Workers per part when *total* workers fan out across *parts* pools.
+
+    The sharded executor gives every shard its own backend instance (a
+    process pool per shard, keyed to that shard's snapshot token), so a
+    machine-wide worker budget must be divided across shards or each
+    shard would claim every CPU.  ``None`` budgets resolve to the
+    backend's own default first (CPUs for process, 4 for thread); serial
+    backends have no workers and pass through.
+    """
+    if parts < 1:
+        raise ValueError(f"cannot split workers across {parts} parts")
+    if backend == "serial":
+        return None
+    if total is None:
+        total = default_process_workers() if backend == "process" else 4
+    return max(1, total // parts)
+
+
 #: Names accepted by :func:`make_backend` (and ServiceConfig.backend).
 BACKEND_NAMES = ("serial", "thread", "process")
 

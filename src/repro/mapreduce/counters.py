@@ -93,6 +93,9 @@ class ExecutionReport:
     total_work: float = 0.0
     #: name of the execution backend that produced this report
     backend: str = "serial"
+    #: number of store shards the execution spanned (0 = unsharded).
+    #: Set by the shard router after merging the per-shard reports.
+    shards: int = 0
 
     @property
     def num_jobs(self) -> int:
@@ -150,4 +153,5 @@ class ExecutionReport:
             self.response_time = max(self.response_time, other.response_time)
         if self.backend != other.backend:
             self.backend = f"{self.backend}+{other.backend}"
+        self.shards = max(self.shards, other.shards)
         return self

@@ -158,15 +158,31 @@ class PartitionedStore:
 
     def add(self, triple: Triple) -> None:
         """Store the configured §5.1 replicas of a triple."""
+        for placement in self.replicas:
+            self.add_placement(placement, triple)
+
+    def add_placement(self, placement: str, triple: Triple) -> int:
+        """Store only the *placement* replica of a triple; return its node.
+
+        The sharded store (``repro.cluster``) splits the three replicas
+        of one triple across shard-local stores: each shard receives
+        exactly the replicas whose placement value hashes to a node it
+        owns, so a plain :meth:`add` (which stores all configured
+        replicas) would duplicate data across shards.
+        """
+        if placement not in self.replicas:
+            raise ValueError(
+                f"placement {placement!r} is not materialized "
+                f"(replicas={self.replicas})"
+            )
         s, p, o = triple
-        for placement, value in zip(PLACEMENTS, (s, p, o)):
-            if placement not in self.replicas:
-                continue
-            node = place(value, self.num_nodes)
-            name = triple_file(placement, p, o)
-            self.files[node].setdefault(name, []).append(triple)
+        value = {"s": s, "p": p, "o": o}[placement]
+        node = place(value, self.num_nodes)
+        name = triple_file(placement, p, o)
+        self.files[node].setdefault(name, []).append(triple)
         self.version += 1
         self._snapshot = None
+        return node
 
     # -- snapshots -----------------------------------------------------------
 

@@ -260,6 +260,84 @@ class StarReduceSpec(ReduceTaskSpec):
         return out_rows, metrics
 
 
+# -- job construction (shared by PlanExecutor and the shard router) -----------
+
+
+def job_output_attrs(spec: JobSpec) -> tuple[str, ...]:
+    """The attribute schema of a job's output relation."""
+    if spec.project is not None:
+        return spec.project
+    if spec.reduce_join is not None:
+        return spec.reduce_join.attrs
+    return spec.map_chains[0].attrs
+
+
+def build_map_tasks(spec: JobSpec, num_nodes: int) -> list[MapTask]:
+    """The map tasks of one job spec: per chain tag, one task per node."""
+    if spec.map_only:
+        chain = spec.map_chains[0]
+        return [
+            MapTask(
+                node=node,
+                label=f"{spec.name}@{node}",
+                spec=MapOnlySpec(chain=chain, node=node, project=spec.project),
+            )
+            for node in range(num_nodes)
+        ]
+    rj = spec.reduce_join
+    assert rj is not None
+    tasks: list[MapTask] = []
+    for tag, chain in enumerate(spec.map_chains):
+        for node in range(num_nodes):
+            tasks.append(
+                MapTask(
+                    node=node,
+                    label=f"{spec.name}/m{tag}@{node}",
+                    spec=ChainMapSpec(
+                        chain=chain,
+                        node=node,
+                        tag=tag,
+                        key_attrs=rj.on,
+                        num_reducers=num_nodes,
+                    ),
+                )
+            )
+    return tasks
+
+
+def job_from_spec(
+    spec: JobSpec, num_nodes: int, on_complete=None
+) -> MapReduceJob:
+    """Instantiate the :class:`MapReduceJob` for one compiled job spec.
+
+    ``on_complete`` receives the per-node output rows once the job
+    finishes (executors use it to register results in simulated HDFS);
+    the shard router passes ``None`` and handles outputs itself, because
+    a job's output must be sliced per shard for the exchange step.
+    """
+    if spec.map_only:
+        return MapReduceJob(
+            name=spec.name,
+            map_tasks=build_map_tasks(spec, num_nodes),
+            depends_on=spec.depends,
+            on_complete=on_complete,
+        )
+    rj = spec.reduce_join
+    assert rj is not None
+    return MapReduceJob(
+        name=spec.name,
+        map_tasks=build_map_tasks(spec, num_nodes),
+        num_reducers=num_nodes,
+        reduce_spec=StarReduceSpec(
+            on=rj.on,
+            child_attrs=tuple(chain.attrs for chain in spec.map_chains),
+            project=spec.project,
+        ),
+        depends_on=spec.depends,
+        on_complete=on_complete,
+    )
+
+
 # -- results ------------------------------------------------------------------
 
 
@@ -273,6 +351,10 @@ class ExecutionResult:
     plan: LogicalPlan
     physical: PhysicalPlan
     compiled: CompiledPlan
+    #: per-shard map/reduce task counts and output row counts, set only
+    #: when a sharded executor (repro.cluster) produced this result
+    shard_tasks: tuple[int, ...] | None = None
+    shard_rows: tuple[int, ...] | None = None
 
     @property
     def response_time(self) -> float:
@@ -310,6 +392,19 @@ class PlanExecutor:
         self.engine = MapReduceEngine(self.cluster, params, backend=self.backend)
 
     # -- lifecycle ------------------------------------------------------------
+
+    def prime(self) -> None:
+        """Warm the backend's worker pools against the current store.
+
+        Idempotent per store version: the process backend keys its pool
+        on the snapshot token and rebuilds only when the store actually
+        changed.
+        """
+        self.backend.prime(
+            TaskContext(
+                num_nodes=self.cluster.num_nodes, store=self.store.snapshot()
+            )
+        )
 
     def close(self) -> None:
         """Release backend worker pools (no-op for serial)."""
@@ -361,64 +456,7 @@ class PlanExecutor:
     # -- job construction ----------------------------------------------------------
 
     def _build_job(self, spec: JobSpec, hdfs: HDFS) -> MapReduceJob:
-        num_nodes = self.cluster.num_nodes
-        if spec.map_only:
-            return self._build_map_only_job(spec, hdfs)
-
-        rj = spec.reduce_join
-        assert rj is not None
-        num_reducers = num_nodes
-        map_tasks: list[MapTask] = []
-        for tag, chain in enumerate(spec.map_chains):
-            for node in range(num_nodes):
-                map_tasks.append(
-                    MapTask(
-                        node=node,
-                        label=f"{spec.name}/m{tag}@{node}",
-                        spec=ChainMapSpec(
-                            chain=chain,
-                            node=node,
-                            tag=tag,
-                            key_attrs=rj.on,
-                            num_reducers=num_reducers,
-                        ),
-                    )
-                )
-
-        child_attrs = tuple(chain.attrs for chain in spec.map_chains)
-        project = spec.project
-
-        def on_complete(outputs: list[list[Row]]) -> None:
-            attrs = project if project is not None else rj.attrs
-            hdfs.write(
-                spec.output_name,
-                DistributedRelation(attrs=attrs, partitions=outputs),
-            )
-
-        return MapReduceJob(
-            name=spec.name,
-            map_tasks=map_tasks,
-            num_reducers=num_reducers,
-            reduce_spec=StarReduceSpec(
-                on=rj.on, child_attrs=child_attrs, project=project
-            ),
-            depends_on=spec.depends,
-            on_complete=on_complete,
-        )
-
-    def _build_map_only_job(self, spec: JobSpec, hdfs: HDFS) -> MapReduceJob:
-        chain = spec.map_chains[0]
-        project = spec.project
-        out_attrs = project if project is not None else chain.attrs
-
-        map_tasks = [
-            MapTask(
-                node=node,
-                label=f"{spec.name}@{node}",
-                spec=MapOnlySpec(chain=chain, node=node, project=project),
-            )
-            for node in range(self.cluster.num_nodes)
-        ]
+        out_attrs = job_output_attrs(spec)
 
         def on_complete(outputs: list[list[Row]]) -> None:
             hdfs.write(
@@ -426,9 +464,6 @@ class PlanExecutor:
                 DistributedRelation(attrs=out_attrs, partitions=outputs),
             )
 
-        return MapReduceJob(
-            name=spec.name,
-            map_tasks=map_tasks,
-            depends_on=spec.depends,
-            on_complete=on_complete,
+        return job_from_spec(
+            spec, self.cluster.num_nodes, on_complete=on_complete
         )

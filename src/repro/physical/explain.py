@@ -19,6 +19,8 @@ job groupings as text — the repo's version of the paper's Fig. 15.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.logical import LogicalPlan
 from repro.core.properties import height
 from repro.physical.job_compiler import CompiledPlan, compile_plan
@@ -63,11 +65,50 @@ def render_jobs(compiled: CompiledPlan) -> str:
     return "\n".join(lines)
 
 
+def render_shard_distribution(
+    compiled: CompiledPlan,
+    shard_map: Sequence[int],
+    shard_triples: Sequence[int] | None = None,
+) -> str:
+    """Per-shard task/data distribution of a compiled plan.
+
+    ``shard_map[n]`` is the shard owning logical node *n* (the sharded
+    store's ``node_shards``); ``shard_triples`` the stored-triple count
+    per shard.  Shows, per shard, the nodes it owns, how many of the
+    plan's map tasks and reduce partitions land on it, and how much of
+    the store it holds — the pre-execution view of where a sharded
+    query's work will run.
+    """
+    num_nodes = len(shard_map)
+    num_shards = max(shard_map) + 1 if shard_map else 1
+    lines = [f"== shard distribution ({num_shards} shards over {num_nodes} nodes) =="]
+    for shard in range(num_shards):
+        nodes = [n for n in range(num_nodes) if shard_map[n] == shard]
+        map_tasks = sum(
+            len(spec.map_chains) * len(nodes) for spec in compiled.jobs
+        )
+        reduce_parts = sum(
+            sum(1 for p in range(num_nodes) if shard_map[p % num_nodes] == shard)
+            for spec in compiled.jobs
+            if not spec.map_only
+        )
+        line = (
+            f"shard {shard}: nodes {','.join(map(str, nodes)) or '-'} | "
+            f"{map_tasks} map tasks, {reduce_parts} reduce partitions"
+        )
+        if shard_triples is not None:
+            line += f" | {shard_triples[shard]} stored triples"
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def explain(
     plan: LogicalPlan,
     replicas: tuple[str, ...] = ("s", "p", "o"),
     backend: str = "serial",
     template: str | None = None,
+    shard_map: Sequence[int] | None = None,
+    shard_triples: Sequence[int] | None = None,
 ) -> str:
     """Full three-layer explanation of a logical plan.
 
@@ -77,7 +118,8 @@ def explain(
     service-configured query shows where its tasks will execute.
     ``template`` is the template-signature digest of a prepared query,
     shown so an EXPLAIN identifies which plan-template cache entry the
-    query binds into.
+    query binds into.  ``shard_map``/``shard_triples`` (set when a
+    sharded store is active) append the per-shard row/task distribution.
     """
     physical = translate(plan, replicas=replicas)
     compiled = compile_plan(physical)
@@ -94,6 +136,10 @@ def explain(
         f"{compiled.job_signature()}; backend {backend}) ==",
         render_jobs(compiled),
     ]
+    if shard_map is not None:
+        parts.append(
+            render_shard_distribution(compiled, shard_map, shard_triples)
+        )
     return "\n".join(parts)
 
 
@@ -110,4 +156,10 @@ def job_summary(plan: LogicalPlan) -> dict[str, object]:
     }
 
 
-__all__ = ["explain", "render_physical", "render_jobs", "job_summary"]
+__all__ = [
+    "explain",
+    "render_physical",
+    "render_jobs",
+    "render_shard_distribution",
+    "job_summary",
+]

@@ -86,6 +86,32 @@ class RDFGraph:
         """Number of triples with property *p*."""
         return sum(len(ss) for ss in self._pos.get(p, {}).values())
 
+    # O(1) membership probes, used by the incremental catalog-statistics
+    # maintenance to decide whether an incoming triple introduces a new
+    # distinct value *before* the triple is inserted.
+
+    def has_subject(self, s: str) -> bool:
+        """Does any triple have subject *s*?"""
+        return s in self._spo
+
+    def has_property(self, p: str) -> bool:
+        """Does any triple have property *p*?"""
+        return p in self._pos
+
+    def has_object(self, o: str) -> bool:
+        """Does any triple have object *o*?"""
+        return o in self._osp
+
+    def has_subject_property(self, s: str, p: str) -> bool:
+        """Does any triple match (s, p, ?o)?"""
+        inner = self._spo.get(s)
+        return inner is not None and p in inner
+
+    def has_property_object(self, p: str, o: str) -> bool:
+        """Does any triple match (?s, p, o)?"""
+        inner = self._pos.get(p)
+        return inner is not None and o in inner
+
     # -- pattern matching -------------------------------------------------
 
     def match(self, s: str = "?s", p: str = "?p", o: str = "?o") -> Iterator[Triple]:

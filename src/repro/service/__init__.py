@@ -26,6 +26,7 @@ from repro.service.service import (
     QueryOutcome,
     QueryService,
     ServiceConfig,
+    ServiceOverloaded,
 )
 from repro.service.stats import (
     LatencySummary,
@@ -48,6 +49,7 @@ __all__ = [
     "ResultCache",
     "ResultEntry",
     "ServiceConfig",
+    "ServiceOverloaded",
     "ServiceStats",
     "StatsSnapshot",
     "TemplateCache",

@@ -40,9 +40,19 @@ plan-level outcomes into full plan-cache hits, template hits, and cold
 optimizations.
 
 The classic CSQ system (:mod:`repro.systems.csq`) is a thin session over
-this service; later scaling work (sharding, async backends, admission
-control) is meant to slot in behind the same interface — shards receive
-a template once and per-query bindings after it.
+this service.  Two deployment knobs scale it out and keep it stable
+under load:
+
+* ``ServiceConfig.shards=N`` replaces the single store with the
+  :mod:`repro.cluster` distribution layer — N shard workers each hold a
+  slice of the §5.1 layout, a shard router runs map levels shard-local
+  with a cross-shard exchange at the shuffle, per-shard reports merge
+  into one, and shards receive a template once with per-query bindings
+  after it.  Answers are identical for any shard count.
+* ``ServiceConfig.max_inflight=K`` admission-controls the service:
+  beyond K concurrently executing submissions, ``submit`` /
+  ``submit_batch`` / ``PreparedQuery.execute`` raise
+  :class:`ServiceOverloaded` instead of queueing without bound.
 """
 
 from __future__ import annotations
@@ -53,16 +63,20 @@ import warnings as _warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro.cluster import ShardedPlanExecutor, ShardedStore, shard_graph
 from repro.core.algorithm import OptimizerResult, cliquesquare
 from repro.core.decomposition import MSC, DecompositionOption
 from repro.core.logical import LogicalPlan, rewrite_patterns
-from repro.cost.cardinality import CardinalityEstimator, CatalogStatistics
+from repro.cost.cardinality import (
+    CardinalityEstimator,
+    CatalogStatistics,
+    triple_delta,
+)
 from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import make_backend
 from repro.mapreduce.counters import ExecutionReport
 from repro.mapreduce.engine import ClusterConfig
-from repro.mapreduce.jobs import TaskContext
 from repro.partitioning.triple_partitioner import partition_graph
 from repro.physical.executor import ExecutionResult, PlanExecutor, PreparedPlan
 from repro.physical.explain import explain as explain_plan
@@ -84,6 +98,16 @@ from repro.sparql.canonical import (
 )
 from repro.sparql.parser import SparqlSyntaxError, parse_query
 from repro.systems.base import SystemReport
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised when the service is at ``max_inflight`` and rejects work.
+
+    Admission control: rejecting instantly at the door (instead of
+    queueing without bound) keeps latency predictable under overload —
+    the caller sees a typed error and can retry with backoff.  Rejected
+    submissions are counted in ``snapshot_stats().rejected``.
+    """
 
 
 class _ReadWriteLock:
@@ -183,6 +207,18 @@ class ServiceConfig:
     enable_templates: bool = True
     #: LRU capacity of the template cache (None = unbounded)
     template_cache_size: int | None = None
+    #: number of store shards.  0 keeps the single in-process store; with
+    #: N >= 1 the store is hash-partitioned across N shard workers behind
+    #: a ShardRouter (repro.cluster): map levels run shard-local, the
+    #: shuffle between map and reduce is the cross-shard exchange, and
+    #: per-shard reports merge into one.  Answers are identical for any
+    #: shard count.  With backend="process" every shard gets a worker
+    #: pool of its own (backend_workers is split across shards).
+    shards: int = 0
+    #: admission control: maximum concurrently executing submissions.
+    #: Beyond it, submit/submit_batch/PreparedQuery.execute raise
+    #: ServiceOverloaded instead of queueing.  None = unbounded.
+    max_inflight: int | None = None
 
 
 @dataclass
@@ -429,6 +465,8 @@ class PreparedQuery:
         for p in t.params:
             default = f" = {p.default}" if p.default is not None else ""
             lines.append(f"  {p.placeholder} <- ${p.name} [{p.kind}]{default}")
+        store = self._service.store
+        sharded = isinstance(store, ShardedStore)
         lines.append(
             explain_plan(
                 self._entry.plan,
@@ -436,6 +474,8 @@ class PreparedQuery:
                 if isinstance(self._service.config.backend, str)
                 else type(self._service.config.backend).__name__,
                 template=t.digest(),
+                shard_map=store.node_shards if sharded else None,
+                shard_triples=store.triples_per_shard() if sharded else None,
             )
         )
         return "\n".join(lines)
@@ -476,21 +516,41 @@ class QueryService:
     def __init__(self, graph: RDFGraph, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.graph = graph
-        self.store = partition_graph(graph, self.config.num_nodes)
-        self.catalog = CatalogStatistics.from_graph(graph)
+        if self.config.shards:
+            # Sharded deployment: N shard workers each hold one slice of
+            # the §5.1 layout; the global catalog is aggregated from the
+            # shards' placement-disjoint local statistics.
+            self.store = shard_graph(
+                graph, self.config.num_nodes, self.config.shards
+            )
+            self.catalog = self.store.aggregate_statistics()
+            self.backend = None
+            self.executor: PlanExecutor | ShardedPlanExecutor = (
+                ShardedPlanExecutor(
+                    self.store,
+                    ClusterConfig(num_nodes=self.config.num_nodes),
+                    self.config.params,
+                    backend=self.config.backend,
+                    backend_workers=self.config.backend_workers,
+                    on_fallback=self._on_backend_fallback,
+                )
+            )
+        else:
+            self.store = partition_graph(graph, self.config.num_nodes)
+            self.catalog = CatalogStatistics.from_graph(graph)
+            self.backend = make_backend(
+                self.config.backend,
+                num_workers=self.config.backend_workers,
+                on_fallback=self._on_backend_fallback,
+            )
+            self.executor = PlanExecutor(
+                self.store,
+                ClusterConfig(num_nodes=self.config.num_nodes),
+                self.config.params,
+                backend=self.backend,
+            )
         self.estimator = CardinalityEstimator(self.catalog)
         self.coster = PlanCoster(self.estimator, self.config.params)
-        self.backend = make_backend(
-            self.config.backend,
-            num_workers=self.config.backend_workers,
-            on_fallback=self._on_backend_fallback,
-        )
-        self.executor = PlanExecutor(
-            self.store,
-            ClusterConfig(num_nodes=self.config.num_nodes),
-            self.config.params,
-            backend=self.backend,
-        )
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.template_cache = TemplateCache(self.config.template_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
@@ -503,14 +563,16 @@ class QueryService:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._inflight = (
+            None
+            if self.config.max_inflight is None
+            else threading.Semaphore(self.config.max_inflight)
+        )
         # Start process workers (if any) before serving threads exist:
         # fork-based pools must not be created from a multithreaded
-        # batch submission mid-flight.
-        self.backend.prime(
-            TaskContext(
-                num_nodes=self.config.num_nodes, store=self.store.snapshot()
-            )
-        )
+        # batch submission mid-flight.  With shards, every shard's pool
+        # is primed against its own snapshot slice.
+        self.executor.prime()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -523,7 +585,14 @@ class QueryService:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
-            self.backend.close()
+            # The executor owns the execution backend(s) — per-shard in
+            # a sharded deployment — and closing is idempotent.
+            self.executor.close()
+
+    @property
+    def sharded(self) -> bool:
+        """Is the store sharded (``ServiceConfig.shards`` >= 1)?"""
+        return isinstance(self.store, ShardedStore)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -545,6 +614,42 @@ class QueryService:
                     thread_name_prefix="repro-service",
                 )
             return self._pool
+
+    # -- admission control -------------------------------------------------
+
+    def _admit(self, permits: int = 1, submissions: int | None = None) -> None:
+        """Reserve *permits* in-flight slots or reject the submission.
+
+        Non-blocking: when fewer than *permits* slots are free the
+        whole reservation rolls back and :class:`ServiceOverloaded` is
+        raised (a batch is admitted or rejected as a unit).
+        ``submissions`` is what the rejection counter records — for a
+        batch, its member count rather than its (clamped) permit count.
+        """
+        sem = self._inflight
+        if sem is None or permits <= 0:
+            return
+        acquired = 0
+        for _ in range(permits):
+            if sem.acquire(blocking=False):
+                acquired += 1
+                continue
+            for _ in range(acquired):
+                sem.release()
+            self.stats.record_rejection(
+                permits if submissions is None else submissions
+            )
+            raise ServiceOverloaded(
+                f"service is at max_inflight={self.config.max_inflight}; "
+                f"rejected {submissions or permits} submission(s)"
+            )
+
+    def _release(self, permits: int = 1) -> None:
+        sem = self._inflight
+        if sem is None:
+            return
+        for _ in range(permits):
+            sem.release()
 
     # -- reusable planning/execution steps (uncached) ----------------------
 
@@ -634,31 +739,44 @@ class QueryService:
         """Add triples to the live graph; returns the number of new ones.
 
         Bumps the graph version (lazily invalidating every cached
-        result), refreshes catalog statistics, and — if configured —
-        drops cached plans so later queries re-optimize against the new
-        statistics.
+        result), maintains catalog statistics *incrementally* — the
+        catalog is copied once per batch and a per-triple delta applied
+        for each genuinely new triple, O(batch + |P|) instead of the
+        former O(|G|) full recompute — and, if configured, drops cached
+        plans so later queries re-optimize against the new statistics.
         """
         self._check_open()
         with self._store_lock.write():
             added = 0
+            catalog: CatalogStatistics | None = None
             try:
                 for triple in triples:
                     s, p, o = triple
-                    if self.graph.add(s, p, o):
-                        self.store.add((s, p, o))
-                        added += 1
+                    # The delta must be probed before insertion (it asks
+                    # "is this value new?"); None means the triple is
+                    # already present and the graph won't change.
+                    delta = triple_delta(self.graph, s, p, o)
+                    if delta is None:
+                        continue
+                    self.graph.add(s, p, o)
+                    if catalog is None:
+                        catalog = self.catalog.copy()
+                    catalog.apply_delta(delta)
+                    self.store.add((s, p, o))
+                    added += 1
             finally:
                 # Even if a later triple is rejected mid-batch, whatever
                 # was applied must invalidate cached results and refresh
                 # the statistics — otherwise stale answers keep serving.
                 if added:
                     self._version += 1
-                    # Swap in a fresh estimator/coster pair rather than
-                    # resetting in place: an optimize() racing this
-                    # mutation keeps its consistent pre-mutation view and
-                    # writes its memoized cardinalities into the discarded
-                    # estimator, not the new one.
-                    self.catalog = CatalogStatistics.from_graph(self.graph)
+                    # Swap in a fresh catalog/estimator/coster trio
+                    # rather than mutating in place: an optimize() racing
+                    # this mutation keeps its consistent pre-mutation
+                    # view and writes its memoized cardinalities into the
+                    # discarded estimator, not the new one.
+                    assert catalog is not None
+                    self.catalog = catalog
                     self.estimator = CardinalityEstimator(self.catalog)
                     self.coster = PlanCoster(self.estimator, self.config.params)
                     if self.config.invalidate_plans_on_mutation:
@@ -673,23 +791,32 @@ class QueryService:
                     # lock quiesces every query thread: a fork-based pool
                     # must not be (re)created mid-batch from a pool
                     # thread, and the workers' store snapshot is stale
-                    # anyway.
-                    self.backend.prime(
-                        TaskContext(
-                            num_nodes=self.config.num_nodes,
-                            store=self.store.snapshot(),
-                        )
-                    )
+                    # anyway.  Sharded stores rebuild only the pools of
+                    # shards the batch actually touched (snapshot tokens
+                    # are per shard).
+                    self.executor.prime()
         return added
 
     # -- serving -----------------------------------------------------------
 
     def submit(self, query: BGPQuery | str, name: str = "") -> QueryOutcome:
-        """Answer one fully-bound query (prepare → bind → execute)."""
+        """Answer one fully-bound query (prepare → bind → execute).
+
+        Raises :class:`ServiceOverloaded` without doing any work when
+        the service is already at ``max_inflight`` submissions.
+        """
         self._check_open()
         started = time.perf_counter()
         parsed = self._parse(query, name)
         self._reject_unbound(parsed)
+        self._admit()
+        try:
+            return self._submit_parsed(parsed, started)
+        finally:
+            self._release()
+
+    def _submit_parsed(self, parsed: BGPQuery, started: float) -> QueryOutcome:
+        """Serve an already-parsed, admitted query."""
         try:
             t0 = time.perf_counter()
             inst = self._instantiate(parsed)
@@ -762,7 +889,11 @@ class QueryService:
             key=bound.instance_key,
             entry=bound.prepared._entry,
         )
-        answer, coalesced = self._resolve(inst)
+        self._admit()
+        try:
+            answer, coalesced = self._resolve(inst)
+        finally:
+            self._release()
         outcome = self._project(bound.query, inst, answer, coalesced, started)
         self._record(outcome, coalesced)
         return outcome
@@ -785,6 +916,15 @@ class QueryService:
         in the result list instead of aborting the rest of the batch; by
         default the first failure propagates.
 
+        Admission control treats the batch as one unit: it reserves one
+        in-flight slot per member — capped at ``max_inflight``, so a
+        batch larger than the limit is still admissible on an otherwise
+        idle service (its internal thread pool bounds true concurrency
+        anyway) — or the whole batch is rejected with
+        :class:`ServiceOverloaded` (which always propagates —
+        ``return_exceptions`` covers per-query failures, not refusal to
+        start).
+
         Batch timings measure submission-to-availability: each member's
         ``total_s`` starts when the batch is submitted.
         """
@@ -801,12 +941,37 @@ class QueryService:
                 items.append(exc)
         if not items:
             return []
+        members = sum(1 for it in items if not isinstance(it, BaseException))
+        permits = members
+        if self.config.max_inflight is not None and members:
+            # Cap at the limit so an oversized batch stays admissible on
+            # an idle service, but never below one slot — max_inflight=0
+            # must still reject.
+            permits = max(1, min(members, self.config.max_inflight))
+        self._admit(permits, submissions=members)
+        try:
+            return self._run_batch(
+                items, batch_started, dedup=dedup,
+                return_exceptions=return_exceptions,
+            )
+        finally:
+            self._release(permits)
+
+    def _run_batch(
+        self,
+        items: list,
+        batch_started: float,
+        *,
+        dedup: bool,
+        return_exceptions: bool,
+    ) -> list:
+        """Execute an admitted batch (see :meth:`submit_batch`)."""
         if len(items) == 1:
             only = items[0]
             if isinstance(only, BaseException):
                 return [only]
             try:
-                return [self.submit(only)]
+                return [self._submit_parsed(only, batch_started)]
             except Exception as exc:
                 if not return_exceptions:
                     raise
@@ -814,7 +979,9 @@ class QueryService:
         pool = self._ensure_pool()
         if not dedup:
             futures = [
-                None if isinstance(it, BaseException) else pool.submit(self.submit, it)
+                None
+                if isinstance(it, BaseException)
+                else pool.submit(self._submit_parsed, it, batch_started)
                 for it in items
             ]
             outcomes: list[QueryOutcome | BaseException] = []
@@ -1027,6 +1194,11 @@ class QueryService:
         if plan is None:
             plan, optimizer = self.optimize(template.query)
         prepared = self.executor.prepare(plan)
+        if isinstance(self.executor, ShardedPlanExecutor):
+            # Ship the template's job structure to every shard once;
+            # each query afterwards sends only its binding-substituted
+            # task specs (the snapshot already lives in the shard pools).
+            self.executor.register_template(prepared)
         optimize_s = time.perf_counter() - t0
         return TemplateEntry(
             template=template,

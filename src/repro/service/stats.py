@@ -99,6 +99,9 @@ class StatsSnapshot:
     #: bound-plan cache hit), ``template_hits`` (new constants bound
     #: into a cached template), ``plan_misses`` (cold submission).
     optimizer_runs: int = 0
+    #: submissions rejected by admission control (max_inflight reached);
+    #: rejected submissions are not counted in ``submitted``
+    rejected: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -118,8 +121,8 @@ class StatsSnapshot:
         """A compact human-readable rendering."""
         lines = [
             f"queries: {self.submitted} ({self.errors} errors, "
-            f"{self.coalesced} coalesced), mutations: {self.mutations} "
-            f"(graph v{self.graph_version})",
+            f"{self.coalesced} coalesced, {self.rejected} rejected), "
+            f"mutations: {self.mutations} (graph v{self.graph_version})",
             f"plan cache:   {self.plan_hits} full hits, "
             f"{self.template_hits} template hits, "
             f"{self.plan_misses} cold submissions "
@@ -160,6 +163,7 @@ class ServiceStats:
     result_misses: int = 0
     coalesced: int = 0
     mutations: int = 0
+    rejected: int = 0
     warnings: list = field(default_factory=list)
     _optimize: deque = field(default_factory=deque, repr=False)
     _bind: deque = field(default_factory=deque, repr=False)
@@ -215,6 +219,11 @@ class ServiceStats:
         with self._lock:
             self.errors += 1
 
+    def record_rejection(self, count: int = 1) -> None:
+        """Count submissions turned away by admission control."""
+        with self._lock:
+            self.rejected += count
+
     def record_optimizer_run(self) -> None:
         """Count one actual CliqueSquare optimizer invocation."""
         with self._lock:
@@ -246,6 +255,7 @@ class ServiceStats:
                 result_misses=self.result_misses,
                 coalesced=self.coalesced,
                 mutations=self.mutations,
+                rejected=self.rejected,
                 graph_version=graph_version,
                 uptime_s=time.monotonic() - self._started,
                 optimize=LatencySummary.of(list(self._optimize)),

@@ -39,6 +39,8 @@ class CSQConfig:
     #: task execution backend ("serial" | "thread" | "process")
     backend: str = "serial"
     backend_workers: int | None = None
+    #: store shards (0 = single store; N >= 1 runs behind repro.cluster)
+    shards: int = 0
 
     def service_config(self) -> ServiceConfig:
         return ServiceConfig(
@@ -49,6 +51,7 @@ class CSQConfig:
             params=self.params,
             backend=self.backend,
             backend_workers=self.backend_workers,
+            shards=self.shards,
         )
 
 

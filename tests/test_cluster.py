@@ -1,0 +1,725 @@
+"""The sharded store and shard router (repro.cluster).
+
+Covers: layout equivalence between the sharded and single stores,
+shard-local snapshot-token invalidation, per-shard catalog statistics
+aggregating to the exact global catalog, incremental catalog maintenance
+under ``add_triples`` (delta == recompute), answer equality of sharded
+vs. unsharded execution (direct and through the service, all 14 LUBM
+queries, serial and process backends, via submit / prepare-bind-execute
+/ submit_batch), admission control, `ExecutionReport.merge` edge cases,
+and the per-shard explain output.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import (
+    ShardRouter,
+    ShardedPlanExecutor,
+    ShardedStore,
+    shard_graph,
+)
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.cost.cardinality import CatalogStatistics, triple_delta
+from repro.mapreduce.backends import split_workers
+from repro.mapreduce.counters import ExecutionReport, JobMetrics
+from repro.partitioning.layout import PLACEMENTS
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceOverloaded,
+)
+from repro.sparql.parser import parse_query
+from repro.workloads import lubm, lubm_queries
+from tests.conftest import make_university_graph
+from tests.test_backends import PROCESS_OK, needs_process
+
+NUM_NODES = 7
+
+STAR_QUERY = (
+    "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+    "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }"
+)
+
+
+@pytest.fixture(scope="module")
+def university():
+    return make_university_graph()
+
+
+@pytest.fixture(scope="module")
+def lubm_graph():
+    return lubm.generate(lubm.LUBMConfig(universities=4))
+
+
+# -- sharded store layout ------------------------------------------------------
+
+
+class TestShardedStore:
+    def test_layout_identical_to_single_store(self, university):
+        """Sharding never moves a triple: node placement is unchanged,
+        each node's files just live on the shard owning the node."""
+        single = partition_graph(university, NUM_NODES)
+        sharded = shard_graph(university, NUM_NODES, 3)
+        for node in range(NUM_NODES):
+            assert sorted(single.file_names(node)) == sorted(
+                sharded.file_names(node)
+            )
+            for placement in PLACEMENTS:
+                assert sorted(single.scan(node, placement)) == sorted(
+                    sharded.scan(node, placement)
+                )
+        assert single.total_stored() == sharded.total_stored()
+
+    def test_shard_ownership_partitions_nodes(self):
+        store = ShardedStore(num_nodes=NUM_NODES, num_shards=3)
+        owned = [store.nodes_of_shard(s) for s in range(3)]
+        flat = sorted(n for nodes in owned for n in nodes)
+        assert flat == list(range(NUM_NODES))
+        assert store.node_shards == tuple(n % 3 for n in range(NUM_NODES))
+
+    def test_replica_reconstruction(self, university):
+        sharded = shard_graph(university, NUM_NODES, 4)
+        dataset = set(university)
+        for placement in PLACEMENTS:
+            assert sharded.replica_triples(placement) == dataset
+
+    def test_triples_per_shard_sums_to_total(self, university):
+        sharded = shard_graph(university, NUM_NODES, 4)
+        assert sum(sharded.triples_per_shard()) == sharded.total_stored()
+        assert sharded.total_stored() == 3 * len(university)
+
+    def test_requires_full_replication(self):
+        with pytest.raises(ValueError, match="3-way replication"):
+            ShardedStore(num_nodes=4, num_shards=2, replicas=("s",))
+
+    def test_rejects_more_shards_than_nodes(self):
+        with pytest.raises(ValueError, match="at most one shard per node"):
+            ShardedStore(num_nodes=2, num_shards=4)
+
+    def test_scan_routes_to_owner(self, university):
+        single = partition_graph(university, NUM_NODES)
+        sharded = shard_graph(university, NUM_NODES, 2)
+        for node in range(NUM_NODES):
+            assert sorted(sharded.scan(node, "s", "ub:worksFor")) == sorted(
+                single.scan(node, "s", "ub:worksFor")
+            )
+
+
+class TestShardSnapshots:
+    def test_mutation_invalidates_only_touched_shards(self, university):
+        """A mutation bumps snapshot tokens only on the shards holding
+        one of the triple's three replicas — the other shards' pools
+        (keyed on those tokens) survive."""
+        sharded = shard_graph(university, NUM_NODES, 4)
+        before = sharded.snapshot()
+        triple = ("<tok-subj>", "<tok-prop>", "<tok-obj>")
+        touched = {
+            sharded.shard_of_value(value) for value in triple
+        }
+        sharded.add(triple)
+        after = sharded.snapshot()
+        assert touched, "placement must touch at least one shard"
+        for shard in range(4):
+            if shard in touched:
+                assert after.shards[shard].token != before.shards[shard].token
+            else:
+                assert after.shards[shard].token == before.shards[shard].token
+        assert after.token != before.token
+
+    def test_snapshot_is_immune_to_later_mutation(self, university):
+        sharded = shard_graph(university, NUM_NODES, 2)
+        snapshot = sharded.snapshot()
+        stored_before = snapshot.total_stored()
+        sharded.add(("<s-new>", "<p-new>", "<o-new>"))
+        assert snapshot.total_stored() == stored_before
+        assert sharded.snapshot().total_stored() == stored_before + 3
+
+    def test_snapshot_scan_matches_store(self, university):
+        sharded = shard_graph(university, NUM_NODES, 3)
+        snapshot = sharded.snapshot()
+        for node in range(NUM_NODES):
+            assert snapshot.scan(node, "p", "ub:worksFor") == sharded.scan(
+                node, "p", "ub:worksFor"
+            )
+
+
+# -- per-shard catalog statistics ---------------------------------------------
+
+
+class TestShardCatalogs:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_aggregate_equals_global_recompute(self, university, shards):
+        sharded = shard_graph(university, NUM_NODES, shards)
+        assert sharded.aggregate_statistics() == CatalogStatistics.from_graph(
+            university
+        )
+
+    def test_aggregate_on_lubm(self, lubm_graph):
+        sharded = shard_graph(lubm_graph, NUM_NODES, 4)
+        assert sharded.aggregate_statistics() == CatalogStatistics.from_graph(
+            lubm_graph
+        )
+
+    def test_shard_statistics_are_placement_disjoint(self, university):
+        sharded = shard_graph(university, NUM_NODES, 4)
+        parts = [sharded.shard_statistics(s) for s in range(4)]
+        props = [set(p.per_property) for p in parts]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not props[i] & props[j]
+        total = CatalogStatistics.from_graph(university)
+        assert sum(p.distinct_subjects for p in parts) == total.distinct_subjects
+        assert sum(p.distinct_objects for p in parts) == total.distinct_objects
+        assert sum(p.triple_count for p in parts) == total.triple_count
+
+    def test_shard_statistics_refresh_after_mutation(self, university):
+        sharded = shard_graph(university, NUM_NODES, 2)
+        sharded.aggregate_statistics()  # warm the per-shard caches
+        sharded.add(("<s-stat>", "<p-stat>", "<o-stat>"))
+        graph = make_university_graph()
+        graph.add("<s-stat>", "<p-stat>", "<o-stat>")
+        assert sharded.aggregate_statistics() == CatalogStatistics.from_graph(
+            graph
+        )
+
+
+class TestIncrementalCatalog:
+    def test_triple_delta_none_for_existing(self, university):
+        triple = next(iter(university))
+        assert triple_delta(university, *triple) is None
+
+    def test_delta_equals_recompute_unsharded(self):
+        service = QueryService(make_university_graph())
+        try:
+            service.add_triples(
+                [
+                    ("<p-new>", "ub:worksFor", "<dept0>"),  # new subject
+                    ("<p-new>", "ub:newProp", "<o-new>"),  # new property+object
+                    ("<person0>", "ub:worksFor", "<dept1>"),  # all seen
+                    ("<person0>", "ub:worksFor", "<dept1>"),  # duplicate
+                ]
+            )
+            assert service.catalog == CatalogStatistics.from_graph(service.graph)
+        finally:
+            service.close()
+
+    def test_delta_equals_recompute_sharded(self):
+        service = QueryService(
+            make_university_graph(), ServiceConfig(shards=3)
+        )
+        try:
+            service.add_triples(
+                [("<pX>", "rdf:type", "ub:Student"), ("<pX>", "ub:memberOf", "<dept2>")]
+            )
+            assert service.catalog == CatalogStatistics.from_graph(service.graph)
+        finally:
+            service.close()
+
+    def test_duplicate_only_batch_changes_nothing(self):
+        service = QueryService(make_university_graph())
+        try:
+            before = service.catalog
+            version = service.graph_version
+            existing = next(iter(service.graph))
+            assert service.add_triples([existing]) == 0
+            assert service.catalog is before
+            assert service.graph_version == version
+        finally:
+            service.close()
+
+    def test_repeated_batches_stay_exact(self):
+        service = QueryService(make_university_graph())
+        try:
+            for i in range(5):
+                service.add_triples(
+                    [(f"<s{i}>", f"<p{i % 2}>", f"<o{i}>")]
+                )
+            assert service.catalog == CatalogStatistics.from_graph(service.graph)
+        finally:
+            service.close()
+
+
+# -- sharded execution equality ------------------------------------------------
+
+
+class TestShardedExecution:
+    def test_direct_executor_matches_single_store(self, university):
+        single = partition_graph(university, NUM_NODES)
+        reference = PlanExecutor(single)
+        query = parse_query(STAR_QUERY)
+        plan = cliquesquare(query, MSC).plans[0]
+        expected = reference.execute(plan)
+        for shards in (1, 2, 4, 7):
+            executor = ShardedPlanExecutor(
+                shard_graph(university, NUM_NODES, shards)
+            )
+            result = executor.execute(plan)
+            assert result.rows == expected.rows
+            assert result.report.num_jobs == expected.report.num_jobs
+            assert result.report.response_time == pytest.approx(
+                expected.report.response_time
+            )
+            assert result.report.total_work == pytest.approx(
+                expected.report.total_work
+            )
+            assert result.report.shards == shards
+            assert expected.report.shards == 0
+            assert result.shard_tasks is not None
+            assert len(result.shard_tasks) == shards
+            # Every task of every job ran on exactly one shard.
+            expected_tasks = sum(
+                len(spec.map_chains) * NUM_NODES
+                + (0 if spec.map_only else NUM_NODES)
+                for spec in result.compiled.jobs
+            )
+            assert sum(result.shard_tasks) == expected_tasks
+            assert sum(result.shard_rows) == sum(
+                j.output_tuples for j in result.report.jobs
+            )
+
+    def test_all_lubm_queries_shards_1_vs_4(self, lubm_graph):
+        reference = QueryService(lubm_graph)
+        services = {
+            shards: QueryService(lubm_graph, ServiceConfig(shards=shards))
+            for shards in (1, 4)
+        }
+        try:
+            for query in lubm_queries.all_queries():
+                expected = reference.submit(query)
+                for shards, service in services.items():
+                    got = service.submit(query)
+                    assert got.rows == expected.rows, (query.name, shards)
+                    assert got.report.response_time == pytest.approx(
+                        expected.report.response_time
+                    ), (query.name, shards)
+        finally:
+            reference.close()
+            for service in services.values():
+                service.close()
+
+    def test_prepare_bind_execute_through_shards(self, lubm_graph):
+        reference = QueryService(lubm_graph)
+        sharded = QueryService(lubm_graph, ServiceConfig(shards=4))
+        try:
+            for name in ("Q1", "Q2", "Q4", "Q9"):
+                query = lubm_queries.query(name)
+                expected = reference.submit(query)
+                prepared = sharded.prepare(query)
+                assert prepared.execute().rows == expected.rows, name
+        finally:
+            reference.close()
+            sharded.close()
+
+    def test_submit_batch_through_shards(self, lubm_graph):
+        queries = [lubm_queries.query(f"Q{i}") for i in (1, 2, 3, 4, 1, 2)]
+        reference = QueryService(lubm_graph)
+        sharded = QueryService(lubm_graph, ServiceConfig(shards=4))
+        try:
+            expected = [reference.submit(q).rows for q in queries]
+            outcomes = sharded.submit_batch(queries)
+            assert [o.rows for o in outcomes] == expected
+        finally:
+            reference.close()
+            sharded.close()
+
+    @needs_process
+    def test_all_lubm_queries_process_backend(self, lubm_graph):
+        """The acceptance matrix: all 14 LUBM queries, shards=1 vs
+        shards=4, on the process backend, via submit_batch and
+        prepare/bind/execute."""
+        queries = lubm_queries.all_queries()
+        reference = QueryService(lubm_graph)
+        try:
+            expected = [reference.submit(q).rows for q in queries]
+        finally:
+            reference.close()
+        for shards in (1, 4):
+            service = QueryService(
+                lubm_graph,
+                ServiceConfig(
+                    shards=shards, backend="process", backend_workers=2
+                ),
+            )
+            try:
+                outcomes = service.submit_batch(queries)
+                assert [o.rows for o in outcomes] == expected, shards
+                for i in (0, 8):  # spot-check the prepared surface too
+                    prepared = service.prepare(queries[i])
+                    assert prepared.execute().rows == expected[i], (
+                        shards,
+                        queries[i].name,
+                    )
+                assert not service.snapshot_stats().warnings, (
+                    "process pools fell back to serial mid-test"
+                )
+            finally:
+                service.close()
+
+    @needs_process
+    def test_process_backend_shards_match_serial(self, university):
+        serial = QueryService(university)
+        sharded = QueryService(
+            university,
+            ServiceConfig(shards=2, backend="process", backend_workers=2),
+        )
+        try:
+            expected = serial.submit(STAR_QUERY)
+            got = sharded.submit(STAR_QUERY)
+            assert got.rows == expected.rows
+            # A second, differently-bound query exercises the warm pools.
+            q2 = (
+                "SELECT ?p WHERE { ?p ub:worksFor ?d . "
+                "?p rdf:type ub:FullProfessor }"
+            )
+            assert sharded.submit(q2).rows == serial.submit(q2).rows
+        finally:
+            serial.close()
+            sharded.close()
+
+    def test_mutation_visible_after_shard_rebuild(self, university):
+        service = QueryService(
+            make_university_graph(), ServiceConfig(shards=3)
+        )
+        try:
+            before = service.submit(STAR_QUERY)
+            service.add_triples(
+                [
+                    ("<pNew>", "ub:worksFor", "<dept0>"),
+                    ("<pNew>", "rdf:type", "ub:FullProfessor"),
+                    ("<sNew>", "ub:memberOf", "<dept0>"),
+                    ("<sNew>", "rdf:type", "ub:Student"),
+                ]
+            )
+            after = service.submit(STAR_QUERY)
+            assert len(after.rows) > len(before.rows)
+        finally:
+            service.close()
+
+    def test_template_registered_once_per_structure(self, university):
+        service = QueryService(university, ServiceConfig(shards=2))
+        try:
+            executor = service.executor
+            assert isinstance(executor, ShardedPlanExecutor)
+            q_template = (
+                "SELECT ?p WHERE { ?p ub:worksFor <dept0> . "
+                "?p rdf:type ub:FullProfessor }"
+            )
+            service.submit(q_template)
+            registered = executor.router.templates_registered
+            # Same shape, different constant: binds into the registered
+            # template, no new registration.
+            service.submit(
+                "SELECT ?p WHERE { ?p ub:worksFor <dept1> . "
+                "?p rdf:type ub:FullProfessor }"
+            )
+            assert executor.router.templates_registered == registered
+        finally:
+            service.close()
+
+
+# -- admission control ---------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_zero_inflight_rejects_everything(self, university):
+        service = QueryService(university, ServiceConfig(max_inflight=0))
+        try:
+            with pytest.raises(ServiceOverloaded):
+                service.submit(STAR_QUERY)
+            with pytest.raises(ServiceOverloaded):
+                service.submit_batch([STAR_QUERY, STAR_QUERY])
+            prepared = service.prepare(STAR_QUERY)
+            with pytest.raises(ServiceOverloaded):
+                prepared.execute()
+            snapshot = service.snapshot_stats()
+            assert snapshot.rejected == 4
+            assert snapshot.submitted == 0
+            assert "4 rejected" in snapshot.format()
+        finally:
+            service.close()
+
+    def test_oversized_batch_admissible_when_idle(self, university):
+        """A batch larger than max_inflight holds at most max_inflight
+        slots, so it still runs on an idle service (retry-with-backoff
+        can always eventually succeed)."""
+        service = QueryService(university, ServiceConfig(max_inflight=1))
+        try:
+            outcomes = service.submit_batch([STAR_QUERY, STAR_QUERY])
+            assert len(outcomes) == 2
+            assert all(o.rows for o in outcomes)
+            assert service.snapshot_stats().rejected == 0
+        finally:
+            service.close()
+
+    def test_batch_rejected_as_a_unit_under_load(self, university):
+        """While another submission holds the only slot, a whole batch is
+        turned away and every member counts as rejected."""
+        service = QueryService(university, ServiceConfig(max_inflight=1))
+        try:
+            gate = threading.Event()
+            release = threading.Event()
+            original = service._resolve
+
+            def slow_resolve(inst):
+                gate.set()
+                release.wait(timeout=30)
+                return original(inst)
+
+            service._resolve = slow_resolve
+            worker = threading.Thread(target=lambda: service.submit(STAR_QUERY))
+            worker.start()
+            try:
+                assert gate.wait(timeout=30)
+                with pytest.raises(ServiceOverloaded):
+                    service.submit_batch([STAR_QUERY, STAR_QUERY])
+            finally:
+                release.set()
+                worker.join(timeout=30)
+            service._resolve = original
+            assert service.snapshot_stats().rejected == 2
+        finally:
+            service.close()
+
+    def test_inflight_slots_are_released(self, university):
+        service = QueryService(university, ServiceConfig(max_inflight=2))
+        try:
+            for _ in range(5):
+                service.submit(STAR_QUERY)
+            assert service.snapshot_stats().rejected == 0
+        finally:
+            service.close()
+
+    def test_concurrent_overload_rejects_excess(self, university):
+        service = QueryService(university, ServiceConfig(max_inflight=1))
+        try:
+            gate = threading.Event()
+            release = threading.Event()
+            original = service._resolve
+
+            def slow_resolve(inst):
+                gate.set()
+                release.wait(timeout=30)
+                return original(inst)
+
+            service._resolve = slow_resolve
+            worker = threading.Thread(
+                target=lambda: service.submit(STAR_QUERY)
+            )
+            worker.start()
+            try:
+                assert gate.wait(timeout=30)
+                with pytest.raises(ServiceOverloaded):
+                    service.submit(STAR_QUERY)
+            finally:
+                release.set()
+                worker.join(timeout=30)
+            service._resolve = original
+            assert service.snapshot_stats().rejected == 1
+            # With the slot free again, submissions are served.
+            assert service.submit(STAR_QUERY).rows
+        finally:
+            service.close()
+
+
+# -- report merging edge cases -------------------------------------------------
+
+
+def _job(name, map_time=1.0, reduce_time=0.0, overhead=0.5, work=2.0):
+    return JobMetrics(
+        name=name,
+        map_time=map_time,
+        reduce_time=reduce_time,
+        overhead=overhead,
+        total_work=work,
+        map_only=reduce_time == 0.0,
+    )
+
+
+class TestReportMergeEdgeCases:
+    def test_merge_empty_into_empty(self):
+        report = ExecutionReport().merge(ExecutionReport())
+        assert report.num_jobs == 0
+        assert report.response_time == 0.0
+        assert report.total_work == 0.0
+
+    def test_merge_empty_report_is_identity(self):
+        full = ExecutionReport(
+            jobs=[_job("j1", work=3.0)],
+            levels=[["j1"]],
+            total_work=3.0,
+            response_time=1.5,  # = the job's overhead + map_time
+        )
+        before = (full.num_jobs, full.total_work, full.response_time)
+        full.merge(ExecutionReport(levels=[["j1"]]))
+        assert (full.num_jobs, full.total_work, full.response_time) == before
+
+    def test_merge_into_empty_copies_jobs(self):
+        donor = ExecutionReport(
+            jobs=[_job("j1", work=3.0)], levels=[["j1"]], total_work=3.0
+        )
+        merged = ExecutionReport().merge(donor)
+        assert merged.num_jobs == 1
+        # Never aliases the donor's metrics.
+        merged.jobs[0].total_work += 100.0
+        assert donor.jobs[0].total_work == 3.0
+
+    def test_mismatched_backends_concatenate_names(self):
+        a = ExecutionReport(backend="process")
+        b = ExecutionReport(backend="serial")
+        assert a.merge(b).backend == "process+serial"
+        same = ExecutionReport(backend="serial").merge(
+            ExecutionReport(backend="serial")
+        )
+        assert same.backend == "serial"
+
+    def test_mismatched_job_names_refuse_jobwise_merge(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            _job("a").merge(_job("b"))
+
+    def test_repeated_merge_is_associative(self):
+        def make(shard):
+            return ExecutionReport(
+                jobs=[
+                    _job(
+                        "j1",
+                        map_time=1.0 + shard,
+                        overhead=0.5,
+                        work=2.0 + shard,
+                    )
+                ],
+                levels=[["j1"]],
+                total_work=2.0 + shard,
+                response_time=1.5 + shard,
+            )
+
+        left = make(0).merge(make(1)).merge(make(2))
+        inner = make(1).merge(make(2))
+        right = make(0).merge(inner)
+        assert left.total_work == pytest.approx(right.total_work)
+        assert left.response_time == pytest.approx(right.response_time)
+        assert left.num_jobs == right.num_jobs == 1
+        assert left.jobs[0].map_time == right.jobs[0].map_time == 3.0
+        # Overhead is paid once however the merges associate.
+        assert left.jobs[0].total_work == pytest.approx(
+            right.jobs[0].total_work
+        )
+
+    def test_sharded_reports_merge_to_engine_report(self, university):
+        """End to end: per-shard reports merged by the router equal the
+        single-store engine's report for the same plan."""
+        single = partition_graph(university, NUM_NODES)
+        query = parse_query(STAR_QUERY)
+        plan = cliquesquare(query, MSC).plans[0]
+        expected = PlanExecutor(single).execute(plan).report
+        merged = (
+            ShardedPlanExecutor(shard_graph(university, NUM_NODES, 4))
+            .execute(plan)
+            .report
+        )
+        assert merged.num_jobs == expected.num_jobs
+        assert merged.levels == expected.levels
+        assert merged.response_time == pytest.approx(expected.response_time)
+        assert merged.total_work == pytest.approx(expected.total_work)
+        for mine, theirs in zip(merged.jobs, expected.jobs):
+            assert mine.name == theirs.name
+            assert mine.map_time == pytest.approx(theirs.map_time)
+            assert mine.reduce_time == pytest.approx(theirs.reduce_time)
+            assert mine.tuples_shuffled == theirs.tuples_shuffled
+            assert mine.output_tuples == theirs.output_tuples
+
+
+# -- explain -------------------------------------------------------------------
+
+
+class TestShardedExplain:
+    def test_service_explain_shows_distribution(self, university):
+        service = QueryService(university, ServiceConfig(shards=3))
+        try:
+            text = service.explain(STAR_QUERY)
+            assert "== shard distribution (3 shards over 7 nodes) ==" in text
+            for shard in range(3):
+                assert f"shard {shard}: nodes" in text
+            assert "stored triples" in text
+            assert "map tasks" in text
+        finally:
+            service.close()
+
+    def test_unsharded_explain_has_no_distribution(self, university):
+        service = QueryService(university)
+        try:
+            assert "shard distribution" not in service.explain(STAR_QUERY)
+        finally:
+            service.close()
+
+    def test_physical_explain_accepts_shard_map(self, university):
+        from repro.physical.explain import explain as explain_plan
+
+        query = parse_query(STAR_QUERY)
+        plan = cliquesquare(query, MSC).plans[0]
+        from repro.core.logical import LogicalPlan
+
+        text = explain_plan(
+            LogicalPlan(root=plan.root, query=query),
+            shard_map=(0, 1, 0, 1, 0, 1, 0),
+            shard_triples=(100, 90),
+        )
+        assert "2 shards over 7 nodes" in text
+        assert "100 stored triples" in text
+
+
+# -- plumbing ------------------------------------------------------------------
+
+
+class TestClusterPlumbing:
+    def test_split_workers(self):
+        assert split_workers(8, 4, "process") == 2
+        assert split_workers(3, 4, "process") == 1
+        assert split_workers(None, 2, "thread") == 2
+        assert split_workers(None, 1, "serial") is None
+        with pytest.raises(ValueError):
+            split_workers(4, 0, "process")
+
+    def test_router_rejects_mismatched_snapshot(self, university):
+        two = shard_graph(university, NUM_NODES, 2)
+        three = shard_graph(university, NUM_NODES, 3)
+        executor = ShardedPlanExecutor(two)
+        query = parse_query(STAR_QUERY)
+        plan = cliquesquare(query, MSC).plans[0]
+        prepared = executor.prepare(plan)
+        with pytest.raises(ValueError, match="shards"):
+            executor.router.execute(prepared.compiled, three.snapshot())
+
+    def test_executor_rejects_node_mismatch(self, university):
+        from repro.mapreduce.engine import ClusterConfig
+
+        store = shard_graph(university, NUM_NODES, 2)
+        with pytest.raises(ValueError, match="nodes"):
+            ShardedPlanExecutor(store, cluster=ClusterConfig(num_nodes=5))
+
+    def test_shared_process_backend_instance_rejected(self, university):
+        from repro.mapreduce.backends import ProcessBackend
+
+        store = shard_graph(university, NUM_NODES, 2)
+        with pytest.raises(ValueError, match="shared ProcessBackend"):
+            ShardedPlanExecutor(store, backend=ProcessBackend(1))
+
+    def test_csq_with_shards(self, university):
+        from repro.systems.csq import CSQ, CSQConfig
+
+        plain = CSQ(university)
+        sharded = CSQ(university, CSQConfig(shards=2))
+        try:
+            query = parse_query(STAR_QUERY, name="star")
+            assert (
+                sharded.run(query).answers == plain.run(query).answers
+            )
+        finally:
+            plain.close()
+            sharded.close()
