@@ -1,0 +1,101 @@
+"""RPC transport overhead: per-query cost of the process boundary.
+
+Not a paper figure — this benchmark characterizes what the
+``shard_transport="rpc"`` boundary costs over ``"inproc"``: the same
+sharded deployment (shards=2, serial execution), the same 14 LUBM
+queries, identical answers (always asserted, per query), and the
+per-query wall-clock side by side.  Because a registered template
+crosses the wire once and each query afterwards ships only its bound
+constant vector, level metadata and exchange rows, the expected
+overhead is a few socket round-trips per job level plus pickling of the
+exchanged tuples — the table records exactly that, together with the
+request bytes shipped per query.
+
+There is no wall-clock gate: RPC cannot be faster than a function call
+in a single-machine simulation; the point of the table is to keep the
+overhead *visible* so a regression (e.g. a spec accidentally re-shipped
+per task) shows up as a bytes/latency jump.  Answer equality is the
+hard assertion.
+
+Results land in ``benchmarks/results/rpc_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig
+from repro.workloads import lubm, lubm_queries
+from tests.conformance import rpc_workers_work
+
+UNIVERSITIES = 8
+SHARDS = 2
+ROUNDS = 3
+
+
+def test_rpc_overhead(record_table):
+    if not rpc_workers_work():
+        pytest.skip("RPC shard workers unavailable in this environment")
+    graph = lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
+    queries = lubm_queries.all_queries()
+
+    def service(transport: str) -> QueryService:
+        return QueryService(
+            graph,
+            ServiceConfig(
+                shards=SHARDS,
+                shard_transport=transport,
+                result_cache_size=0,
+            ),
+        )
+
+    def measure(svc: QueryService, query):
+        svc.submit(query)  # warm: optimize, register, bind
+        best, outcome = float("inf"), None
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            outcome = svc.submit(query)
+            best = min(best, time.perf_counter() - t0)
+        return best, outcome
+
+    inproc = service("inproc")
+    rpc = service("rpc")
+    rows = []
+    try:
+        for query in queries:
+            inproc_s, inproc_out = measure(inproc, query)
+            rpc_s, rpc_out = measure(rpc, query)
+            # The hard gate: answers are identical over both transports.
+            assert rpc_out.rows == inproc_out.rows, query.name
+            assert rpc_out.attrs == inproc_out.attrs, query.name
+            assert rpc_out.report.transport == "rpc"
+            shipped = sum(rpc_out.report.shard_bytes or ())
+            rows.append(
+                (
+                    query.name,
+                    len(rpc_out.rows),
+                    1e3 * inproc_s,
+                    1e3 * rpc_s,
+                    rpc_s / inproc_s if inproc_s > 0 else float("inf"),
+                    shipped,
+                )
+            )
+    finally:
+        inproc.close()
+        rpc.close()
+
+    lines = [
+        f"RPC transport overhead — LUBM({UNIVERSITIES} universities), "
+        f"shards={SHARDS}, serial execution, best of {ROUNDS}",
+        f"{'query':>6} {'rows':>6} {'inproc ms':>10} {'rpc ms':>10} "
+        f"{'rpc/inproc':>11} {'bytes/query':>12}",
+    ]
+    for name, count, inproc_ms, rpc_ms, ratio, shipped in rows:
+        lines.append(
+            f"{name:>6} {count:>6} {inproc_ms:>10.2f} {rpc_ms:>10.2f} "
+            f"{ratio:>10.1f}x {shipped:>12}"
+        )
+    lines.append("answers identical over both transports for all queries: yes")
+    record_table("rpc_overhead", "\n".join(lines))

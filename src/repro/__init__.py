@@ -42,10 +42,12 @@ worker pools)::
 """
 
 from repro.cluster import (
+    RpcShardRouter,
     ShardedPlanExecutor,
     ShardedSnapshot,
     ShardedStore,
     ShardRouter,
+    ShardUnavailable,
     shard_graph,
 )
 from repro.core.algorithm import OptimizerResult, best_effort_plan, cliquesquare
@@ -153,7 +155,9 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceStats",
     "ShapeSystem",
+    "RpcShardRouter",
     "ShardRouter",
+    "ShardUnavailable",
     "ShardedPlanExecutor",
     "ShardedSnapshot",
     "ShardedStore",

@@ -1,4 +1,4 @@
-"""repro.cluster — the sharded store and shard router.
+"""repro.cluster — the sharded store, shard router and RPC shard workers.
 
 The distribution layer behind the query service: a
 :class:`~repro.cluster.sharded_store.ShardedStore` hash-partitions the
@@ -10,9 +10,26 @@ reduce phases, and per-shard catalog statistics aggregate into the exact
 global catalog the cost model consumes.  Enable it with
 ``ServiceConfig(shards=N)`` — answers are identical for any shard count
 and any execution backend.
+
+Two shard transports share that router logic
+(``ServiceConfig(shard_transport=...)``):
+
+* ``"inproc"`` — shards are in-process execution backends (function
+  call boundary, per-shard worker pools);
+* ``"rpc"`` (:mod:`repro.cluster.rpc`) — shards are long-lived server
+  processes over localhost sockets that hold their snapshot, registered
+  templates and a local backend resident; per query, only bound
+  constant vectors, level metadata and exchange rows cross the wire.
+  Crashed workers are respawned with a one-retry budget; sustained
+  failure raises a typed :class:`~repro.cluster.rpc.ShardUnavailable`.
 """
 
 from repro.cluster.router import ShardedPlanExecutor, ShardRouter, ShardRunSummary
+from repro.cluster.rpc import (
+    RpcShardRouter,
+    ShardUnavailable,
+    ShardWorkerClient,
+)
 from repro.cluster.sharded_store import (
     ShardedSnapshot,
     ShardedStore,
@@ -20,8 +37,11 @@ from repro.cluster.sharded_store import (
 )
 
 __all__ = [
+    "RpcShardRouter",
     "ShardRouter",
     "ShardRunSummary",
+    "ShardUnavailable",
+    "ShardWorkerClient",
     "ShardedPlanExecutor",
     "ShardedSnapshot",
     "ShardedStore",

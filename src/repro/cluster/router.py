@@ -73,6 +73,9 @@ class ShardRunSummary:
     tasks: tuple[int, ...]
     #: output rows landing on each shard's nodes (all jobs)
     rows: tuple[int, ...]
+    #: request bytes shipped to each shard worker (RPC transport only;
+    #: None when shards are called in-process)
+    bytes_shipped: tuple[int, ...] | None = None
 
 
 class _ShardJobState:
@@ -95,7 +98,17 @@ class _ShardJobState:
 
 
 class ShardRouter:
-    """Runs compiled job DAGs across shard workers with exchange steps."""
+    """Runs compiled job DAGs across shard workers with exchange steps.
+
+    This is the **in-process** transport: shards are called by function
+    call into per-shard execution backends.  The RPC transport
+    (:class:`repro.cluster.rpc.RpcShardRouter`) subclasses it, keeping
+    the level scheduling, exchange and report-merge accounting and
+    replacing only the per-shard dispatch hop (:meth:`_run_shards`).
+    """
+
+    #: transport label recorded on execution reports
+    transport = "inproc"
 
     def __init__(
         self,
@@ -180,12 +193,18 @@ class ShardRouter:
     # -- execution -----------------------------------------------------------
 
     def execute(
-        self, compiled: CompiledPlan, snapshot: ShardedSnapshot
+        self,
+        compiled: CompiledPlan,
+        snapshot: ShardedSnapshot,
+        exec_ctx: object | None = None,
     ) -> tuple[DistributedRelation, ExecutionReport, ShardRunSummary]:
         """Run a compiled plan over a sharded snapshot.
 
         Returns the final output relation, the merged execution report,
-        and the per-shard run summary.
+        and the per-shard run summary.  ``exec_ctx`` is an opaque
+        per-execution context threaded through to :meth:`_run_shards`
+        (the RPC transport uses it to carry the template identity and
+        per-shard byte counters of one query).
         """
         if snapshot.num_shards != self.num_shards:
             raise ValueError(
@@ -211,31 +230,63 @@ class ShardRouter:
             graph.add(job)
             spec_of[job.name] = spec
         reports = [
-            ExecutionReport(backend=self.backends[shard].name)
+            ExecutionReport(backend=self._shard_backend_name(shard))
             for shard in range(num_shards)
         ]
         tasks = [0] * num_shards
         rows = [0] * num_shards
-        for level in graph.levels():
+        for level_index, level in enumerate(graph.levels()):
             self._run_level(
                 level, spec_of, ctxs, reports, driver_hdfs, shard_hdfs,
-                tasks, rows,
+                tasks, rows, level_index, exec_ctx,
             )
         merged = reports[0]
         for other in reports[1:]:
             merged.merge(other)
         merged.shards = num_shards
+        merged.transport = self.transport
+        bytes_shipped = self._bytes_shipped(exec_ctx)
+        merged.shard_bytes = bytes_shipped
         result = driver_hdfs.read("result")
-        return result, merged, ShardRunSummary(tasks=tuple(tasks), rows=tuple(rows))
+        return result, merged, ShardRunSummary(
+            tasks=tuple(tasks), rows=tuple(rows), bytes_shipped=bytes_shipped
+        )
+
+    def execute_prepared(
+        self, prepared: PreparedPlan, snapshot: ShardedSnapshot
+    ) -> tuple[DistributedRelation, ExecutionReport, ShardRunSummary]:
+        """Run a prepared plan (transport-specific routers may use its
+        template provenance; the in-process router needs only the
+        compiled jobs)."""
+        return self.execute(prepared.compiled, snapshot)
+
+    def _shard_backend_name(self, shard: int) -> str:
+        """Backend label recorded on shard *shard*'s execution report."""
+        return self.backends[shard].name
+
+    def _bytes_shipped(self, exec_ctx: object | None) -> tuple[int, ...] | None:
+        """Per-shard request bytes of one execution (None in-process)."""
+        return None
 
     # -- internals -----------------------------------------------------------
 
     def _run_shards(
         self,
         per_shard: list[list[TaskInvocation]],
+        metas: list[list[tuple]],
         ctxs: list[TaskContext],
+        phase: str,
+        level_index: int,
+        exec_ctx: object | None,
     ) -> list[tuple[int, list]]:
-        """Run each shard's batch; results per shard in submission order."""
+        """Run each shard's batch; results per shard in submission order.
+
+        ``metas`` parallels the invocations with transport-level task
+        descriptors — ``(job, tag, node)`` for map tasks, ``(job,
+        partition)`` for reduce tasks.  The in-process transport runs
+        the invocations directly and ignores them; the RPC transport
+        ships the descriptors (plus exchange rows) instead of the specs.
+        """
         active = [s for s in range(self.num_shards) if per_shard[s]]
         if len(active) > 1 and self.parallel_shards:
             pool = self._dispatch_pool()
@@ -258,6 +309,8 @@ class ShardRouter:
         shard_hdfs: list[HDFS],
         tasks: list[int],
         rows: list[int],
+        level_index: int,
+        exec_ctx: object | None,
     ) -> None:
         params = self.params
         num_nodes, num_shards = self.num_nodes, self.num_shards
@@ -270,15 +323,21 @@ class ShardRouter:
         # the global (engine) task order for deterministic consumption.
         entries: list[tuple[_ShardJobState, object]] = []
         per_shard_inv: list[list[TaskInvocation]] = [[] for _ in range(num_shards)]
+        per_shard_meta: list[list[tuple]] = [[] for _ in range(num_shards)]
         per_shard_pos: list[list[int]] = [[] for _ in range(num_shards)]
         for state in states:
             for task in state.job.map_tasks:
                 shard = task.node % num_shards
                 per_shard_inv[shard].append(TaskInvocation(task.spec))
+                per_shard_meta[shard].append(
+                    (state.job.name, getattr(task.spec, "tag", None), task.node)
+                )
                 per_shard_pos[shard].append(len(entries))
                 entries.append((state, task))
         results: list = [None] * len(entries)
-        for shard, batch in self._run_shards(per_shard_inv, ctxs):
+        for shard, batch in self._run_shards(
+            per_shard_inv, per_shard_meta, ctxs, "map", level_index, exec_ctx
+        ):
             tasks[shard] += len(batch)
             for pos, result in zip(per_shard_pos[shard], batch):
                 results[pos] = result
@@ -308,6 +367,7 @@ class ShardRouter:
         # this is the only point where tuples cross shard boundaries.
         rentries: list[tuple[_ShardJobState, int]] = []
         per_shard_rinv: list[list[TaskInvocation]] = [[] for _ in range(num_shards)]
+        per_shard_rmeta: list[list[tuple]] = [[] for _ in range(num_shards)]
         per_shard_rpos: list[list[int]] = [[] for _ in range(num_shards)]
         for state in states:
             job = state.job
@@ -323,11 +383,15 @@ class ShardRouter:
                 per_shard_rinv[shard].append(
                     TaskInvocation(job.reduce_spec, (partition, grouped))
                 )
+                per_shard_rmeta[shard].append((state.job.name, partition))
                 per_shard_rpos[shard].append(len(rentries))
                 rentries.append((state, partition))
         if rentries:
             rresults: list = [None] * len(rentries)
-            for shard, batch in self._run_shards(per_shard_rinv, ctxs):
+            for shard, batch in self._run_shards(
+                per_shard_rinv, per_shard_rmeta, ctxs, "reduce", level_index,
+                exec_ctx,
+            ):
                 tasks[shard] += len(batch)
                 for pos, result in zip(per_shard_rpos[shard], batch):
                     rresults[pos] = result
@@ -401,11 +465,22 @@ class ShardedPlanExecutor:
     """Drop-in :class:`~repro.physical.executor.PlanExecutor` over shards.
 
     Same prepare/execute surface, but the store is a
-    :class:`ShardedStore` and execution routes through a
-    :class:`ShardRouter`: each shard gets its own execution backend —
-    for ``"process"``, a worker pool of its own, with the machine-wide
-    worker budget split across shards and each pool keyed to its shard's
-    snapshot token (a mutation rebuild touches only mutated shards).
+    :class:`ShardedStore` and execution routes through a shard router.
+    ``transport`` selects the shard boundary:
+
+    * ``"inproc"`` (default): shards are called in-process through
+      per-shard execution backends — for ``"process"``, a worker pool
+      of its own, with the machine-wide worker budget split across
+      shards and each pool keyed to its shard's snapshot token (a
+      mutation rebuild touches only mutated shards).
+    * ``"rpc"``: shards are **long-lived server processes** behind
+      :class:`repro.cluster.rpc.RpcShardRouter` — each holds its
+      snapshot, registered templates and a local backend resident, and
+      only bound constant vectors, level metadata and exchange rows
+      cross the localhost socket per query.  A crashed worker is
+      respawned and its request retried once; sustained failure raises
+      a typed :class:`~repro.cluster.rpc.ShardUnavailable` (reported
+      through ``on_shard_failure``).
     """
 
     def __init__(
@@ -416,6 +491,9 @@ class ShardedPlanExecutor:
         backend: ExecutionBackend | str | None = None,
         backend_workers: int | None = None,
         on_fallback: Callable[[str], None] | None = None,
+        transport: str = "inproc",
+        on_shard_failure: Callable[[int, str], None] | None = None,
+        max_frame_bytes: int | None = None,
     ) -> None:
         self.store = store
         self.cluster = cluster or ClusterConfig(num_nodes=store.num_nodes)
@@ -425,6 +503,38 @@ class ShardedPlanExecutor:
                 f"store places onto {store.num_nodes}"
             )
         self.params = params
+        if transport not in ("inproc", "rpc"):
+            raise ValueError(
+                f"unknown shard transport {transport!r}; "
+                "expected 'inproc' or 'rpc'"
+            )
+        self.transport = transport
+        if transport == "rpc":
+            from repro.cluster.rpc import RpcShardRouter
+
+            if isinstance(backend, ExecutionBackend):
+                raise ValueError(
+                    "the rpc transport needs a backend *name* (the backend "
+                    "lives inside each shard server process), not an instance"
+                )
+            workers = split_workers(
+                backend_workers, store.num_shards, backend or "serial"
+            )
+            self.backends = []
+            extra = {} if max_frame_bytes is None else {
+                "max_frame_bytes": max_frame_bytes
+            }
+            self.router: ShardRouter = RpcShardRouter(
+                num_nodes=store.num_nodes,
+                num_shards=store.num_shards,
+                params=params,
+                worker_backend=backend or "serial",
+                worker_backend_workers=workers,
+                on_failure=on_shard_failure,
+                on_warning=on_fallback,
+                **extra,
+            )
+            return
         if isinstance(backend, ExecutionBackend):
             if store.num_shards > 1 and isinstance(backend, ProcessBackend):
                 raise ValueError(
@@ -466,13 +576,18 @@ class ShardedPlanExecutor:
     # -- lifecycle ------------------------------------------------------------
 
     def prime(self) -> None:
-        """Warm every shard's worker pool against its current snapshot.
+        """Warm every shard against its current snapshot.
 
-        Only shards whose snapshot token changed since the last prime
-        rebuild their pools; the rest keep their workers (and the store
-        slice those workers inherited).
+        In-process: only shards whose snapshot token changed since the
+        last prime rebuild their pools; the rest keep their workers (and
+        the store slice those workers inherited).  RPC: spawns any shard
+        server not yet running (a health-checked handshake) and sends a
+        ``Prime`` only to workers whose resident snapshot token is stale.
         """
         snapshot = self.store.snapshot()
+        if self.transport == "rpc":
+            self.router.ensure_workers(snapshot)  # type: ignore[attr-defined]
+            return
         for shard, backend in enumerate(self.backends):
             backend.prime(
                 TaskContext(
@@ -506,8 +621,11 @@ class ShardedPlanExecutor:
 
         Called once per template by the query service; afterwards every
         binding of the template ships only its binding-substituted task
-        specs to the shards.
+        specs (in-process) or its bound constant vector (RPC) to the
+        shards.
         """
+        if self.transport == "rpc":
+            return self.router.register_prepared(prepared)  # type: ignore[attr-defined]
         return self.router.register(prepared.compiled)
 
     def execute(self, plan: LogicalPlan) -> ExecutionResult:
@@ -515,8 +633,8 @@ class ShardedPlanExecutor:
 
     def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
         """Run an already-prepared plan across the shards."""
-        relation, report, summary = self.router.execute(
-            prepared.compiled, self.store.snapshot()
+        relation, report, summary = self.router.execute_prepared(
+            prepared, self.store.snapshot()
         )
         return ExecutionResult(
             attrs=prepared.compiled.final_attrs,
@@ -527,4 +645,5 @@ class ShardedPlanExecutor:
             compiled=prepared.compiled,
             shard_tasks=summary.tasks,
             shard_rows=summary.rows,
+            shard_bytes=summary.bytes_shipped,
         )

@@ -1,0 +1,1179 @@
+"""RPC shard workers: long-lived shard server processes behind the router.
+
+The in-process :class:`~repro.cluster.router.ShardRouter` calls into
+per-shard execution backends by function call; this module replaces that
+boundary with a real wire protocol.  Each shard is a **server process**
+(stdlib :class:`multiprocessing.connection.Listener` on a localhost
+socket, HMAC-authenticated, no third-party deps) that holds, resident:
+
+* its shard's :class:`~repro.partitioning.triple_partitioner
+  .StoreSnapshot` (installed by :class:`Prime`, re-installed only when
+  the shard's snapshot token changes — a mutation re-primes only the
+  shards it touched);
+* the **registered templates**: the unbound physical plan of every
+  template the service optimized, shipped once by
+  :class:`RegisterTemplate` and bound worker-side (the same
+  ``substitute_plan`` + ``compile_plan`` pipeline the driver uses, so
+  compiled job structures are bit-identical on both ends);
+* a local :class:`~repro.mapreduce.backends.ExecutionBackend` — the
+  worker itself may fan its batch out on a process pool of its own,
+  keyed to the snapshot token exactly like the in-process deployment.
+
+After a template is registered once, a query crosses the wire as its
+**bound constant vector** (:class:`BoundSpecs`) plus per-level task
+metadata and exchange rows (:class:`ExecuteLevel`): the driver never
+re-ships task specs or operator chains.  Message frames are pickled
+dataclasses with an explicit size cap; oversized frames and unknown
+message types surface as typed errors, never hangs.
+
+The driver side is :class:`RpcShardRouter` — a drop-in
+:class:`~repro.cluster.router.ShardRouter` whose level scheduling,
+shuffle exchange and :meth:`~repro.mapreduce.counters.ExecutionReport
+.merge` accounting are inherited unchanged; only the dispatch hop is
+replaced by the protocol.  Worker crashes are detected at the connection
+(a typed error reply means the worker is alive and the *request* failed;
+a transport error means the worker died): a dead worker is respawned —
+re-primed, templates re-registered — and the failed request retried
+exactly once; a second failure raises :class:`ShardUnavailable` instead
+of deadlocking the service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+import threading
+from dataclasses import dataclass, field
+from multiprocessing.connection import Client, Listener
+
+from repro.cluster.router import ShardRouter
+from repro.cost.params import DEFAULT_PARAMS, CostParams
+from repro.mapreduce.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    SerialBackend,
+    TaskInvocation,
+    make_backend,
+    store_token,
+)
+from repro.mapreduce.hdfs import HDFS, DistributedRelation
+from repro.mapreduce.jobs import TaskContext
+from repro.partitioning.triple_partitioner import StoreSnapshot
+from repro.physical.executor import job_from_spec
+from repro.physical.job_compiler import compile_plan
+from repro.physical.translate import PhysicalPlan, substitute_plan
+
+#: Hard cap on one pickled message frame (request or reply).  Large
+#: enough for any realistic exchange payload, small enough that a
+#: runaway frame fails typed instead of exhausting memory.
+DEFAULT_MAX_FRAME_BYTES = 128 * 1024 * 1024
+
+#: Seconds to wait for a spawned worker to report its listening address.
+DEFAULT_SPAWN_TIMEOUT = 60.0
+
+#: Bound plans a shard server keeps resident (LRU).  Templates are one
+#: per query *shape* and stay; bound plans are one per constant vector,
+#: which an ad-hoc workload can grow without limit — a long-lived server
+#: must not.
+MAX_BOUND_PLANS = 256
+
+
+# -- typed errors --------------------------------------------------------------
+
+
+class RpcError(RuntimeError):
+    """Base class of every typed RPC-layer error."""
+
+
+class RpcProtocolError(RpcError):
+    """An undecodable frame or unknown message type reached a worker."""
+
+
+class FrameTooLarge(RpcError):
+    """A message frame exceeded ``max_frame_bytes``."""
+
+
+class TemplateNotRegistered(RpcError):
+    """A worker was asked to bind/execute a template it does not hold."""
+
+
+class WorkerStateError(RpcError):
+    """A request arrived in a state the worker cannot serve (e.g. an
+    :class:`ExecuteLevel` before any :class:`Prime`)."""
+
+
+class WorkerSpawnError(RpcError):
+    """A shard worker process could not be started or contacted."""
+
+
+class ShardUnavailable(RuntimeError):
+    """A shard worker failed, was respawned once, and failed again.
+
+    The one-retry budget is per request: a crashed worker is restarted
+    transparently (snapshot re-primed, templates re-registered) and the
+    failed request resent exactly once.  Sustained failure surfaces as
+    this typed error — counted in ``snapshot_stats().shard_failures``
+    when raised through the query service — rather than a hang.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard} unavailable: {message}")
+        self.shard = shard
+        self.message = message
+
+    def __reduce__(self):
+        # The two-argument constructor breaks default exception
+        # pickling; errors in this module must survive a pickled hop.
+        return (ShardUnavailable, (self.shard, self.message))
+
+
+#: Connection-level failures that mean "the worker process is gone"
+#: (as opposed to a typed error reply, which means the *request* failed
+#: on a live worker).  BrokenPipeError/ConnectionError are OSErrors.
+_TRANSPORT_ERRORS = (EOFError, OSError)
+
+
+# -- message frames ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Handshake / health-check probe."""
+
+
+@dataclass(frozen=True)
+class HelloReply:
+    shard: int
+    num_nodes: int
+    num_shards: int
+    pid: int
+    snapshot_token: tuple | None
+
+
+@dataclass(frozen=True)
+class Prime:
+    """Install (or replace) the worker's resident store snapshot."""
+
+    snapshot: StoreSnapshot
+
+
+@dataclass(frozen=True)
+class InvalidateSnapshot:
+    """Drop the resident snapshot (idempotent); a new :class:`Prime`
+    must arrive before the next map level."""
+
+
+@dataclass(frozen=True)
+class RegisterTemplate:
+    """Ship a template's unbound physical plan, once per worker life."""
+
+    key: str
+    physical: PhysicalPlan
+
+
+@dataclass(frozen=True)
+class BoundSpecs:
+    """Bind a constant vector into a registered template, worker-side.
+
+    This is all that crosses the wire per query after registration: the
+    template key plus ``(placeholder, constant)`` pairs.  The worker
+    substitutes and recompiles locally (cached per binding), yielding
+    the same job structure the driver compiled.
+    """
+
+    key: str
+    binding: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ExecuteLevel:
+    """Run one scheduling level's tasks owned by this shard.
+
+    ``phase="map"``: ``tasks`` are ``(job_name, tag, node)`` triples
+    (``tag`` is None for map-only jobs) and ``inputs`` carries the
+    shard-local slices of shuffled intermediates the level's map chains
+    read.  ``phase="reduce"``: ``tasks`` are ``(job_name, partition,
+    grouped)`` — the cross-shard exchange rows.  Requests are
+    self-contained (no execution state lives on the worker between
+    levels), which is what makes respawn-and-retry safe.
+    """
+
+    key: str
+    binding: tuple[tuple[str, str], ...]
+    level: int
+    phase: str
+    tasks: tuple
+    inputs: dict[str, DistributedRelation] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Read the worker's counters (idempotent)."""
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    shard: int
+    pid: int
+    snapshot_token: tuple | None
+    templates: int
+    bound_instances: int
+    tasks_run: int
+    levels_run: int
+    primes: int
+    bytes_received: int
+    backend: str
+    warnings: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop serving and exit (replied to before the worker exits)."""
+
+
+@dataclass(frozen=True)
+class OkReply:
+    value: object = None
+
+
+@dataclass(frozen=True)
+class ResultsReply:
+    """Task results of one :class:`ExecuteLevel`, in task order."""
+
+    results: list
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A request failed on a live worker; carries the typed exception."""
+
+    error: BaseException
+    kind: str = ""
+
+
+#: All frame types, for protocol round-trip tests.
+MESSAGE_TYPES = (
+    Hello,
+    HelloReply,
+    Prime,
+    InvalidateSnapshot,
+    RegisterTemplate,
+    BoundSpecs,
+    ExecuteLevel,
+    Stats,
+    StatsReply,
+    Shutdown,
+    OkReply,
+    ResultsReply,
+    ErrorReply,
+)
+
+
+def plan_key(physical: PhysicalPlan) -> str:
+    """Content digest of a physical plan, used as its registry key.
+
+    Computed once per template at registration and carried on every
+    bound :class:`~repro.physical.executor.PreparedPlan`, so it only
+    needs to be stable within one driver process.
+    """
+    return hashlib.sha1(pickle.dumps(physical)).hexdigest()[:16]
+
+
+# -- the worker process --------------------------------------------------------
+
+
+class _BoundPlan:
+    """A template bound worker-side: compiled jobs plus spec lookup."""
+
+    def __init__(
+        self, physical: PhysicalPlan, binding: tuple, num_nodes: int
+    ) -> None:
+        bound = substitute_plan(physical, dict(binding)) if binding else physical
+        self.compiled = compile_plan(bound)
+        self._map: dict[tuple, object] = {}
+        self._reduce: dict[str, object] = {}
+        for spec in self.compiled.jobs:
+            job = job_from_spec(spec, num_nodes)
+            for task in job.map_tasks:
+                tag = getattr(task.spec, "tag", None)
+                self._map[(spec.name, tag, task.node)] = task.spec
+            if job.reduce_spec is not None:
+                self._reduce[spec.name] = job.reduce_spec
+
+    def map_spec(self, job: str, tag, node: int):
+        try:
+            return self._map[(job, tag, node)]
+        except KeyError:
+            raise WorkerStateError(
+                f"no map task ({job!r}, tag={tag}, node={node}) in bound plan"
+            ) from None
+
+    def reduce_spec(self, job: str):
+        try:
+            return self._reduce[job]
+        except KeyError:
+            raise WorkerStateError(f"job {job!r} has no reduce spec") from None
+
+
+class _WorkerState:
+    """Everything resident in one shard server process."""
+
+    def __init__(
+        self,
+        shard: int,
+        num_nodes: int,
+        num_shards: int,
+        backend: str,
+        backend_workers: int | None,
+    ) -> None:
+        self.shard = shard
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+        self.backend_name = backend
+        self.warnings: list[str] = []
+        self.backend: ExecutionBackend = make_backend(
+            backend, num_workers=backend_workers,
+            on_fallback=self.warnings.append,
+        )
+        self.snapshot: StoreSnapshot | None = None
+        self.templates: dict[str, PhysicalPlan] = {}
+        self.bound: dict[tuple, _BoundPlan] = {}
+        self.tasks_run = 0
+        self.levels_run = 0
+        self.primes = 0
+        self.bytes_received = 0
+
+    # -- state transitions -------------------------------------------------
+
+    @property
+    def token(self) -> tuple | None:
+        return None if self.snapshot is None else store_token(self.snapshot)
+
+    def install_snapshot(self, snapshot: StoreSnapshot) -> tuple:
+        self.snapshot = snapshot
+        self.primes += 1
+        # Revalidate the local backend against the new snapshot token: a
+        # process pool keyed to the old token rebuilds, anything else is
+        # a no-op — the same mutation protocol as the in-proc deployment.
+        self.backend.prime(
+            TaskContext(num_nodes=self.num_nodes, store=snapshot)
+        )
+        return snapshot.token
+
+    def register(self, key: str, physical: PhysicalPlan) -> bool:
+        new = key not in self.templates
+        self.templates[key] = physical
+        if not new:
+            # Re-registration replaces the plan; drop stale bindings.
+            self.bound = {k: v for k, v in self.bound.items() if k[0] != key}
+        return new
+
+    def bound_for(self, key: str, binding: tuple) -> _BoundPlan:
+        cached = self.bound.get((key, binding))
+        if cached is None:
+            physical = self.templates.get(key)
+            if physical is None:
+                raise TemplateNotRegistered(
+                    f"shard {self.shard} holds no template {key!r}"
+                )
+            cached = _BoundPlan(physical, binding, self.num_nodes)
+            self.bound[(key, binding)] = cached
+            while len(self.bound) > MAX_BOUND_PLANS:
+                # LRU eviction: a constant-varying workload must not
+                # grow a long-lived server without bound.  Evicted
+                # bindings rebind on demand from the resident template.
+                self.bound.pop(next(iter(self.bound)))
+        else:
+            # Move-to-end marks the binding recently used.
+            self.bound.pop((key, binding))
+            self.bound[(key, binding)] = cached
+        return cached
+
+    # -- request handlers --------------------------------------------------
+
+    def execute_level(self, msg: ExecuteLevel) -> ResultsReply:
+        bound = self.bound_for(msg.key, msg.binding)
+        if msg.phase == "map":
+            if self.snapshot is None:
+                raise WorkerStateError(
+                    f"shard {self.shard} has no snapshot primed"
+                )
+            ctx = TaskContext(
+                num_nodes=self.num_nodes,
+                store=self.snapshot,
+                hdfs=HDFS(num_nodes=self.num_nodes, files=dict(msg.inputs)),
+            )
+            invocations = [
+                TaskInvocation(bound.map_spec(job, tag, node))
+                for job, tag, node in msg.tasks
+            ]
+        elif msg.phase == "reduce":
+            ctx = TaskContext(num_nodes=self.num_nodes, store=self.snapshot)
+            invocations = [
+                TaskInvocation(bound.reduce_spec(job), (partition, grouped))
+                for job, partition, grouped in msg.tasks
+            ]
+        else:
+            raise RpcProtocolError(f"unknown ExecuteLevel phase {msg.phase!r}")
+        results = self.backend.run(invocations, ctx)
+        self.tasks_run += len(invocations)
+        self.levels_run += 1
+        return ResultsReply(results=list(results))
+
+    def stats(self) -> StatsReply:
+        return StatsReply(
+            shard=self.shard,
+            pid=os.getpid(),
+            snapshot_token=self.token,
+            templates=len(self.templates),
+            bound_instances=len(self.bound),
+            tasks_run=self.tasks_run,
+            levels_run=self.levels_run,
+            primes=self.primes,
+            bytes_received=self.bytes_received,
+            backend=self.backend_name,
+            warnings=tuple(self.warnings),
+        )
+
+    def close(self) -> None:
+        try:
+            self.backend.close()
+        except Exception:
+            pass
+
+
+def _dispatch(state: _WorkerState, msg: object):
+    """Map one decoded request frame to its reply (raises typed errors)."""
+    if isinstance(msg, Hello):
+        return HelloReply(
+            shard=state.shard,
+            num_nodes=state.num_nodes,
+            num_shards=state.num_shards,
+            pid=os.getpid(),
+            snapshot_token=state.token,
+        )
+    if isinstance(msg, Prime):
+        return OkReply(state.install_snapshot(msg.snapshot))
+    if isinstance(msg, InvalidateSnapshot):
+        state.snapshot = None
+        return OkReply(None)
+    if isinstance(msg, RegisterTemplate):
+        return OkReply(state.register(msg.key, msg.physical))
+    if isinstance(msg, BoundSpecs):
+        state.bound_for(msg.key, msg.binding)
+        return OkReply((msg.key, msg.binding))
+    if isinstance(msg, ExecuteLevel):
+        return state.execute_level(msg)
+    if isinstance(msg, Stats):
+        return state.stats()
+    raise RpcProtocolError(f"unknown message type {type(msg).__name__!r}")
+
+
+def _error_reply(exc: BaseException) -> bytes:
+    """Pickle an error reply, degrading to a string-only error when the
+    original exception itself does not pickle."""
+    reply = ErrorReply(error=exc, kind=type(exc).__name__)
+    try:
+        return pickle.dumps(reply)
+    except Exception:
+        return pickle.dumps(
+            ErrorReply(
+                error=RpcError(f"{type(exc).__name__}: {exc}"),
+                kind=type(exc).__name__,
+            )
+        )
+
+
+def _worker_main(
+    channel,
+    shard: int,
+    num_nodes: int,
+    num_shards: int,
+    backend: str,
+    backend_workers: int | None,
+    max_frame_bytes: int,
+    authkey: bytes,
+) -> None:
+    """Entry point of a shard server process.
+
+    Binds a localhost listener, reports the bound address back through
+    *channel*, then serves its single router connection until Shutdown,
+    EOF (driver died) or an unrecoverable frame error.
+    """
+    listener = Listener(("127.0.0.1", 0), authkey=bytes(authkey))
+    try:
+        channel.send(listener.address)
+    finally:
+        channel.close()
+    state = _WorkerState(shard, num_nodes, num_shards, backend, backend_workers)
+    conn = listener.accept()
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes(max_frame_bytes)
+            except EOFError:
+                break
+            except OSError:
+                # Oversized frame (recv_bytes over maxlength) or a broken
+                # pipe; the stream is unusable either way — report typed
+                # if possible, then stop serving.
+                try:
+                    conn.send_bytes(
+                        _error_reply(
+                            FrameTooLarge(
+                                f"request frame exceeded {max_frame_bytes} "
+                                "bytes (or the connection broke mid-frame)"
+                            )
+                        )
+                    )
+                except Exception:
+                    pass
+                break
+            state.bytes_received += len(data)
+            try:
+                msg = pickle.loads(data)
+            except Exception as exc:
+                conn.send_bytes(
+                    _error_reply(RpcProtocolError(f"undecodable frame: {exc!r}"))
+                )
+                continue
+            if isinstance(msg, Shutdown):
+                try:
+                    conn.send_bytes(pickle.dumps(OkReply("bye")))
+                except Exception:
+                    pass
+                break
+            try:
+                reply = _dispatch(state, msg)
+            except BaseException as exc:  # typed error replies, not death
+                conn.send_bytes(_error_reply(exc))
+                continue
+            payload = pickle.dumps(reply)
+            if len(payload) > max_frame_bytes:
+                payload = _error_reply(
+                    FrameTooLarge(
+                        f"reply frame of {len(payload)} bytes exceeds the "
+                        f"{max_frame_bytes}-byte cap"
+                    )
+                )
+            conn.send_bytes(payload)
+    finally:
+        state.close()
+        try:
+            conn.close()
+        finally:
+            listener.close()
+
+
+# -- the driver-side worker handle ---------------------------------------------
+
+
+def _spawn_context():
+    """Fork where available (workers receive their snapshot over the
+    socket, so fork buys only startup speed), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardWorkerClient:
+    """Driver-side handle on one shard server process.
+
+    Owns the process, the authenticated socket connection, and a lock
+    serializing request/reply exchanges (the protocol is strictly
+    request-response per connection; concurrent queries interleave at
+    request granularity).
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        num_nodes: int,
+        num_shards: int,
+        backend: str = "serial",
+        backend_workers: int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        start_method: str | None = None,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+    ) -> None:
+        self.shard = shard
+        self.num_nodes = num_nodes
+        self.num_shards = num_shards
+        self.backend = backend
+        self.backend_workers = backend_workers
+        self.max_frame_bytes = max_frame_bytes
+        self.start_method = start_method
+        self.spawn_timeout = spawn_timeout
+        self.process = None
+        self.conn = None
+        self.bytes_sent = 0
+        #: snapshot token last primed onto this worker (driver-side view)
+        self.primed_token: tuple | None = None
+        #: worker warnings already relayed to the router's on_warning
+        self.warnings_forwarded = 0
+        self._lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> HelloReply:
+        """Spawn the server process, connect, and health-check it."""
+        ctx = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else _spawn_context()
+        )
+        authkey = os.urandom(16)
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child,
+                self.shard,
+                self.num_nodes,
+                self.num_shards,
+                self.backend,
+                self.backend_workers,
+                self.max_frame_bytes,
+                authkey,
+            ),
+            name=f"repro-shard-{self.shard}",
+        )
+        try:
+            process.start()
+        except Exception as exc:
+            raise WorkerSpawnError(
+                f"could not start shard {self.shard} worker: {exc!r}"
+            ) from exc
+        child.close()
+        try:
+            if not parent.poll(self.spawn_timeout):
+                raise WorkerSpawnError(
+                    f"shard {self.shard} worker did not report an address "
+                    f"within {self.spawn_timeout}s"
+                )
+            address = parent.recv()
+            conn = Client(address, authkey=authkey)
+        except WorkerSpawnError:
+            self._reap(process)
+            raise
+        except Exception as exc:
+            self._reap(process)
+            raise WorkerSpawnError(
+                f"could not connect to shard {self.shard} worker: {exc!r}"
+            ) from exc
+        finally:
+            parent.close()
+        self.process = process
+        self.conn = conn
+        return self.request(Hello())
+
+    def alive(self) -> bool:
+        return (
+            self.process is not None
+            and self.process.is_alive()
+            and self.conn is not None
+        )
+
+    @staticmethod
+    def _reap(process) -> None:
+        try:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        except Exception:
+            pass
+
+    def close(self, kill: bool = False) -> None:
+        """Shut the worker down (gracefully unless *kill*); idempotent."""
+        with self._lock:
+            conn, self.conn = self.conn, None
+            process, self.process = self.process, None
+        if conn is not None:
+            if not kill:
+                try:
+                    conn.send_bytes(pickle.dumps(Shutdown()))
+                    if conn.poll(5):
+                        conn.recv_bytes(self.max_frame_bytes)
+                except Exception:
+                    pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        if process is not None:
+            process.join(timeout=5)
+            self._reap(process)
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, msg, on_bytes=None):
+        """One request/reply exchange; raises the typed error a worker
+        replied with, or a transport error when the worker is gone."""
+        payload = pickle.dumps(msg)
+        if len(payload) > self.max_frame_bytes:
+            raise FrameTooLarge(
+                f"{type(msg).__name__} frame of {len(payload)} bytes exceeds "
+                f"the {self.max_frame_bytes}-byte cap"
+            )
+        with self._lock:
+            if self.conn is None:
+                raise ConnectionError(
+                    f"shard {self.shard} worker is not running"
+                )
+            self.conn.send_bytes(payload)
+            data = self.conn.recv_bytes(self.max_frame_bytes)
+        self.bytes_sent += len(payload)
+        if on_bytes is not None:
+            on_bytes(len(payload))
+        reply = pickle.loads(data)
+        if isinstance(reply, ErrorReply):
+            raise reply.error
+        return reply
+
+
+# -- the driver-side router ----------------------------------------------------
+
+
+@dataclass
+class _RpcExecution:
+    """Per-query execution context threaded through the level loop."""
+
+    key: str
+    binding: tuple[tuple[str, str], ...]
+    bytes: list[int]
+
+    def add(self, shard: int, n: int) -> None:
+        self.bytes[shard] += n
+
+
+class RpcShardRouter(ShardRouter):
+    """A :class:`~repro.cluster.router.ShardRouter` whose shards are
+    long-lived server processes reached over the RPC protocol.
+
+    Level scheduling, the shuffle exchange and report merging are
+    inherited unchanged — results are placed by submission position, so
+    answers and merged reports are deterministic regardless of the order
+    shard replies arrive in.  What changes is the dispatch hop: instead
+    of running task specs through in-process backends, the router sends
+    each shard an :class:`ExecuteLevel` frame naming the tasks of its
+    nodes (the specs themselves live worker-side, bound from the
+    registered template), plus the exchange rows.
+    """
+
+    transport = "rpc"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_shards: int,
+        params: CostParams = DEFAULT_PARAMS,
+        worker_backend: str = "serial",
+        worker_backend_workers: int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        parallel_shards: bool = True,
+        on_failure=None,
+        on_warning=None,
+        start_method: str | None = None,
+        spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+    ) -> None:
+        if worker_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown worker backend {worker_backend!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            )
+        super().__init__(
+            num_nodes,
+            num_shards,
+            params=params,
+            backends=[SerialBackend() for _ in range(num_shards)],
+            parallel_shards=parallel_shards,
+        )
+        self.worker_backend = worker_backend
+        self.worker_backend_workers = worker_backend_workers
+        self.max_frame_bytes = max_frame_bytes
+        self.start_method = start_method
+        self.spawn_timeout = spawn_timeout
+        self.on_failure = on_failure
+        #: receives worker-side operational warnings (e.g. a shard
+        #: server's process pool falling back to serial) so they surface
+        #: through the service's stats exactly like in-process fallbacks
+        self.on_warning = on_warning
+        self.shard_failures = 0
+        self._clients: list[ShardWorkerClient | None] = [None] * num_shards
+        self._shard_locks = [threading.RLock() for _ in range(num_shards)]
+        self._registry_lock = threading.Lock()
+        self._templates: dict[str, PhysicalPlan] = {}
+        self._last_snapshot = None
+
+    # -- transport-specific report labels ----------------------------------
+
+    def _shard_backend_name(self, shard: int) -> str:
+        return f"rpc:{self.worker_backend}"
+
+    def _bytes_shipped(self, exec_ctx) -> tuple[int, ...] | None:
+        if isinstance(exec_ctx, _RpcExecution):
+            return tuple(exec_ctx.bytes)
+        return None
+
+    @property
+    def templates_registered(self) -> int:
+        with self._registry_lock:
+            return len(self._templates)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def ensure_workers(self, snapshot) -> None:
+        """Spawn any missing shard server and (re-)prime stale ones.
+
+        A worker is primed only when its resident snapshot token differs
+        from its shard's current token — after a mutation, only the
+        shards the batch actually touched receive a new snapshot.
+        """
+        for shard in range(self.num_shards):
+            with self._shard_locks[shard]:
+                client = self._clients[shard]
+                if client is None:
+                    # First spawn of this shard's server: not a failure.
+                    try:
+                        client = self._start_worker(shard)
+                    except Exception as exc:
+                        self._record_failure(shard, f"spawn failed: {exc!r}")
+                        raise ShardUnavailable(
+                            shard, f"spawn failed: {exc!r}"
+                        ) from exc
+                elif not client.alive():
+                    # The worker died since we last spoke to it: recover
+                    # (which records the failure and re-registers).
+                    client = self._recover(shard, "worker process died")
+                shard_snapshot = snapshot.shards[shard]
+                if client.primed_token != shard_snapshot.token:
+                    self._shard_call(shard, Prime(shard_snapshot))
+                    client.primed_token = shard_snapshot.token
+                    self._forward_warnings(shard, client)
+        self._last_snapshot = snapshot
+
+    def _forward_warnings(self, shard: int, client: ShardWorkerClient) -> None:
+        """Relay a worker's operational warnings (a prime may have
+        demoted its process pool to serial) to ``on_warning`` — once
+        each, mirroring the in-process fallback reporting."""
+        if self.on_warning is None:
+            return
+        try:
+            stats = client.request(Stats())
+        except Exception:
+            return  # the request path will surface real failures
+        for warning in stats.warnings[client.warnings_forwarded:]:
+            try:
+                self.on_warning(f"shard {shard}: {warning}")
+            except Exception:
+                pass
+        client.warnings_forwarded = len(stats.warnings)
+
+    def _start_worker(self, shard: int) -> ShardWorkerClient:
+        """Spawn shard *shard*'s server, handshake, re-register templates."""
+        old = self._clients[shard]
+        self._clients[shard] = None
+        if old is not None:
+            old.close(kill=True)
+        client = ShardWorkerClient(
+            shard=shard,
+            num_nodes=self.num_nodes,
+            num_shards=self.num_shards,
+            backend=self.worker_backend,
+            backend_workers=self.worker_backend_workers,
+            max_frame_bytes=self.max_frame_bytes,
+            start_method=self.start_method,
+            spawn_timeout=self.spawn_timeout,
+        )
+        try:
+            client.start()
+            with self._registry_lock:
+                templates = list(self._templates.items())
+            for key, physical in templates:
+                client.request(RegisterTemplate(key, physical))
+        except Exception:
+            client.close(kill=True)
+            raise
+        self._clients[shard] = client
+        return client
+
+    def worker_stats(self) -> list[StatsReply]:
+        """One :class:`StatsReply` per live shard server."""
+        return [
+            self._shard_call(shard, Stats())
+            for shard in range(self.num_shards)
+        ]
+
+    def invalidate(self, shard: int) -> None:
+        """Drop shard *shard*'s resident snapshot (re-primed lazily)."""
+        with self._shard_locks[shard]:
+            self._shard_call(shard, InvalidateSnapshot())
+            client = self._clients[shard]
+            if client is not None:
+                client.primed_token = None
+
+    def close(self) -> None:
+        for shard in range(self.num_shards):
+            with self._shard_locks[shard]:
+                client = self._clients[shard]
+                self._clients[shard] = None
+            if client is not None:
+                client.close()
+        super().close()
+
+    # -- failure handling ---------------------------------------------------
+
+    def _record_failure(self, shard: int, reason: str) -> None:
+        self.shard_failures += 1
+        if self.on_failure is not None:
+            try:
+                self.on_failure(shard, reason)
+            except Exception:
+                pass
+
+    def _recover(self, shard: int, reason: str) -> ShardWorkerClient:
+        """Respawn a dead worker: restart, re-prime, re-register.
+
+        Records the failure that triggered the recovery; a failed
+        respawn records a second failure and raises
+        :class:`ShardUnavailable`.  Callers hold the shard lock.
+        """
+        self._record_failure(shard, reason)
+        try:
+            client = self._start_worker(shard)
+            if self._last_snapshot is not None:
+                shard_snapshot = self._last_snapshot.shards[shard]
+                client.request(Prime(shard_snapshot))
+                client.primed_token = shard_snapshot.token
+                self._forward_warnings(shard, client)
+            return client
+        except Exception as exc:
+            self._record_failure(shard, f"respawn failed: {exc!r}")
+            self._clients[shard] = None
+            raise ShardUnavailable(shard, f"respawn failed: {exc!r}") from exc
+
+    def _shard_call(self, shard: int, msg, exec_ctx: _RpcExecution | None = None):
+        """One request to one shard, with the one-respawn retry budget.
+
+        A typed :class:`ErrorReply` from a live worker re-raises as-is
+        (the request failed, not the worker).  A transport failure means
+        the worker died: it is respawned — snapshot re-primed, templates
+        re-registered — and the request retried exactly once; any
+        further failure raises :class:`ShardUnavailable`.
+        """
+        on_bytes = (
+            None if exec_ctx is None else (lambda n: exec_ctx.add(shard, n))
+        )
+        with self._shard_locks[shard]:
+            client = self._clients[shard]
+            respawned = False
+            if client is None or not client.alive():
+                client = self._recover(shard, "worker process is not running")
+                respawned = True
+            try:
+                return client.request(msg, on_bytes)
+            except _TRANSPORT_ERRORS as exc:
+                if respawned:
+                    self._record_failure(
+                        shard, f"request failed after respawn: {exc!r}"
+                    )
+                    raise ShardUnavailable(
+                        shard, f"request failed after respawn: {exc!r}"
+                    ) from exc
+                client = self._recover(shard, f"{type(exc).__name__}: {exc}")
+                try:
+                    return client.request(msg, on_bytes)
+                except _TRANSPORT_ERRORS as retry_exc:
+                    self._record_failure(
+                        shard, f"request failed after respawn: {retry_exc!r}"
+                    )
+                    raise ShardUnavailable(
+                        shard, f"request failed after respawn: {retry_exc!r}"
+                    ) from retry_exc
+
+    # -- template registry ---------------------------------------------------
+
+    def register_prepared(self, prepared) -> bool:
+        """Register a template's unbound physical plan with every shard.
+
+        Stamps the prepared plan with its registry key, so every bound
+        copy derived from it (:meth:`~repro.physical.executor
+        .PreparedPlan.bind`) carries the provenance that lets queries
+        cross the wire as constant vectors.  Dead workers are skipped —
+        the respawn path re-registers the whole registry.
+        """
+        key = prepared.template_key
+        if key is None:
+            key = plan_key(prepared.physical)
+            prepared.template_key = key
+        with self._registry_lock:
+            new = key not in self._templates
+            self._templates[key] = prepared.physical
+        self.register(prepared.compiled)
+        if new:
+            for shard in range(self.num_shards):
+                with self._shard_locks[shard]:
+                    client = self._clients[shard]
+                    if client is None or not client.alive():
+                        continue
+                    try:
+                        client.request(RegisterTemplate(key, prepared.physical))
+                    except _TRANSPORT_ERRORS:
+                        pass  # picked up by the respawn path
+        return new
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, compiled, snapshot, exec_ctx=None):
+        """Reject bare compiled plans with a typed error.
+
+        The RPC workers rebuild task specs from a registered *physical*
+        plan, which a :class:`~repro.physical.job_compiler.CompiledPlan`
+        alone does not carry — callers must go through
+        :meth:`execute_prepared` (which sets up the execution context
+        this method requires).
+        """
+        if not isinstance(exec_ctx, _RpcExecution):
+            raise RpcError(
+                "RpcShardRouter cannot execute a bare CompiledPlan: shard "
+                "servers rebuild specs from the registered physical plan; "
+                "use execute_prepared(prepared, snapshot)"
+            )
+        return super().execute(compiled, snapshot, exec_ctx)
+
+    def execute_prepared(self, prepared, snapshot):
+        """Run a prepared plan: bound constant vectors over the wire.
+
+        A plan bound from a registered template ships as its template
+        key plus binding; anything else (raw logical plans through the
+        escape hatches, uncacheable queries) is registered ad hoc as its
+        own template with an empty binding.
+        """
+        self.ensure_workers(snapshot)
+        key = prepared.template_key
+        binding = tuple(prepared.binding)
+        with self._registry_lock:
+            registered = key is not None and key in self._templates
+        if not registered:
+            key = plan_key(prepared.physical)
+            binding = ()
+            with self._registry_lock:
+                self._templates.setdefault(key, prepared.physical)
+        exec_ctx = _RpcExecution(
+            key=key, binding=binding, bytes=[0] * self.num_shards
+        )
+        self._bind_all(exec_ctx)
+        return self.execute(prepared.compiled, snapshot, exec_ctx)
+
+    def _bind_shard(self, shard: int, exec_ctx: _RpcExecution) -> None:
+        msg = BoundSpecs(exec_ctx.key, exec_ctx.binding)
+        try:
+            self._shard_call(shard, msg, exec_ctx)
+        except TemplateNotRegistered:
+            with self._registry_lock:
+                physical = self._templates[exec_ctx.key]
+            self._shard_call(
+                shard, RegisterTemplate(exec_ctx.key, physical), exec_ctx
+            )
+            self._shard_call(shard, msg, exec_ctx)
+
+    def _bind_all(self, exec_ctx: _RpcExecution) -> None:
+        shards = range(self.num_shards)
+        if self.num_shards > 1 and self.parallel_shards:
+            pool = self._dispatch_pool()
+            futures = [
+                pool.submit(self._bind_shard, shard, exec_ctx)
+                for shard in shards
+            ]
+            for future in futures:
+                future.result()
+            return
+        for shard in shards:
+            self._bind_shard(shard, exec_ctx)
+
+    # -- the dispatch hop ----------------------------------------------------
+
+    def _run_shards(self, per_shard, metas, ctxs, phase, level_index, exec_ctx):
+        active = [s for s in range(self.num_shards) if per_shard[s]]
+
+        def call(shard: int) -> list:
+            if phase == "map":
+                # Ship only the shuffled intermediates this shard's map
+                # chains actually read — already sliced to its nodes in
+                # the driver's per-shard HDFS view.
+                names = sorted(
+                    {
+                        name
+                        for inv in per_shard[shard]
+                        for name in inv.spec.hdfs_inputs()
+                    }
+                )
+                hdfs = ctxs[shard].hdfs
+                inputs = {name: hdfs.read(name) for name in names}
+                tasks = tuple(metas[shard])
+            else:
+                inputs = {}
+                tasks = tuple(
+                    (job, partition, inv.args[1])
+                    for (job, partition), inv in zip(
+                        metas[shard], per_shard[shard]
+                    )
+                )
+            reply = self._shard_call(
+                shard,
+                ExecuteLevel(
+                    key=exec_ctx.key,
+                    binding=exec_ctx.binding,
+                    level=level_index,
+                    phase=phase,
+                    tasks=tasks,
+                    inputs=inputs,
+                ),
+                exec_ctx,
+            )
+            if len(reply.results) != len(per_shard[shard]):
+                raise RpcProtocolError(
+                    f"shard {shard} returned {len(reply.results)} results "
+                    f"for {len(per_shard[shard])} tasks"
+                )
+            return reply.results
+
+        if len(active) > 1 and self.parallel_shards:
+            pool = self._dispatch_pool()
+            futures = [(s, pool.submit(call, s)) for s in active]
+            return [(s, f.result()) for s, f in futures]
+        return [(s, call(s)) for s in active]
+
+
+__all__ = [
+    "BoundSpecs",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ErrorReply",
+    "ExecuteLevel",
+    "FrameTooLarge",
+    "Hello",
+    "HelloReply",
+    "InvalidateSnapshot",
+    "MESSAGE_TYPES",
+    "OkReply",
+    "Prime",
+    "RegisterTemplate",
+    "ResultsReply",
+    "RpcError",
+    "RpcProtocolError",
+    "RpcShardRouter",
+    "ShardUnavailable",
+    "ShardWorkerClient",
+    "Shutdown",
+    "Stats",
+    "StatsReply",
+    "TemplateNotRegistered",
+    "WorkerSpawnError",
+    "WorkerStateError",
+    "plan_key",
+    "store_token",
+]

@@ -193,6 +193,19 @@ def _is_infra_error(exc: BaseException) -> bool:
     return False
 
 
+def store_token(store, num_nodes: int = 0) -> object:
+    """The identity token of a context's store snapshot.
+
+    Worker pools — and the RPC shard servers, which hold a resident
+    snapshot the same way — key their warm state on this token: a
+    mutation bumps the store version, the token changes, and whoever
+    holds state derived from the old snapshot knows to rebuild.
+    """
+    if store is None:
+        return ("no-store", num_nodes)
+    return store.token
+
+
 def default_process_workers() -> int:
     """Worker count matched to the CPUs this process may actually use."""
     try:
@@ -255,10 +268,15 @@ class ProcessBackend(ExecutionBackend):
         return multiprocessing.get_context("fork" if "fork" in methods else None)
 
     def _store_token(self, ctx: TaskContext) -> object:
-        snapshot = ctx.store
-        if snapshot is None:
-            return ("no-store", ctx.num_nodes)
-        return snapshot.token
+        return store_token(ctx.store, ctx.num_nodes)
+
+    @property
+    def pool_token(self) -> object:
+        """Snapshot token the live worker pool was built against (None
+        when no pool is up) — observability for the mutation protocol:
+        after a re-prime with a changed snapshot, this token changes."""
+        with self._lock:
+            return self._pool_token if self._pool is not None else None
 
     def _create_pool(self, ctx: TaskContext) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(

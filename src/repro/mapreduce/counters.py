@@ -96,6 +96,13 @@ class ExecutionReport:
     #: number of store shards the execution spanned (0 = unsharded).
     #: Set by the shard router after merging the per-shard reports.
     shards: int = 0
+    #: how shards were reached: "local" (no shards / single store),
+    #: "inproc" (in-process shard backends) or "rpc" (shard server
+    #: processes).  Set by the shard router after merging.
+    transport: str = "local"
+    #: request bytes shipped to each shard server for this execution
+    #: (RPC transport only; None otherwise)
+    shard_bytes: tuple[int, ...] | None = None
 
     @property
     def num_jobs(self) -> int:
@@ -154,4 +161,8 @@ class ExecutionReport:
         if self.backend != other.backend:
             self.backend = f"{self.backend}+{other.backend}"
         self.shards = max(self.shards, other.shards)
+        if self.transport == "local":
+            self.transport = other.transport
+        elif other.transport not in ("local", self.transport):
+            self.transport = f"{self.transport}+{other.transport}"
         return self

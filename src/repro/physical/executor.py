@@ -82,6 +82,16 @@ class PreparedPlan:
     plan: LogicalPlan
     physical: PhysicalPlan
     compiled: CompiledPlan
+    #: registry key of the unbound template this plan was prepared from
+    #: (stamped when the plan is registered with an RPC shard router);
+    #: None for plans with no registered template.
+    template_key: str | None = None
+    #: the ``(placeholder, constant)`` pairs bound into the template to
+    #: produce this plan, in sorted order.  Together with
+    #: ``template_key`` this is the full provenance of a bound plan —
+    #: all an RPC shard worker needs to rebuild it from the registered
+    #: template, so only the constant vector crosses the wire.
+    binding: tuple[tuple[str, str], ...] = ()
 
     def bind(self, subst: dict[str, str]) -> "PreparedPlan":
         """A copy with *subst* applied to every pattern term.
@@ -109,8 +119,17 @@ class PreparedPlan:
             query=bound_query,
         )
         physical = substitute_plan(self.physical, subst)
+        # Binding provenance survives exactly one hop from the unbound
+        # template; re-binding an already-bound plan cannot be expressed
+        # as a single substitution of the original, so it drops the key
+        # (RPC falls back to registering the re-bound plan ad hoc).
+        template_key = self.template_key if not self.binding else None
         return PreparedPlan(
-            plan=plan, physical=physical, compiled=compile_plan(physical)
+            plan=plan,
+            physical=physical,
+            compiled=compile_plan(physical),
+            template_key=template_key,
+            binding=tuple(sorted(subst.items())) if template_key else (),
         )
 
 
@@ -355,6 +374,8 @@ class ExecutionResult:
     #: when a sharded executor (repro.cluster) produced this result
     shard_tasks: tuple[int, ...] | None = None
     shard_rows: tuple[int, ...] | None = None
+    #: request bytes shipped per shard server (RPC transport only)
+    shard_bytes: tuple[int, ...] | None = None
 
     @property
     def response_time(self) -> float:

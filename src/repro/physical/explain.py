@@ -109,6 +109,7 @@ def explain(
     template: str | None = None,
     shard_map: Sequence[int] | None = None,
     shard_triples: Sequence[int] | None = None,
+    transport: str | None = None,
 ) -> str:
     """Full three-layer explanation of a logical plan.
 
@@ -119,7 +120,9 @@ def explain(
     ``template`` is the template-signature digest of a prepared query,
     shown so an EXPLAIN identifies which plan-template cache entry the
     query binds into.  ``shard_map``/``shard_triples`` (set when a
-    sharded store is active) append the per-shard row/task distribution.
+    sharded store is active) append the per-shard row/task distribution;
+    ``transport`` names the shard boundary ("inproc" backends or "rpc"
+    shard server processes) the tasks would cross.
     """
     physical = translate(plan, replicas=replicas)
     compiled = compile_plan(physical)
@@ -127,13 +130,19 @@ def explain(
     if template is not None:
         header += f"; template {template}"
     header += ") =="
+    jobs_header = (
+        f"== MapReduce jobs ({compiled.num_jobs}; signature "
+        f"{compiled.job_signature()}; backend {backend}"
+    )
+    if transport is not None:
+        jobs_header += f"; transport {transport}"
+    jobs_header += ") =="
     parts = [
         header,
         str(plan),
         "== physical plan ==",
         render_physical(physical),
-        f"== MapReduce jobs ({compiled.num_jobs}; signature "
-        f"{compiled.job_signature()}; backend {backend}) ==",
+        jobs_header,
         render_jobs(compiled),
     ]
     if shard_map is not None:

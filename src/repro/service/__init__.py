@@ -11,6 +11,7 @@ changes, and batches of independent queries run concurrently with
 duplicate submissions coalesced.  See :mod:`repro.service.service`.
 """
 
+from repro.cluster.rpc import ShardUnavailable
 from repro.service.cache import (
     LRUCache,
     PlanCache,
@@ -51,6 +52,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceStats",
+    "ShardUnavailable",
     "StatsSnapshot",
     "TemplateCache",
     "TemplateEntry",

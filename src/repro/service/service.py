@@ -215,6 +215,16 @@ class ServiceConfig:
     #: shard count.  With backend="process" every shard gets a worker
     #: pool of its own (backend_workers is split across shards).
     shards: int = 0
+    #: how the shard workers are reached (requires ``shards >= 1``):
+    #: "inproc" calls per-shard execution backends in-process; "rpc"
+    #: runs each shard as a long-lived server process behind
+    #: repro.cluster.rpc — the worker holds its snapshot, registered
+    #: templates and a local backend resident, and per query only bound
+    #: constant vectors, level metadata and exchange rows cross the
+    #: localhost socket.  A crashed worker is respawned (and the failed
+    #: request retried) once; sustained failure raises a typed
+    #: ShardUnavailable, counted in snapshot_stats().shard_failures.
+    shard_transport: str = "inproc"
     #: admission control: maximum concurrently executing submissions.
     #: Beyond it, submit/submit_batch/PreparedQuery.execute raise
     #: ServiceOverloaded instead of queueing.  None = unbounded.
@@ -476,6 +486,9 @@ class PreparedQuery:
                 template=t.digest(),
                 shard_map=store.node_shards if sharded else None,
                 shard_triples=store.triples_per_shard() if sharded else None,
+                transport=self._service.config.shard_transport
+                if sharded
+                else None,
             )
         )
         return "\n".join(lines)
@@ -516,6 +529,16 @@ class QueryService:
     def __init__(self, graph: RDFGraph, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.graph = graph
+        if self.config.shard_transport not in ("inproc", "rpc"):
+            raise ValueError(
+                f"unknown shard_transport {self.config.shard_transport!r}; "
+                "expected 'inproc' or 'rpc'"
+            )
+        if self.config.shard_transport == "rpc" and not self.config.shards:
+            raise ValueError(
+                "shard_transport='rpc' requires shards >= 1 "
+                "(the RPC boundary sits between router and shard workers)"
+            )
         if self.config.shards:
             # Sharded deployment: N shard workers each hold one slice of
             # the §5.1 layout; the global catalog is aggregated from the
@@ -533,6 +556,8 @@ class QueryService:
                     backend=self.config.backend,
                     backend_workers=self.config.backend_workers,
                     on_fallback=self._on_backend_fallback,
+                    transport=self.config.shard_transport,
+                    on_shard_failure=self._on_shard_failure,
                 )
             )
         else:
@@ -578,6 +603,12 @@ class QueryService:
 
     def _on_backend_fallback(self, message: str) -> None:
         self.stats.record_warning(message)
+
+    def _on_shard_failure(self, shard: int, message: str) -> None:
+        """A shard worker died (or failed to respawn) under the RPC
+        transport; surfaced through admission stats and warnings."""
+        self.stats.record_shard_failure()
+        self.stats.record_warning(f"shard {shard} worker failure: {message}")
 
     def close(self) -> None:
         with self._pool_lock:

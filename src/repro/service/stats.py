@@ -102,6 +102,10 @@ class StatsSnapshot:
     #: submissions rejected by admission control (max_inflight reached);
     #: rejected submissions are not counted in ``submitted``
     rejected: int = 0
+    #: shard worker failures observed by the RPC transport (each worker
+    #: death, failed respawn or post-respawn failure counts once; a
+    #: single transparent respawn therefore shows up as 1)
+    shard_failures: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -122,7 +126,8 @@ class StatsSnapshot:
         lines = [
             f"queries: {self.submitted} ({self.errors} errors, "
             f"{self.coalesced} coalesced, {self.rejected} rejected), "
-            f"mutations: {self.mutations} (graph v{self.graph_version})",
+            f"mutations: {self.mutations} (graph v{self.graph_version}), "
+            f"shard failures: {self.shard_failures}",
             f"plan cache:   {self.plan_hits} full hits, "
             f"{self.template_hits} template hits, "
             f"{self.plan_misses} cold submissions "
@@ -164,6 +169,7 @@ class ServiceStats:
     coalesced: int = 0
     mutations: int = 0
     rejected: int = 0
+    shard_failures: int = 0
     warnings: list = field(default_factory=list)
     _optimize: deque = field(default_factory=deque, repr=False)
     _bind: deque = field(default_factory=deque, repr=False)
@@ -224,6 +230,11 @@ class ServiceStats:
         with self._lock:
             self.rejected += count
 
+    def record_shard_failure(self) -> None:
+        """Count one shard worker failure seen by the RPC transport."""
+        with self._lock:
+            self.shard_failures += 1
+
     def record_optimizer_run(self) -> None:
         """Count one actual CliqueSquare optimizer invocation."""
         with self._lock:
@@ -256,6 +267,7 @@ class ServiceStats:
                 coalesced=self.coalesced,
                 mutations=self.mutations,
                 rejected=self.rejected,
+                shard_failures=self.shard_failures,
                 graph_version=graph_version,
                 uptime_s=time.monotonic() - self._started,
                 optimize=LatencySummary.of(list(self._optimize)),

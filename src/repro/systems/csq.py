@@ -41,6 +41,8 @@ class CSQConfig:
     backend_workers: int | None = None
     #: store shards (0 = single store; N >= 1 runs behind repro.cluster)
     shards: int = 0
+    #: shard boundary: "inproc" backends or "rpc" shard server processes
+    shard_transport: str = "inproc"
 
     def service_config(self) -> ServiceConfig:
         return ServiceConfig(
@@ -52,6 +54,7 @@ class CSQConfig:
             backend=self.backend,
             backend_workers=self.backend_workers,
             shards=self.shards,
+            shard_transport=self.shard_transport,
         )
 
 

@@ -1,0 +1,255 @@
+"""The reusable answer-equality conformance harness.
+
+Every execution configuration of this system — execution backend
+(serial / thread / process), deployment (unsharded, sharded in-process,
+sharded over RPC), submission surface (submit, prepare/bind/execute,
+submit_batch) — must produce **bit-identical answers** and **field-wise
+identical execution reports** to the single-store serial reference.
+Earlier PRs each re-proved this ad hoc for the configuration they
+added; this module is the one shared proof, and
+``tests/test_conformance.py`` runs it over the whole matrix on all 14
+LUBM queries.  New backends, transports or surfaces extend the matrix
+here instead of growing new copies of the check.
+
+Also home to the environment probes (``PROCESS_OK``, ``RPC_OK``) other
+test modules share: sandboxed environments without working process
+pools or localhost sockets skip the cells that need them.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mapreduce.counters import ExecutionReport
+from repro.service import QueryOutcome, QueryService, ServiceConfig
+
+
+@functools.lru_cache(maxsize=None)
+def process_pools_work() -> bool:
+    """True when this machine can actually run a process pool.
+
+    Probes with a builtin: pickling a class defined in a still-importing
+    module would deadlock on the import lock (the pool's feeder thread
+    re-imports the half-imported module).
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+@functools.lru_cache(maxsize=None)
+def rpc_workers_work() -> bool:
+    """True when a shard server process can be spawned and spoken to
+    (needs working process spawning *and* localhost sockets)."""
+    try:
+        from repro.cluster.rpc import ShardWorkerClient, Stats, StatsReply
+
+        client = ShardWorkerClient(
+            shard=0, num_nodes=2, num_shards=1, spawn_timeout=30
+        )
+        try:
+            client.start()
+            return isinstance(client.request(Stats()), StatsReply)
+        finally:
+            client.close()
+    except Exception:
+        return False
+
+
+def __getattr__(name: str):
+    """Lazy probe attributes: importing this module stays free; the
+    process/RPC probes run only when a suite actually asks for them
+    (test_backends pays for PROCESS_OK, test_rpc for RPC_OK — never
+    both unless both are needed)."""
+    if name == "PROCESS_OK":
+        return process_pools_work()
+    if name == "RPC_OK":
+        return rpc_workers_work()
+    if name == "needs_process":
+        return pytest.mark.skipif(
+            not process_pools_work(),
+            reason="process pools unavailable in this environment",
+        )
+    if name == "needs_rpc":
+        return pytest.mark.skipif(
+            not rpc_workers_work(),
+            reason="RPC shard workers unavailable in this environment",
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# -- the conformance matrix ----------------------------------------------------
+
+#: deployment id -> ServiceConfig fields
+DEPLOYMENTS: dict[str, dict] = {
+    "unsharded": {"shards": 0},
+    "shards1-inproc": {"shards": 1, "shard_transport": "inproc"},
+    "shards4-inproc": {"shards": 4, "shard_transport": "inproc"},
+    "shards1-rpc": {"shards": 1, "shard_transport": "rpc"},
+    "shards4-rpc": {"shards": 4, "shard_transport": "rpc"},
+}
+
+BACKENDS = ("serial", "thread", "process")
+
+SURFACES = ("submit", "prepare", "batch")
+
+
+def skip_unless_supported(deployment: str, backend: str) -> None:
+    """Skip a matrix cell whose environment requirements are unmet."""
+    if backend == "process" and not process_pools_work():
+        pytest.skip("process pools unavailable in this environment")
+    if (
+        DEPLOYMENTS[deployment].get("shard_transport") == "rpc"
+        and not rpc_workers_work()
+    ):
+        pytest.skip("RPC shard workers unavailable in this environment")
+
+
+def make_service(graph, backend: str, deployment: str, **overrides) -> QueryService:
+    """A service for one matrix cell.
+
+    The result cache is disabled so every surface truly executes (a
+    cached answer would make cross-surface equality vacuous); plan and
+    template caches stay on — binding reuse across surfaces is exactly
+    the path being verified.
+    """
+    config = ServiceConfig(
+        result_cache_size=0,
+        backend=backend,
+        backend_workers=2,
+        **DEPLOYMENTS[deployment],
+        **overrides,
+    )
+    return QueryService(graph, config)
+
+
+# -- expected answers ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expected:
+    """Reference answer + report of one query on the serial single store."""
+
+    name: str
+    attrs: tuple[str, ...]
+    rows: frozenset
+    num_jobs: int
+    job_signature: str
+    levels: tuple[tuple[str, ...], ...]
+    response_time: float
+    total_work: float
+    #: per job (name, map_time, reduce_time, overhead, map_only,
+    #: tuples_shuffled, output_tuples, total_work), in report order
+    jobs: tuple[tuple, ...]
+
+
+def _report_fields(report: ExecutionReport) -> tuple:
+    return (
+        report.num_jobs,
+        report.job_signature(),
+        tuple(tuple(level) for level in report.levels),
+        report.response_time,
+        report.total_work,
+        tuple(
+            (
+                j.name,
+                j.map_time,
+                j.reduce_time,
+                j.overhead,
+                j.map_only,
+                j.tuples_shuffled,
+                j.output_tuples,
+                j.total_work,
+            )
+            for j in report.jobs
+        ),
+    )
+
+
+def expected_of(name: str, outcome: QueryOutcome) -> Expected:
+    num_jobs, signature, levels, rt, work, jobs = _report_fields(outcome.report)
+    return Expected(
+        name=name,
+        attrs=outcome.attrs,
+        rows=frozenset(outcome.rows),
+        num_jobs=num_jobs,
+        job_signature=signature,
+        levels=levels,
+        response_time=rt,
+        total_work=work,
+        jobs=jobs,
+    )
+
+
+def reference_answers(service: QueryService, queries) -> dict[str, Expected]:
+    """Run *queries* on the reference service; key expectations by name."""
+    return {q.name: expected_of(q.name, service.submit(q)) for q in queries}
+
+
+def run_surface(service: QueryService, queries, surface: str):
+    """Submit *queries* through one of the service's three surfaces."""
+    if surface == "submit":
+        return [service.submit(q) for q in queries]
+    if surface == "prepare":
+        outcomes = []
+        for q in queries:
+            prepared = service.prepare(q)
+            outcomes.append(prepared.bind().execute())
+        return outcomes
+    if surface == "batch":
+        return service.submit_batch(list(queries))
+    raise ValueError(f"unknown surface {surface!r}")
+
+
+def assert_conforms(expected: Expected, outcome: QueryOutcome, where: str) -> None:
+    """Answer equality plus field-wise ExecutionReport consistency.
+
+    Transport/backend labels (``report.backend``, ``report.shards``,
+    ``report.transport``, ``report.shard_bytes``) are the *only* report
+    fields allowed to differ across the matrix — they describe how the
+    work ran, everything else describes the work itself and must match
+    the reference exactly.
+    """
+    assert outcome.attrs == expected.attrs, where
+    assert frozenset(outcome.rows) == expected.rows, where
+    num_jobs, signature, levels, rt, work, jobs = _report_fields(outcome.report)
+    assert num_jobs == expected.num_jobs, where
+    assert signature == expected.job_signature, where
+    assert outcome.job_signature == expected.job_signature, where
+    assert levels == expected.levels, where
+    assert rt == pytest.approx(expected.response_time), where
+    assert work == pytest.approx(expected.total_work), where
+    assert len(jobs) == len(expected.jobs), where
+    for mine, theirs in zip(jobs, expected.jobs):
+        assert mine[0] == theirs[0], where  # job name
+        assert mine[1] == pytest.approx(theirs[1]), where  # map_time
+        assert mine[2] == pytest.approx(theirs[2]), where  # reduce_time
+        assert mine[3] == pytest.approx(theirs[3]), where  # overhead
+        assert mine[4] == theirs[4], where  # map_only
+        assert mine[5] == theirs[5], where  # tuples_shuffled
+        assert mine[6] == theirs[6], where  # output_tuples
+        assert mine[7] == pytest.approx(theirs[7]), where  # total_work
+
+
+def assert_surface_conforms(
+    service: QueryService,
+    queries,
+    reference: dict[str, Expected],
+    surface: str,
+    where: str = "",
+) -> None:
+    """Run one surface over *queries* and check every outcome."""
+    outcomes = run_surface(service, queries, surface)
+    assert len(outcomes) == len(queries), (where, surface)
+    for query, outcome in zip(queries, outcomes):
+        assert not isinstance(outcome, BaseException), (where, surface, outcome)
+        assert_conforms(
+            reference[query.name], outcome, f"{where}/{surface}/{query.name}"
+        )

@@ -1,5 +1,11 @@
 """Execution backends: spec picklability, cross-backend equivalence,
-fallback behaviour, report merging, and ordering stability."""
+fallback behaviour, report merging, and ordering stability.
+
+Service-level answer equality across the full {backend} x {deployment}
+x {surface} matrix lives in ``tests/test_conformance.py`` (the shared
+conformance harness); this module keeps the executor-level and
+plumbing-level checks.
+"""
 
 from __future__ import annotations
 
@@ -36,23 +42,8 @@ from repro.physical.executor import (
 )
 from repro.relational.relation import Relation
 from repro.sparql.parser import parse_query
+from tests.conformance import PROCESS_OK, needs_process
 from tests.conftest import make_university_graph
-
-
-def _process_pools_work() -> bool:
-    """True when this machine can actually run a process pool.
-
-    Probes with a builtin: this runs at import time, and pickling a
-    class defined in this module would deadlock on the import lock (the
-    pool's feeder thread re-imports the half-imported module).
-    """
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=1) as pool:
-            return pool.submit(abs, -1).result(timeout=60) == 1
-    except Exception:
-        return False
 
 
 class _SquareSpec:
@@ -63,12 +54,6 @@ class _SquareSpec:
 
     def run(self, ctx, x):
         return x * x
-
-
-PROCESS_OK = _process_pools_work()
-needs_process = pytest.mark.skipif(
-    not PROCESS_OK, reason="process pools unavailable in this environment"
-)
 
 
 @pytest.fixture(scope="module")
@@ -282,67 +267,6 @@ class _BoomSpec:
         raise KeyError("task bug")
 
 
-class TestLUBMEquivalence:
-    """Acceptance: process == serial on the whole LUBM tier-1 workload."""
-
-    @pytest.fixture(scope="class")
-    def lubm_store(self):
-        from repro.workloads import lubm
-
-        graph = lubm.generate(lubm.LUBMConfig(universities=4))
-        return graph, partition_graph(graph, 7)
-
-    @needs_process
-    def test_process_matches_serial_on_all_lubm_queries(self, lubm_store):
-        from repro.workloads import lubm_queries
-
-        _, store = lubm_store
-        serial = PlanExecutor(store)
-        process = PlanExecutor(store, backend=ProcessBackend(2, fallback=False))
-        try:
-            for name in [f"Q{i}" for i in range(1, 15)]:
-                query = lubm_queries.query(name)
-                plan = cliquesquare(query, MSC, timeout_s=30).plans[0]
-                prepared = serial.prepare(plan)
-                reference = serial.execute_prepared(prepared)
-                result = process.execute_prepared(prepared)
-                assert result.rows == reference.rows, name
-                assert result.attrs == reference.attrs, name
-                assert sorted(result.rows) == sorted(reference.rows), name
-                assert result.report.response_time == pytest.approx(
-                    reference.report.response_time
-                ), name
-        finally:
-            process.close()
-
-    @needs_process
-    def test_submit_batch_process_matches_serial(self, lubm_store):
-        """8-query batch through the service: identical answers whichever
-        backend executes the tasks (including coalesced duplicates)."""
-        from repro.service.service import QueryService, ServiceConfig
-        from repro.workloads import lubm_queries
-
-        graph, _ = lubm_store
-        names = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q1", "Q3", "Q8"]
-        batch = [lubm_queries.query(n) for n in names]
-
-        def run(backend):
-            config = ServiceConfig(
-                result_cache_size=0, backend=backend, backend_workers=2
-            )
-            with QueryService(graph, config) as service:
-                outcomes = service.submit_batch(batch)
-                assert not service.snapshot_stats().warnings
-                return outcomes
-
-        serial_outcomes = run("serial")
-        process_outcomes = run("process")
-        for name, a, b in zip(names, serial_outcomes, process_outcomes):
-            assert a.attrs == b.attrs, name
-            assert a.rows == b.rows, name
-            assert a.job_signature == b.job_signature, name
-
-
 class TestGuardsAndFallback:
     def test_thread_backend_rejects_zero_workers(self):
         with pytest.raises(ValueError):
@@ -411,6 +335,27 @@ class TestGuardsAndFallback:
         assert [direct for _, direct, _ in results] == [[(1,)], [(2,)]]
         assert messages
         backend.close()
+
+    @needs_process
+    def test_pool_token_tracks_snapshot(self):
+        """The observable half of snapshot-token revalidation: the pool
+        token follows the snapshot the pool was primed against (the RPC
+        shard servers expose the same token through worker Stats)."""
+        graph = make_university_graph()
+        store = partition_graph(graph, 4)
+        backend = ProcessBackend(1, fallback=False)
+        try:
+            assert backend.pool_token is None
+            backend.prime(TaskContext(num_nodes=4, store=store.snapshot()))
+            first = backend.pool_token
+            assert first == store.snapshot().token
+            store.add(("<tok-s>", "<tok-p>", "<tok-o>"))
+            backend.prime(TaskContext(num_nodes=4, store=store.snapshot()))
+            assert backend.pool_token == store.snapshot().token
+            assert backend.pool_token != first
+        finally:
+            backend.close()
+        assert backend.pool_token is None
 
     def test_service_fallback_records_warning(self, monkeypatch):
         from repro.service.service import QueryService, ServiceConfig

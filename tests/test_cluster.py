@@ -3,11 +3,14 @@
 Covers: layout equivalence between the sharded and single stores,
 shard-local snapshot-token invalidation, per-shard catalog statistics
 aggregating to the exact global catalog, incremental catalog maintenance
-under ``add_triples`` (delta == recompute), answer equality of sharded
-vs. unsharded execution (direct and through the service, all 14 LUBM
-queries, serial and process backends, via submit / prepare-bind-execute
-/ submit_batch), admission control, `ExecutionReport.merge` edge cases,
-and the per-shard explain output.
+under ``add_triples`` (delta == recompute), executor-level answer and
+report equality of sharded vs. unsharded execution, admission control,
+`ExecutionReport.merge` edge cases, and the per-shard explain output.
+
+Service-level answer equality over the full LUBM workload across
+{backend} x {shards} x {transport} x {surface} lives in
+``tests/test_conformance.py`` (the shared conformance harness); the RPC
+transport's own protocol/fault tests live in ``tests/test_rpc.py``.
 """
 
 from __future__ import annotations
@@ -36,9 +39,9 @@ from repro.service import (
     ServiceOverloaded,
 )
 from repro.sparql.parser import parse_query
-from repro.workloads import lubm, lubm_queries
+from repro.workloads import lubm
+from tests.conformance import needs_process
 from tests.conftest import make_university_graph
-from tests.test_backends import PROCESS_OK, needs_process
 
 NUM_NODES = 7
 
@@ -283,84 +286,6 @@ class TestShardedExecution:
             assert sum(result.shard_rows) == sum(
                 j.output_tuples for j in result.report.jobs
             )
-
-    def test_all_lubm_queries_shards_1_vs_4(self, lubm_graph):
-        reference = QueryService(lubm_graph)
-        services = {
-            shards: QueryService(lubm_graph, ServiceConfig(shards=shards))
-            for shards in (1, 4)
-        }
-        try:
-            for query in lubm_queries.all_queries():
-                expected = reference.submit(query)
-                for shards, service in services.items():
-                    got = service.submit(query)
-                    assert got.rows == expected.rows, (query.name, shards)
-                    assert got.report.response_time == pytest.approx(
-                        expected.report.response_time
-                    ), (query.name, shards)
-        finally:
-            reference.close()
-            for service in services.values():
-                service.close()
-
-    def test_prepare_bind_execute_through_shards(self, lubm_graph):
-        reference = QueryService(lubm_graph)
-        sharded = QueryService(lubm_graph, ServiceConfig(shards=4))
-        try:
-            for name in ("Q1", "Q2", "Q4", "Q9"):
-                query = lubm_queries.query(name)
-                expected = reference.submit(query)
-                prepared = sharded.prepare(query)
-                assert prepared.execute().rows == expected.rows, name
-        finally:
-            reference.close()
-            sharded.close()
-
-    def test_submit_batch_through_shards(self, lubm_graph):
-        queries = [lubm_queries.query(f"Q{i}") for i in (1, 2, 3, 4, 1, 2)]
-        reference = QueryService(lubm_graph)
-        sharded = QueryService(lubm_graph, ServiceConfig(shards=4))
-        try:
-            expected = [reference.submit(q).rows for q in queries]
-            outcomes = sharded.submit_batch(queries)
-            assert [o.rows for o in outcomes] == expected
-        finally:
-            reference.close()
-            sharded.close()
-
-    @needs_process
-    def test_all_lubm_queries_process_backend(self, lubm_graph):
-        """The acceptance matrix: all 14 LUBM queries, shards=1 vs
-        shards=4, on the process backend, via submit_batch and
-        prepare/bind/execute."""
-        queries = lubm_queries.all_queries()
-        reference = QueryService(lubm_graph)
-        try:
-            expected = [reference.submit(q).rows for q in queries]
-        finally:
-            reference.close()
-        for shards in (1, 4):
-            service = QueryService(
-                lubm_graph,
-                ServiceConfig(
-                    shards=shards, backend="process", backend_workers=2
-                ),
-            )
-            try:
-                outcomes = service.submit_batch(queries)
-                assert [o.rows for o in outcomes] == expected, shards
-                for i in (0, 8):  # spot-check the prepared surface too
-                    prepared = service.prepare(queries[i])
-                    assert prepared.execute().rows == expected[i], (
-                        shards,
-                        queries[i].name,
-                    )
-                assert not service.snapshot_stats().warnings, (
-                    "process pools fell back to serial mid-test"
-                )
-            finally:
-                service.close()
 
     @needs_process
     def test_process_backend_shards_match_serial(self, university):

@@ -1,0 +1,85 @@
+"""The conformance matrix: {serial, thread, process} x {unsharded,
+shards=1, shards=4} x {inproc, rpc} x {submit, prepare/bind/execute,
+submit_batch} on all 14 LUBM queries.
+
+Every cell must reproduce the single-store serial reference bit for
+bit: identical answers and field-wise identical execution reports (see
+``tests/conformance.py``).  This suite replaces the per-PR copies of
+the answer-equality check that previously lived in ``test_backends.py``
+and ``test_cluster.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import lubm, lubm_queries
+from tests.conformance import (
+    BACKENDS,
+    DEPLOYMENTS,
+    SURFACES,
+    assert_surface_conforms,
+    make_service,
+    reference_answers,
+    skip_unless_supported,
+)
+
+UNIVERSITIES = 4
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return lubm_queries.all_queries()
+
+
+@pytest.fixture(scope="module")
+def reference(graph, queries):
+    with make_service(graph, "serial", "unsharded") as service:
+        return reference_answers(service, queries)
+
+
+def test_reference_is_not_vacuous(reference):
+    """Answer equality only means something if answers exist."""
+    assert len(reference) == 14
+    assert all(expected.rows for expected in reference.values())
+    assert any(expected.num_jobs > 1 for expected in reference.values())
+    assert any(expected.job_signature == "M" for expected in reference.values())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("deployment", sorted(DEPLOYMENTS))
+def test_conformance_matrix(graph, queries, reference, deployment, backend):
+    """One service per (deployment, backend) cell; all three submission
+    surfaces run the full workload against the shared reference."""
+    skip_unless_supported(deployment, backend)
+    service = make_service(graph, backend, deployment)
+    try:
+        for surface in SURFACES:
+            assert_surface_conforms(
+                service, queries, reference, surface,
+                where=f"{deployment}/{backend}",
+            )
+        assert not service.snapshot_stats().warnings, (
+            "a backend silently degraded mid-matrix"
+        )
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("surface", SURFACES)
+def test_duplicate_heavy_batch_conforms(graph, queries, reference, surface):
+    """A batch with duplicate and template-sharing members (the
+    coalescing paths) still conforms on every surface."""
+    mix = [queries[0], queries[1], queries[0], queries[3], queries[1]]
+    service = make_service(graph, "serial", "shards4-inproc")
+    try:
+        assert_surface_conforms(
+            service, mix, reference, surface, where="dup-mix"
+        )
+    finally:
+        service.close()

@@ -1,0 +1,590 @@
+"""RPC shard workers (repro.cluster.rpc).
+
+Covers: protocol frame round-trips and typed error paths (oversized
+frames, unknown messages, unregistered templates, missing snapshots),
+worker lifecycle idempotency (Stats/Shutdown), fault injection (a
+killed worker respawns transparently exactly once; sustained failure
+raises typed ShardUnavailable and counts in snapshot_stats), mutation
+over the RPC transport (only touched shards re-primed, token change
+observed worker-side, delta catalog == recompute), and the transport
+surface (config validation, explain, per-shard bytes-shipped).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cluster import ShardedPlanExecutor, shard_graph
+from repro.cluster.rpc import (
+    BoundSpecs,
+    ErrorReply,
+    ExecuteLevel,
+    FrameTooLarge,
+    Hello,
+    HelloReply,
+    InvalidateSnapshot,
+    OkReply,
+    Prime,
+    RegisterTemplate,
+    ResultsReply,
+    RpcError,
+    RpcProtocolError,
+    RpcShardRouter,
+    ShardUnavailable,
+    ShardWorkerClient,
+    Shutdown,
+    Stats,
+    StatsReply,
+    TemplateNotRegistered,
+    WorkerStateError,
+    plan_key,
+)
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.cost.cardinality import CatalogStatistics
+from repro.mapreduce.hdfs import DistributedRelation
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.physical.executor import PlanExecutor
+from repro.service import QueryService, ServiceConfig
+from repro.sparql.parser import parse_query
+from tests.conformance import needs_rpc
+from tests.conftest import make_university_graph
+
+NUM_NODES = 7
+
+STAR_QUERY = (
+    "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+    "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }"
+)
+
+TEMPLATE_A = (
+    "SELECT ?p WHERE { ?p ub:worksFor <dept0> . "
+    "?p rdf:type ub:FullProfessor }"
+)
+TEMPLATE_B = (
+    "SELECT ?p WHERE { ?p ub:worksFor <dept1> . "
+    "?p rdf:type ub:FullProfessor }"
+)
+
+
+@pytest.fixture(scope="module")
+def university():
+    return make_university_graph()
+
+
+@pytest.fixture(scope="module")
+def prepared_star(university):
+    store = partition_graph(university, NUM_NODES)
+    executor = PlanExecutor(store)
+    query = parse_query(STAR_QUERY)
+    plan = cliquesquare(query, MSC).plans[0]
+    return executor.prepare(plan)
+
+
+def rpc_service(graph, **overrides) -> QueryService:
+    config = ServiceConfig(
+        shards=overrides.pop("shards", 2),
+        shard_transport="rpc",
+        result_cache_size=0,
+        **overrides,
+    )
+    return QueryService(graph, config)
+
+
+class _JunkMessage:
+    """A picklable object no worker dispatch clause recognizes."""
+
+    def __eq__(self, other):
+        return isinstance(other, _JunkMessage)
+
+
+# -- protocol frames -----------------------------------------------------------
+
+
+class TestProtocolFrames:
+    def sample_frames(self, university, prepared_star):
+        snapshot = partition_graph(university, NUM_NODES).snapshot()
+        relation = DistributedRelation(
+            attrs=("?a",), partitions=[[("x",)], [], [("y",)]]
+        )
+        return [
+            Hello(),
+            HelloReply(
+                shard=1, num_nodes=7, num_shards=2, pid=123,
+                snapshot_token=snapshot.token,
+            ),
+            Prime(snapshot=snapshot),
+            InvalidateSnapshot(),
+            RegisterTemplate(key="k1", physical=prepared_star.physical),
+            BoundSpecs(key="k1", binding=(("$uni", "<univ0>"),)),
+            ExecuteLevel(
+                key="k1",
+                binding=(),
+                level=0,
+                phase="map",
+                tasks=(("job-rj1", 0, 3), ("job-rj1", 1, 3)),
+                inputs={"rj0": relation},
+            ),
+            ExecuteLevel(
+                key="k1",
+                binding=(),
+                level=1,
+                phase="reduce",
+                tasks=(("job-rj1", 4, {0: [("x",)], 1: [("y",)]}),),
+            ),
+            Stats(),
+            StatsReply(
+                shard=0, pid=9, snapshot_token=None, templates=2,
+                bound_instances=3, tasks_run=17, levels_run=4, primes=1,
+                bytes_received=1024, backend="serial", warnings=("w",),
+            ),
+            Shutdown(),
+            OkReply(value=("k1", ())),
+            ResultsReply(results=[([], [("r",)], None)]),
+        ]
+
+    def test_every_frame_pickles_to_equality(self, university, prepared_star):
+        frames = self.sample_frames(university, prepared_star)
+        for frame in frames:
+            clone = pickle.loads(pickle.dumps(frame))
+            assert type(clone) is type(frame)
+            if isinstance(frame, (Prime, RegisterTemplate)):
+                # Snapshots/plans compare field-wise through their own
+                # dataclass equality; spot-check the heavy payloads.
+                assert pickle.dumps(clone) == pickle.dumps(frame)
+            else:
+                assert clone == frame, type(frame).__name__
+
+    def test_error_reply_round_trips_typed(self):
+        reply = ErrorReply(
+            error=TemplateNotRegistered("shard 0 holds no template 'k'"),
+            kind="TemplateNotRegistered",
+        )
+        clone = pickle.loads(pickle.dumps(reply))
+        assert isinstance(clone.error, TemplateNotRegistered)
+        assert clone.kind == "TemplateNotRegistered"
+        assert str(clone.error) == str(reply.error)
+
+    def test_plan_key_is_deterministic_per_plan(self, prepared_star):
+        assert plan_key(prepared_star.physical) == plan_key(
+            prepared_star.physical
+        )
+        clone = pickle.loads(pickle.dumps(prepared_star.physical))
+        assert plan_key(clone) == plan_key(prepared_star.physical)
+
+    def test_shard_unavailable_survives_pickling(self):
+        error = ShardUnavailable(3, "boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, ShardUnavailable)
+        assert clone.shard == 3
+        assert str(clone) == str(error)
+
+
+class TestWorkerState:
+    """In-process checks of the shard server's resident state."""
+
+    def test_bound_plan_cache_is_lru_bounded(self, prepared_star, monkeypatch):
+        from repro.cluster import rpc as rpc_mod
+
+        monkeypatch.setattr(rpc_mod, "MAX_BOUND_PLANS", 2)
+        state = rpc_mod._WorkerState(0, NUM_NODES, 1, "serial", None)
+        try:
+            state.register("k", prepared_star.physical)
+            bind = lambda i: ((f"<nope{i}>", f"<x{i}>"),)
+            b0 = state.bound_for("k", bind(0))
+            state.bound_for("k", bind(1))
+            # Touching b0 makes binding 1 the eviction candidate.
+            assert state.bound_for("k", bind(0)) is b0
+            state.bound_for("k", bind(2))
+            assert len(state.bound) == 2
+            assert ("k", bind(1)) not in state.bound
+            assert ("k", bind(0)) in state.bound
+            # An evicted binding rebinds on demand from the template.
+            assert state.bound_for("k", bind(1)).compiled.num_jobs >= 1
+        finally:
+            state.close()
+
+    def test_bare_execute_raises_typed_error(self, university, prepared_star):
+        router = RpcShardRouter(num_nodes=NUM_NODES, num_shards=2)
+        try:
+            snapshot = shard_graph(university, NUM_NODES, 2).snapshot()
+            with pytest.raises(RpcError, match="execute_prepared"):
+                router.execute(prepared_star.compiled, snapshot)
+        finally:
+            router.close()
+
+
+# -- worker lifecycle ----------------------------------------------------------
+
+
+@needs_rpc
+class TestWorkerLifecycle:
+    @pytest.fixture()
+    def client(self, university):
+        client = ShardWorkerClient(shard=0, num_nodes=NUM_NODES, num_shards=1)
+        hello = client.start()
+        assert isinstance(hello, HelloReply)
+        yield client
+        client.close()
+
+    def test_hello_reports_topology(self, client):
+        hello = client.request(Hello())
+        assert hello.shard == 0
+        assert hello.num_nodes == NUM_NODES
+        assert hello.num_shards == 1
+        assert hello.snapshot_token is None
+        assert hello.pid != 0
+
+    def test_stats_is_idempotent(self, client, university, prepared_star):
+        client.request(RegisterTemplate("k", prepared_star.physical))
+        client.request(BoundSpecs("k", ()))
+        first = client.request(Stats())
+        second = client.request(Stats())
+        assert isinstance(first, StatsReply)
+        assert (first.templates, first.bound_instances, first.tasks_run,
+                first.primes, first.snapshot_token) == (
+            second.templates, second.bound_instances, second.tasks_run,
+            second.primes, second.snapshot_token,
+        )
+        assert first.templates == 1
+        assert first.bound_instances == 1
+
+    def test_shutdown_and_close_are_idempotent(self, university):
+        client = ShardWorkerClient(shard=0, num_nodes=3, num_shards=1)
+        client.start()
+        process = client.process
+        client.close()
+        assert not process.is_alive()
+        client.close()  # second close is a no-op
+        with pytest.raises(ConnectionError):
+            client.request(Stats())
+
+    def test_unknown_message_type_is_typed(self, client):
+        with pytest.raises(RpcProtocolError, match="unknown message type"):
+            client.request(_JunkMessage())
+        # The worker survives a protocol error and keeps serving.
+        assert isinstance(client.request(Stats()), StatsReply)
+
+    def test_oversized_request_rejected_driver_side(self, university):
+        client = ShardWorkerClient(
+            shard=0, num_nodes=NUM_NODES, num_shards=1, max_frame_bytes=2048
+        )
+        client.start()
+        try:
+            snapshot = partition_graph(university, NUM_NODES).snapshot()
+            with pytest.raises(FrameTooLarge, match="exceeds"):
+                client.request(Prime(snapshot))
+            # Nothing was sent; the worker still serves.
+            assert isinstance(client.request(Stats()), StatsReply)
+        finally:
+            client.close()
+
+    def test_oversized_frame_rejected_worker_side(self, university):
+        """A frame that slips past the driver cap still fails typed at
+        the worker's recv (which then stops serving that connection)."""
+        client = ShardWorkerClient(
+            shard=0, num_nodes=NUM_NODES, num_shards=1, max_frame_bytes=4096
+        )
+        client.start()
+        try:
+            payload = pickle.dumps(Prime(
+                partition_graph(university, NUM_NODES).snapshot()
+            ))
+            assert len(payload) > 4096
+            client.conn.send_bytes(payload)
+            reply = pickle.loads(client.conn.recv_bytes())
+            assert isinstance(reply, ErrorReply)
+            assert isinstance(reply.error, FrameTooLarge)
+        finally:
+            client.close(kill=True)
+
+    def test_unregistered_template_is_typed(self, client):
+        with pytest.raises(TemplateNotRegistered):
+            client.request(BoundSpecs("no-such-key", ()))
+        with pytest.raises(TemplateNotRegistered):
+            client.request(
+                ExecuteLevel(
+                    key="no-such-key", binding=(), level=0, phase="map",
+                    tasks=(),
+                )
+            )
+
+    def test_bad_phase_is_typed(self, client, prepared_star):
+        client.request(RegisterTemplate("k", prepared_star.physical))
+        with pytest.raises(RpcProtocolError, match="phase"):
+            client.request(
+                ExecuteLevel(
+                    key="k", binding=(), level=0, phase="sideways", tasks=()
+                )
+            )
+
+    def test_map_without_snapshot_is_typed(self, client, prepared_star):
+        client.request(RegisterTemplate("k", prepared_star.physical))
+        with pytest.raises(WorkerStateError, match="no snapshot"):
+            client.request(
+                ExecuteLevel(
+                    key="k", binding=(), level=0, phase="map",
+                    tasks=(("job-rj1", 0, 0),),
+                )
+            )
+
+    def test_invalidate_snapshot_is_idempotent(self, client, university):
+        snapshot = partition_graph(university, NUM_NODES).snapshot()
+        assert client.request(Prime(snapshot)) == OkReply(snapshot.token)
+        assert client.request(Stats()).snapshot_token == snapshot.token
+        client.request(InvalidateSnapshot())
+        client.request(InvalidateSnapshot())
+        assert client.request(Stats()).snapshot_token is None
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+@needs_rpc
+class TestFaultInjection:
+    def test_killed_worker_respawns_transparently_once(self, university):
+        service = rpc_service(make_university_graph())
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            router = service.executor.router
+            assert isinstance(router, RpcShardRouter)
+            victim = router._clients[0]
+            old_pid = victim.process.pid
+            victim.process.kill()
+            victim.process.join(timeout=10)
+            # The next query hits the dead worker mid-execution; the
+            # router respawns it and retries the request transparently.
+            outcome = service.submit(STAR_QUERY)
+            assert outcome.rows == expected
+            assert router._clients[0].process.pid != old_pid
+            snapshot = service.snapshot_stats()
+            assert snapshot.shard_failures == 1
+            assert any("shard 0" in w for w in snapshot.warnings)
+            assert "shard failures: 1" in snapshot.format()
+        finally:
+            service.close()
+
+    def test_double_failure_raises_shard_unavailable(self, university):
+        service = rpc_service(make_university_graph())
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            router = service.executor.router
+            original = router._start_worker
+            router._start_worker = _respawn_bomb
+            try:
+                router._clients[1].process.kill()
+                router._clients[1].process.join(timeout=10)
+                with pytest.raises(ShardUnavailable, match="shard 1"):
+                    service.submit(STAR_QUERY)
+            finally:
+                router._start_worker = original
+            assert service.snapshot_stats().shard_failures >= 2
+            # Not deadlocked: once spawning works again the shard
+            # recovers and the service serves correct answers.
+            assert service.submit(STAR_QUERY).rows == expected
+        finally:
+            service.close()
+
+    def test_spawn_failure_at_init_is_typed(self, university, monkeypatch):
+        monkeypatch.setattr(
+            ShardWorkerClient, "start", _start_bomb
+        )
+        with pytest.raises(ShardUnavailable):
+            rpc_service(make_university_graph())
+
+
+def _respawn_bomb(shard):
+    raise OSError("no processes left")
+
+
+def _start_bomb(self):
+    raise OSError("fork denied")
+
+
+# -- mutation over RPC ---------------------------------------------------------
+
+
+@needs_rpc
+class TestMutationUnderRpc:
+    def test_mutation_reprimes_only_touched_shards(self):
+        service = rpc_service(make_university_graph(), shards=4)
+        try:
+            service.submit(STAR_QUERY)
+            router = service.executor.router
+            before = {s.shard: s for s in router.worker_stats()}
+            triple = ("<mut-subj>", "<mut-prop>", "<mut-obj>")
+            touched = {
+                service.store.shard_of_value(value) for value in triple
+            }
+            assert touched and touched != set(range(4)), (
+                "pick a triple that leaves at least one shard untouched"
+            )
+            service.add_triples([triple])
+            after = {s.shard: s for s in router.worker_stats()}
+            for shard in range(4):
+                if shard in touched:
+                    # Token change observed worker-side, exactly one
+                    # additional Prime delivered.
+                    assert (
+                        after[shard].snapshot_token
+                        != before[shard].snapshot_token
+                    ), shard
+                    assert after[shard].primes == before[shard].primes + 1
+                else:
+                    assert (
+                        after[shard].snapshot_token
+                        == before[shard].snapshot_token
+                    ), shard
+                    assert after[shard].primes == before[shard].primes
+        finally:
+            service.close()
+
+    def test_queries_see_new_triples_and_catalog_stays_exact(self):
+        service = rpc_service(make_university_graph(), shards=3)
+        reference = QueryService(make_university_graph())
+        try:
+            before = service.submit(STAR_QUERY)
+            new_triples = [
+                ("<pNew>", "ub:worksFor", "<dept0>"),
+                ("<pNew>", "rdf:type", "ub:FullProfessor"),
+                ("<sNew>", "ub:memberOf", "<dept0>"),
+                ("<sNew>", "rdf:type", "ub:Student"),
+            ]
+            service.add_triples(new_triples)
+            reference.add_triples(new_triples)
+            after = service.submit(STAR_QUERY)
+            assert len(after.rows) > len(before.rows)
+            assert after.rows == reference.submit(STAR_QUERY).rows
+            # Incremental delta catalog == full recompute, over RPC too.
+            assert service.catalog == CatalogStatistics.from_graph(
+                service.graph
+            )
+        finally:
+            service.close()
+            reference.close()
+
+
+# -- transport surface ---------------------------------------------------------
+
+
+@needs_rpc
+class TestRpcSurface:
+    def test_templates_ship_once_bindings_per_query(self):
+        service = rpc_service(make_university_graph())
+        try:
+            service.submit(TEMPLATE_A)
+            router = service.executor.router
+            stats = router.worker_stats()
+            templates_after_first = [s.templates for s in stats]
+            service.submit(TEMPLATE_B)  # same shape, different constant
+            stats = router.worker_stats()
+            assert [s.templates for s in stats] == templates_after_first
+            assert all(s.bound_instances >= 2 for s in stats)
+        finally:
+            service.close()
+
+    def test_report_carries_transport_and_bytes(self):
+        service = rpc_service(make_university_graph())
+        try:
+            outcome = service.submit(STAR_QUERY)
+            assert outcome.report.transport == "rpc"
+            assert outcome.report.shards == 2
+            assert outcome.report.shard_bytes is not None
+            assert len(outcome.report.shard_bytes) == 2
+            assert all(b > 0 for b in outcome.report.shard_bytes)
+        finally:
+            service.close()
+
+    def test_executor_result_carries_bytes(self, university, prepared_star):
+        executor = ShardedPlanExecutor(
+            shard_graph(university, NUM_NODES, 2), transport="rpc"
+        )
+        try:
+            executor.prime()
+            result = executor.execute(prepared_star.plan)
+            assert result.shard_bytes is not None and len(result.shard_bytes) == 2
+            reference = PlanExecutor(
+                partition_graph(university, NUM_NODES)
+            ).execute(prepared_star.plan)
+            assert result.rows == reference.rows
+            assert reference.report.transport == "local"
+        finally:
+            executor.close()
+
+    def test_explain_names_the_transport(self):
+        service = rpc_service(make_university_graph())
+        try:
+            assert "transport rpc" in service.explain(STAR_QUERY)
+        finally:
+            service.close()
+
+    def test_worker_backend_fallback_surfaces_as_service_warning(
+        self, monkeypatch
+    ):
+        """A process pool dying *inside* a shard server surfaces through
+        the service's stats, just like an in-process fallback would."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method required to inject into workers")
+        from repro.mapreduce.backends import ProcessBackend
+
+        monkeypatch.setattr(
+            ProcessBackend,
+            "_create_pool",
+            lambda self, ctx: (_ for _ in ()).throw(OSError("no pools in worker")),
+        )
+        service = rpc_service(
+            make_university_graph(), backend="process", backend_workers=2
+        )
+        try:
+            assert service.submit(STAR_QUERY).rows
+            warnings = service.snapshot_stats().warnings
+            assert any("no pools in worker" in w for w in warnings), warnings
+            assert any("shard" in w for w in warnings)
+        finally:
+            service.close()
+
+    def test_invalidate_reprimes_on_next_query(self):
+        service = rpc_service(make_university_graph())
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            router = service.executor.router
+            router.invalidate(0)
+            assert router.worker_stats()[0].snapshot_token is None
+            assert service.submit(STAR_QUERY).rows == expected
+            assert router.worker_stats()[0].snapshot_token is not None
+        finally:
+            service.close()
+
+
+class TestRpcConfigValidation:
+    def test_rpc_requires_shards(self, university):
+        with pytest.raises(ValueError, match="requires shards"):
+            QueryService(
+                university, ServiceConfig(shard_transport="rpc", shards=0)
+            )
+
+    def test_unknown_transport_rejected(self, university):
+        with pytest.raises(ValueError, match="shard_transport"):
+            QueryService(
+                university,
+                ServiceConfig(shard_transport="carrier-pigeon", shards=2),
+            )
+
+    def test_executor_rejects_backend_instance_over_rpc(self, university):
+        from repro.mapreduce.backends import SerialBackend
+
+        store = shard_graph(university, NUM_NODES, 2)
+        with pytest.raises(ValueError, match="backend"):
+            ShardedPlanExecutor(
+                store, transport="rpc", backend=SerialBackend()
+            )
+
+    def test_router_rejects_unknown_worker_backend(self):
+        with pytest.raises(ValueError, match="worker backend"):
+            RpcShardRouter(
+                num_nodes=4, num_shards=2, worker_backend="quantum"
+            )
