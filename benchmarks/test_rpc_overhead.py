@@ -7,15 +7,19 @@ queries, identical answers (always asserted, per query), and the
 per-query wall-clock side by side.  Because a registered template
 crosses the wire once and each query afterwards ships only its bound
 constant vector, level metadata and exchange rows, the expected
-overhead is a few socket round-trips per job level plus pickling of the
-exchanged tuples — the table records exactly that, together with the
-request bytes shipped per query.
+overhead is a few socket round-trips per job level plus the row
+payloads — the table records exactly that, together with the request
+bytes shipped per query under both wire formats: ``pickle`` (tuple
+lists) and ``columnar`` (dictionary-encoded id buffers plus a
+terms-the-peer-lacks delta, the default).
 
 There is no wall-clock gate: RPC cannot be faster than a function call
 in a single-machine simulation; the point of the table is to keep the
 overhead *visible* so a regression (e.g. a spec accidentally re-shipped
 per task) shows up as a bytes/latency jump.  Answer equality is the
-hard assertion.
+hard assertion, plus a bytes gate: the columnar wire must encode
+smaller than pickle on every row-heavy query (the ones where wire tax
+actually matters).
 
 Results land in ``benchmarks/results/rpc_overhead.txt``.
 """
@@ -34,6 +38,10 @@ UNIVERSITIES = 8
 SHARDS = 2
 ROUNDS = 3
 
+#: queries that ship enough exchange rows for encoding to matter; the
+#: columnar wire must beat pickled tuples on every one of them
+ROW_HEAVY = ("Q5", "Q8", "Q10", "Q11", "Q14")
+
 
 def test_rpc_overhead(record_table):
     if not rpc_workers_work():
@@ -41,12 +49,13 @@ def test_rpc_overhead(record_table):
     graph = lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
     queries = lubm_queries.all_queries()
 
-    def service(transport: str) -> QueryService:
+    def service(transport: str, wire: str = "columnar") -> QueryService:
         return QueryService(
             graph,
             ServiceConfig(
                 shards=SHARDS,
                 shard_transport=transport,
+                wire_format=wire,
                 result_cache_size=0,
             ),
         )
@@ -61,17 +70,29 @@ def test_rpc_overhead(record_table):
         return best, outcome
 
     inproc = service("inproc")
-    rpc = service("rpc")
+    rpc = service("rpc", wire="columnar")
+    rpc_pickle = service("rpc", wire="pickle")
     rows = []
     try:
         for query in queries:
             inproc_s, inproc_out = measure(inproc, query)
             rpc_s, rpc_out = measure(rpc, query)
-            # The hard gate: answers are identical over both transports.
+            _, pickle_out = measure(rpc_pickle, query)
+            # The hard gate: answers are identical over both transports
+            # and both wire formats.
             assert rpc_out.rows == inproc_out.rows, query.name
             assert rpc_out.attrs == inproc_out.attrs, query.name
+            assert pickle_out.rows == inproc_out.rows, query.name
             assert rpc_out.report.transport == "rpc"
-            shipped = sum(rpc_out.report.shard_bytes or ())
+            columnar_bytes = sum(rpc_out.report.shard_bytes or ())
+            pickle_bytes = sum(pickle_out.report.shard_bytes or ())
+            if query.name in ROW_HEAVY:
+                # The bytes gate: dictionary-encoded frames must be
+                # smaller wherever enough rows cross the wire.
+                assert columnar_bytes < pickle_bytes, (
+                    f"{query.name}: columnar {columnar_bytes} B >= "
+                    f"pickle {pickle_bytes} B"
+                )
             rows.append(
                 (
                     query.name,
@@ -79,23 +100,34 @@ def test_rpc_overhead(record_table):
                     1e3 * inproc_s,
                     1e3 * rpc_s,
                     rpc_s / inproc_s if inproc_s > 0 else float("inf"),
-                    shipped,
+                    pickle_bytes,
+                    columnar_bytes,
+                    columnar_bytes / pickle_bytes if pickle_bytes else 1.0,
                 )
             )
     finally:
         inproc.close()
         rpc.close()
+        rpc_pickle.close()
 
     lines = [
         f"RPC transport overhead — LUBM({UNIVERSITIES} universities), "
         f"shards={SHARDS}, serial execution, best of {ROUNDS}",
         f"{'query':>6} {'rows':>6} {'inproc ms':>10} {'rpc ms':>10} "
-        f"{'rpc/inproc':>11} {'bytes/query':>12}",
+        f"{'rpc/inproc':>11} {'pickle B':>10} {'columnar B':>11} "
+        f"{'col/pkl':>8}",
     ]
-    for name, count, inproc_ms, rpc_ms, ratio, shipped in rows:
+    for name, count, inproc_ms, rpc_ms, ratio, pkl, col, frac in rows:
         lines.append(
             f"{name:>6} {count:>6} {inproc_ms:>10.2f} {rpc_ms:>10.2f} "
-            f"{ratio:>10.1f}x {shipped:>12}"
+            f"{ratio:>10.1f}x {pkl:>10} {col:>11} {frac:>8.2f}"
         )
-    lines.append("answers identical over both transports for all queries: yes")
+    lines.append(
+        "answers identical over both transports and wire formats "
+        "for all queries: yes"
+    )
+    lines.append(
+        "columnar wire smaller than pickle on all row-heavy queries "
+        f"({', '.join(ROW_HEAVY)}): yes"
+    )
     record_table("rpc_overhead", "\n".join(lines))

@@ -480,7 +480,10 @@ class ShardedPlanExecutor:
       cross the localhost socket per query.  A crashed worker is
       respawned and its request retried once; sustained failure raises
       a typed :class:`~repro.cluster.rpc.ShardUnavailable` (reported
-      through ``on_shard_failure``).
+      through ``on_shard_failure``).  ``wire_format`` selects the row
+      encoding of those exchanges: ``"columnar"`` (default) packs rows
+      as dictionary-encoded id buffers (:mod:`repro.columnar.wire`),
+      ``"pickle"`` keeps the original tuple-list frames.
     """
 
     def __init__(
@@ -494,6 +497,7 @@ class ShardedPlanExecutor:
         transport: str = "inproc",
         on_shard_failure: Callable[[int, str], None] | None = None,
         max_frame_bytes: int | None = None,
+        wire_format: str = "columnar",
     ) -> None:
         self.store = store
         self.cluster = cluster or ClusterConfig(num_nodes=store.num_nodes)
@@ -532,6 +536,7 @@ class ShardedPlanExecutor:
                 worker_backend_workers=workers,
                 on_failure=on_shard_failure,
                 on_warning=on_fallback,
+                wire_format=wire_format,
                 **extra,
             )
             return

@@ -58,6 +58,7 @@ from repro.mapreduce.backends import (
     make_backend,
     store_token,
 )
+from repro.columnar.wire import WIRE_FORMATS, ColumnarFrame, WireCodec
 from repro.mapreduce.hdfs import HDFS, DistributedRelation
 from repro.mapreduce.jobs import TaskContext
 from repro.partitioning.triple_partitioner import StoreSnapshot
@@ -154,9 +155,18 @@ class HelloReply:
 
 @dataclass(frozen=True)
 class Prime:
-    """Install (or replace) the worker's resident store snapshot."""
+    """Install (or replace) the worker's resident store snapshot.
+
+    ``wire`` selects the row encoding of subsequent :class:`ExecuteLevel`
+    exchanges on this connection: ``"pickle"`` (tuple lists, the
+    original format) or ``"columnar"`` (dictionary-encoded id buffers,
+    see :mod:`repro.columnar.wire`).  Both ends seed their wire
+    dictionaries from this very snapshot, so priming is also the
+    synchronization point of the columnar protocol.
+    """
 
     snapshot: StoreSnapshot
+    wire: str = "pickle"
 
 
 @dataclass(frozen=True)
@@ -268,6 +278,7 @@ MESSAGE_TYPES = (
     OkReply,
     ResultsReply,
     ErrorReply,
+    ColumnarFrame,
 )
 
 
@@ -338,6 +349,8 @@ class _WorkerState:
             on_fallback=self.warnings.append,
         )
         self.snapshot: StoreSnapshot | None = None
+        #: columnar wire codec of this connection; None = pickle wire
+        self.wire: WireCodec | None = None
         self.templates: dict[str, PhysicalPlan] = {}
         self.bound: dict[tuple, _BoundPlan] = {}
         self.tasks_run = 0
@@ -351,8 +364,12 @@ class _WorkerState:
     def token(self) -> tuple | None:
         return None if self.snapshot is None else store_token(self.snapshot)
 
-    def install_snapshot(self, snapshot: StoreSnapshot) -> tuple:
+    def install_snapshot(self, snapshot: StoreSnapshot, wire: str = "pickle") -> tuple:
         self.snapshot = snapshot
+        # Re-seed the wire codec: the driver does the same from the very
+        # snapshot object it just sent, so both ends assign identical ids
+        # to every resident term and the delta watermarks restart in sync.
+        self.wire = WireCodec(snapshot) if wire == "columnar" else None
         self.primes += 1
         # Revalidate the local backend against the new snapshot token: a
         # process pool keyed to the old token rebuilds, anything else is
@@ -455,7 +472,7 @@ def _dispatch(state: _WorkerState, msg: object):
             snapshot_token=state.token,
         )
     if isinstance(msg, Prime):
-        return OkReply(state.install_snapshot(msg.snapshot))
+        return OkReply(state.install_snapshot(msg.snapshot, msg.wire))
     if isinstance(msg, InvalidateSnapshot):
         state.snapshot = None
         return OkReply(None)
@@ -546,10 +563,28 @@ def _worker_main(
                     pass
                 break
             try:
+                if isinstance(msg, ColumnarFrame):
+                    if state.wire is None:
+                        raise WorkerStateError(
+                            "columnar frame received but no columnar "
+                            "Prime established a wire codec"
+                        )
+                    msg = state.wire.decode_frame(msg)
                 reply = _dispatch(state, msg)
             except BaseException as exc:  # typed error replies, not death
                 conn.send_bytes(_error_reply(exc))
                 continue
+            # Results go back columnar on a columnar connection; the
+            # delta watermark advances only once the frame is written
+            # (an unsent delta is simply re-shipped — merge_entries is
+            # idempotent, so over-shipping is safe, gaps are not).
+            commit = None
+            if state.wire is not None and isinstance(reply, ResultsReply):
+                try:
+                    reply, commit = state.wire.encode_results(reply)
+                except BaseException as exc:
+                    conn.send_bytes(_error_reply(exc))
+                    continue
             payload = pickle.dumps(reply)
             if len(payload) > max_frame_bytes:
                 payload = _error_reply(
@@ -558,7 +593,10 @@ def _worker_main(
                         f"{max_frame_bytes}-byte cap"
                     )
                 )
+                commit = None
             conn.send_bytes(payload)
+            if commit is not None:
+                commit()
     finally:
         state.close()
         try:
@@ -608,6 +646,9 @@ class ShardWorkerClient:
         self.process = None
         self.conn = None
         self.bytes_sent = 0
+        #: driver end of the columnar wire codec; established by the
+        #: first successful ``Prime(wire="columnar")`` on this connection
+        self.codec: WireCodec | None = None
         #: snapshot token last primed onto this worker (driver-side view)
         self.primed_token: tuple | None = None
         #: worker warnings already relayed to the router's on_warning
@@ -712,24 +753,48 @@ class ShardWorkerClient:
 
     def request(self, msg, on_bytes=None):
         """One request/reply exchange; raises the typed error a worker
-        replied with, or a transport error when the worker is gone."""
-        payload = pickle.dumps(msg)
-        if len(payload) > self.max_frame_bytes:
-            raise FrameTooLarge(
-                f"{type(msg).__name__} frame of {len(payload)} bytes exceeds "
-                f"the {self.max_frame_bytes}-byte cap"
-            )
+        replied with, or a transport error when the worker is gone.
+
+        On a columnar connection, ``ExecuteLevel`` requests and
+        ``ResultsReply`` responses are transcoded here, under the
+        connection lock — encode order equals send order, which the
+        dictionary-delta watermark protocol relies on.
+        """
         with self._lock:
             if self.conn is None:
                 raise ConnectionError(
                     f"shard {self.shard} worker is not running"
                 )
+            send_msg, commit = msg, None
+            if self.codec is not None and isinstance(msg, ExecuteLevel):
+                send_msg, commit = self.codec.encode_execute_level(msg)
+            payload = pickle.dumps(send_msg)
+            if len(payload) > self.max_frame_bytes:
+                raise FrameTooLarge(
+                    f"{type(msg).__name__} frame of {len(payload)} bytes "
+                    f"exceeds the {self.max_frame_bytes}-byte cap"
+                )
             self.conn.send_bytes(payload)
+            if commit is not None:
+                commit()
             data = self.conn.recv_bytes(self.max_frame_bytes)
+            reply = pickle.loads(data)
+            if isinstance(reply, ColumnarFrame):
+                if self.codec is None:
+                    raise RpcProtocolError(
+                        f"shard {self.shard} sent a columnar frame on a "
+                        "pickle connection"
+                    )
+                reply = self.codec.decode_frame(reply)
+            if isinstance(msg, Prime) and not isinstance(reply, ErrorReply):
+                # The prime that seeds the worker's codec seeds ours,
+                # from the same snapshot object — ids agree end to end.
+                self.codec = (
+                    WireCodec(msg.snapshot) if msg.wire == "columnar" else None
+                )
         self.bytes_sent += len(payload)
         if on_bytes is not None:
             on_bytes(len(payload))
-        reply = pickle.loads(data)
         if isinstance(reply, ErrorReply):
             raise reply.error
         return reply
@@ -779,11 +844,17 @@ class RpcShardRouter(ShardRouter):
         on_warning=None,
         start_method: str | None = None,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+        wire_format: str = "pickle",
     ) -> None:
         if worker_backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown worker backend {worker_backend!r}; "
                 f"expected one of {BACKEND_NAMES}"
+            )
+        if wire_format not in WIRE_FORMATS:
+            raise ValueError(
+                f"unknown wire format {wire_format!r}; "
+                f"expected one of {WIRE_FORMATS}"
             )
         super().__init__(
             num_nodes,
@@ -794,6 +865,7 @@ class RpcShardRouter(ShardRouter):
         )
         self.worker_backend = worker_backend
         self.worker_backend_workers = worker_backend_workers
+        self.wire_format = wire_format
         self.max_frame_bytes = max_frame_bytes
         self.start_method = start_method
         self.spawn_timeout = spawn_timeout
@@ -851,7 +923,9 @@ class RpcShardRouter(ShardRouter):
                     client = self._recover(shard, "worker process died")
                 shard_snapshot = snapshot.shards[shard]
                 if client.primed_token != shard_snapshot.token:
-                    self._shard_call(shard, Prime(shard_snapshot))
+                    self._shard_call(
+                        shard, Prime(shard_snapshot, wire=self.wire_format)
+                    )
                     client.primed_token = shard_snapshot.token
                     self._forward_warnings(shard, client)
         self._last_snapshot = snapshot
@@ -947,7 +1021,7 @@ class RpcShardRouter(ShardRouter):
             client = self._start_worker(shard)
             if self._last_snapshot is not None:
                 shard_snapshot = self._last_snapshot.shards[shard]
-                client.request(Prime(shard_snapshot))
+                client.request(Prime(shard_snapshot, wire=self.wire_format))
                 client.primed_token = shard_snapshot.token
                 self._forward_warnings(shard, client)
             return client
@@ -1151,6 +1225,7 @@ class RpcShardRouter(ShardRouter):
 
 __all__ = [
     "BoundSpecs",
+    "ColumnarFrame",
     "DEFAULT_MAX_FRAME_BYTES",
     "ErrorReply",
     "ExecuteLevel",

@@ -1,0 +1,40 @@
+"""Dictionary-encoded columnar blocks.
+
+The tuple engine materialises every intermediate row as a python tuple
+of decoded term strings; this package gives the same rows a second,
+compact currency: a :class:`~repro.columnar.block.ColumnBlock` holds a
+relation as parallel arrays of integer term ids, dictionary-encoded
+against :class:`repro.rdf.dictionary.Dictionary`.  Two consumers share
+the representation:
+
+* :mod:`repro.columnar.engine` evaluates the physical task specs
+  (``ChainMapSpec`` / ``MapOnlySpec`` / ``StarReduceSpec``) entirely in
+  id space — selection is id comparison, the star join hashes id
+  columns, projection slices columns — decoding back to term tuples
+  only at the spec boundary, so answers and counters stay bit-identical
+  to the tuple kernels (this powers the ``columnar`` execution
+  backend);
+* :mod:`repro.columnar.wire` packs rows crossing the RPC boundary into
+  id buffers plus a delta of dictionary entries the peer does not hold
+  yet, replacing pickled tuple lists as the shard wire format.
+
+numpy accelerates the selection kernels when importable; everything
+falls back to ``array('q')`` so a stdlib-only install keeps working
+(set ``REPRO_COLUMNAR_FORCE_FALLBACK=1`` to force the stdlib path).
+"""
+
+from repro.columnar.block import (
+    HAVE_NUMPY,
+    ColumnBlock,
+    columnar_available,
+    to_blocks,
+    to_rows,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ColumnBlock",
+    "columnar_available",
+    "to_blocks",
+    "to_rows",
+]

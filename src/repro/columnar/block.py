@@ -1,0 +1,128 @@
+"""The :class:`ColumnBlock` representation and its conversion seams.
+
+A block stores a relation column-wise: one parallel array of int64 term
+ids per attribute.  Ids come from a :class:`~repro.rdf.dictionary
+.Dictionary`, so equality of terms is equality of machine words and a
+block round-trips losslessly through :func:`to_blocks` / :func:`to_rows`
+for any terms the dictionary can hold (IRIs, literals, blank nodes —
+any string).
+
+Columns are numpy ``int64`` arrays when numpy is importable and the
+fallback is not forced, stdlib ``array('q')`` otherwise.  Both support
+``len``, iteration and indexing, so everything above the selection
+kernels is representation-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.rdf.dictionary import Dictionary
+
+FORCE_FALLBACK = os.environ.get("REPRO_COLUMNAR_FORCE_FALLBACK", "") not in ("", "0")
+
+if FORCE_FALLBACK:
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+        np = None
+
+HAVE_NUMPY = np is not None
+
+
+def columnar_available() -> bool:
+    """True when the columnar backend should run in this environment:
+    numpy is importable, or the stdlib fallback is explicitly forced."""
+    return HAVE_NUMPY or FORCE_FALLBACK
+
+
+def make_column(ids: Iterable[int]):
+    """An id column from an iterable of ints (numpy or ``array('q')``)."""
+    if HAVE_NUMPY:
+        return np.fromiter(ids, dtype=np.int64)
+    return array("q", ids)
+
+
+def empty_column():
+    if HAVE_NUMPY:
+        return np.empty(0, dtype=np.int64)
+    return array("q")
+
+
+@dataclass
+class ColumnBlock:
+    """An ordered attribute schema plus one id column per attribute.
+
+    The columnar analogue of :class:`~repro.relational.relation.Relation`:
+    ``columns[i][r]`` is the id of row ``r``'s value for ``attrs[i]``.
+    All columns have equal length.
+    """
+
+    attrs: tuple[str, ...]
+    columns: tuple
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def index_of(self, attr: str) -> int:
+        try:
+            return self.attrs.index(attr)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attr!r} not in schema {self.attrs}"
+            ) from None
+
+    def column(self, attr: str):
+        return self.columns[self.index_of(attr)]
+
+    def id_rows(self) -> list[tuple]:
+        """Rows as tuples of ids (row-major view of the columns)."""
+        if not self.columns:
+            return []
+        return list(zip(*self.columns))
+
+    @classmethod
+    def empty(cls, attrs: Sequence[str]) -> "ColumnBlock":
+        return cls(tuple(attrs), tuple(empty_column() for _ in attrs))
+
+    @classmethod
+    def from_id_rows(cls, attrs: Sequence[str], rows: Sequence[tuple]) -> "ColumnBlock":
+        """A block from row-major id tuples (inverse of :meth:`id_rows`)."""
+        attrs = tuple(attrs)
+        if not rows:
+            return cls.empty(attrs)
+        return cls(attrs, tuple(make_column(col) for col in zip(*rows)))
+
+    # -- conversion seams -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, attrs: Sequence[str], rows: Iterable[tuple], dictionary: Dictionary
+    ) -> "ColumnBlock":
+        """Encode term-tuple rows against *dictionary* (growing it)."""
+        attrs = tuple(attrs)
+        encode = dictionary.encode
+        id_rows = [tuple(encode(term) for term in row) for row in rows]
+        return cls.from_id_rows(attrs, id_rows)
+
+    def to_rows(self, dictionary: Dictionary) -> list[tuple]:
+        """Decode back to term-tuple rows, preserving row order."""
+        if not self.columns:
+            return []
+        decode = dictionary.decode
+        return [tuple(decode(i) for i in row) for row in zip(*self.columns)]
+
+
+def to_blocks(relation, dictionary: Dictionary) -> ColumnBlock:
+    """Encode a :class:`Relation` (or anything with ``attrs``/``rows``)."""
+    return ColumnBlock.from_rows(relation.attrs, relation.rows, dictionary)
+
+
+def to_rows(block: ColumnBlock, dictionary: Dictionary) -> list[tuple]:
+    """Decode a block to term-tuple rows (module-level alias)."""
+    return block.to_rows(dictionary)

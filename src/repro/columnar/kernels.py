@@ -1,0 +1,249 @@
+"""Vectorized id-space kernels over :class:`ColumnBlock` columns.
+
+Three operations, mirroring the tuple kernels they replace:
+
+* **selection** — a scan's constant and repeated-variable constraints
+  become id comparisons over the triple columns (a boolean mask with
+  numpy, a fused python loop on the stdlib fallback);
+* **star join** — the n-ary natural join of
+  :func:`repro.relational.joins.star_join`, hashing id columns: group
+  each input by its key-id tuples, intersect live keys, natural-join
+  within a group enforcing equality on *all* shared attributes.  Output
+  row *multisets* are identical to the tuple kernel; row order is not
+  guaranteed (and, as the process backend already proves, nothing
+  downstream depends on it — answers are sets and every counter is a
+  multiset cardinality);
+* **projection** — column slicing plus first-seen de-duplication on id
+  tuples, matching ``Relation.project``.
+
+Also here: the composable form of ``stable_hash`` — per term id the
+pair ``(131^len(term) mod 2^31, poly(term))`` is memoized, so shuffle
+routing hashes rows without decoding them, yet lands every row on
+exactly the reducer the tuple engine picks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.columnar.block import HAVE_NUMPY, ColumnBlock, make_column
+from repro.rdf.dictionary import Dictionary
+
+if HAVE_NUMPY:
+    import numpy as np
+
+_MASK = 0x7FFFFFFF
+_MOD = 0x80000000
+
+
+# -- selection ----------------------------------------------------------------
+
+
+def select_bind(
+    columns: Sequence,
+    const_checks: Sequence[tuple[int, int | None]],
+    var_positions: Sequence[tuple[int, ...]],
+) -> ColumnBlock | tuple:
+    """Bind a triple pattern against columnar triple data.
+
+    *columns* are the (s, p, o) id columns of the scanned triples.
+    *const_checks* lists ``(position, id)`` constraints — the column at
+    *position* must equal *id* (``None`` means the constant was never
+    seen by the dictionary, so nothing can match).  *var_positions*
+    lists, per output variable in schema order, the positions holding
+    it; a variable at several positions additionally requires those
+    columns to agree (repeated-variable semantics of ``bind_triple``).
+
+    Returns the selected output columns (order-preserving).
+    """
+    n = len(columns[0]) if columns else 0
+    if any(ident is None for _, ident in const_checks):
+        return tuple(make_column(()) for _ in var_positions)
+    if HAVE_NUMPY:
+        mask = None
+        for pos, ident in const_checks:
+            cond = columns[pos] == ident
+            mask = cond if mask is None else (mask & cond)
+        for positions in var_positions:
+            for extra in positions[1:]:
+                cond = columns[positions[0]] == columns[extra]
+                mask = cond if mask is None else (mask & cond)
+        if mask is None:
+            return tuple(columns[positions[0]] for positions in var_positions)
+        return tuple(columns[positions[0]][mask] for positions in var_positions)
+    keep = []
+    for r in range(n):
+        ok = True
+        for pos, ident in const_checks:
+            if columns[pos][r] != ident:
+                ok = False
+                break
+        if ok:
+            for positions in var_positions:
+                first = columns[positions[0]][r]
+                for extra in positions[1:]:
+                    if columns[extra][r] != first:
+                        ok = False
+                        break
+                if not ok:
+                    break
+        if ok:
+            keep.append(r)
+    return tuple(
+        make_column(columns[positions[0]][r] for r in keep)
+        for positions in var_positions
+    )
+
+
+# -- star join ----------------------------------------------------------------
+
+
+def _output_schema(inputs: Sequence[ColumnBlock]) -> tuple[str, ...]:
+    attrs: list[str] = []
+    for block in inputs:
+        for a in block.attrs:
+            if a not in attrs:
+                attrs.append(a)
+    return tuple(attrs)
+
+
+def star_join_blocks(
+    inputs: Sequence[ColumnBlock], on: Sequence[str]
+) -> ColumnBlock:
+    """Id-space n-ary star natural join (see module docstring).
+
+    Semantically identical to ``relational.joins.star_join`` modulo row
+    order: same output schema, same row multiset.
+    """
+    if not inputs:
+        raise ValueError("star_join needs at least one input")
+    if len(inputs) == 1:
+        return inputs[0]
+    key_attrs = tuple(on)
+    for block in inputs:
+        missing = set(key_attrs) - set(block.attrs)
+        if missing:
+            raise ValueError(
+                f"input schema {block.attrs} lacks key attrs {missing}"
+            )
+
+    schema = _output_schema(inputs)
+    slot = {a: i for i, a in enumerate(schema)}
+    width = len(schema)
+
+    # Hash every input's key-id columns; group row indices by key tuple.
+    grouped: list[dict[tuple, list[int]]] = []
+    for block in inputs:
+        key_cols = [block.column(a) for a in key_attrs]
+        groups: dict[tuple, list[int]] = defaultdict(list)
+        for r, key in enumerate(zip(*key_cols)):
+            groups[key].append(r)
+        grouped.append(groups)
+
+    live_keys = set(grouped[0].keys())
+    for groups in grouped[1:]:
+        live_keys &= set(groups.keys())
+
+    # Per input: the output slot of each of its columns.
+    slot_maps = [tuple(slot[a] for a in block.attrs) for block in inputs]
+
+    out_rows: list[list] = []
+    sentinel = object()
+    for key in live_keys:
+        partials: list[list] = [[sentinel] * width]
+        for block, groups, slots in zip(inputs, grouped, slot_maps):
+            next_partials: list[list] = []
+            cols = block.columns
+            for partial in partials:
+                for r in groups[key]:
+                    merged = list(partial)
+                    ok = True
+                    for col, s in zip(cols, slots):
+                        value = col[r]
+                        have = merged[s]
+                        if have is sentinel:
+                            merged[s] = value
+                        elif have != value:
+                            ok = False
+                            break
+                    if ok:
+                        next_partials.append(merged)
+            partials = next_partials
+            if not partials:
+                break
+        out_rows.extend(partials)
+
+    return ColumnBlock.from_id_rows(schema, [tuple(row) for row in out_rows])
+
+
+# -- projection ---------------------------------------------------------------
+
+
+def project_block(block: ColumnBlock, attrs: Sequence[str]) -> ColumnBlock:
+    """Project onto *attrs* with first-seen de-duplication on id tuples
+    (mirrors ``Relation.project``; output length is order-invariant)."""
+    attrs = tuple(attrs)
+    if not attrs:
+        raise ValueError("cannot project a block onto an empty schema")
+    cols = [block.column(a) for a in attrs]
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for key in zip(*cols):
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return ColumnBlock.from_id_rows(attrs, out)
+
+
+# -- shuffle hashing ----------------------------------------------------------
+
+
+class HashMemo:
+    """Per-id memo of ``stable_hash``'s polynomial pieces.
+
+    ``stable_hash`` folds each value's characters into a running state
+    ``h`` via ``h = (h*131 + ord(ch)) & 0x7FFFFFFF`` and seals each
+    value with ``h = (h*257 + 11) & 0x7FFFFFFF``.  Because masking to 31
+    bits is reduction mod 2^31 (a ring homomorphism), folding a whole
+    term *t* from state ``h`` equals ``(h * 131^len(t) + poly(t)) mod
+    2^31`` — so per id we memoize ``(131^len(t) mod 2^31, poly(t))``
+    and hash rows of ids without ever decoding them.
+    """
+
+    def __init__(self, dictionary: Dictionary) -> None:
+        self._dictionary = dictionary
+        self._memo: dict[int, tuple[int, int]] = {}
+
+    def _pieces(self, ident: int) -> tuple[int, int]:
+        pieces = self._memo.get(ident)
+        if pieces is None:
+            text = self._dictionary.decode(ident)
+            poly = 0
+            for ch in text:
+                poly = (poly * 131 + ord(ch)) & _MASK
+            pieces = (pow(131, len(text), _MOD), poly)
+            self._memo[ident] = pieces
+        return pieces
+
+    def hash_id_row(self, ids: Sequence[int]) -> int:
+        """``stable_hash`` of the decoded terms, computed in id space."""
+        h = 17
+        for ident in ids:
+            mult, poly = self._pieces(ident)
+            h = (h * mult + poly) & _MASK
+            h = (h * 257 + 11) & _MASK
+        return h
+
+
+def shuffle_partitions(
+    block: ColumnBlock,
+    key_attrs: Sequence[str],
+    num_reducers: int,
+    memo: HashMemo,
+) -> list[int]:
+    """The reducer partition of every row, in row order — identical to
+    ``stable_hash(key(row)) % num_reducers`` over the decoded rows."""
+    key_cols = [block.column(a) for a in key_attrs]
+    hash_row = memo.hash_id_row
+    return [hash_row(ids) % num_reducers for ids in zip(*key_cols)]

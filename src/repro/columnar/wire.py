@@ -1,0 +1,348 @@
+"""The columnar shard wire format.
+
+Rows crossing the RPC boundary (map inputs, reduce exchange rows,
+result payloads) are packed as dictionary-encoded id buffers instead of
+pickled tuple lists.  Each endpoint of a connection keeps two
+dictionaries, both deterministically seeded from the shard's resident
+:class:`StoreSnapshot` at prime time (node by node, file insertion
+order, triple order — the snapshot is the same pickled object on both
+ends, so the seeded ids agree by construction):
+
+* ``send`` — grown by this endpoint as it encodes outgoing rows;
+* ``recv`` — a replica of the peer's ``send``, maintained by replaying
+  the dictionary delta each incoming frame carries.
+
+A frame therefore ships only ids plus the delta of terms the peer's
+replica doesn't already hold (snapshot-resident terms never cross the
+wire, and any term crosses at most once per connection).  The sender
+advances its delta watermark only after the frame is actually written,
+so a frame lost to a transport failure merely re-ships its delta —
+and :meth:`Dictionary.merge_entries` makes re-delivery idempotent.
+A worker respawn re-primes the connection, resetting both ends.
+
+Id buffers are little-ish endian *native* byte order — the wire only
+ever spans processes on one machine (the workers are localhost
+children), so no byte swapping is needed; each column is packed at the
+narrowest of 1/2/4/8 bytes that holds its largest id.  Rows whose cells
+are not all strings (never produced by the plan specs, but closure
+tasks could) fall back to their pickled form via :class:`RawRows`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.mapreduce.hdfs import DistributedRelation
+from repro.rdf.dictionary import Dictionary
+
+#: Wire formats the shard transport speaks (ServiceConfig.wire_format).
+WIRE_FORMATS = ("columnar", "pickle")
+
+# The narrowest stdlib array typecode per byte width available on this
+# platform (C type sizes vary; 1/2/4/8 all exist on every supported one).
+_TYPECODE: dict[int, str] = {}
+for _tc in "BHILQ":
+    _TYPECODE.setdefault(array(_tc).itemsize, _tc)
+
+
+def _width_for(max_value: int) -> int:
+    for width in (1, 2, 4, 8):
+        if width in _TYPECODE and max_value < 1 << (8 * width):
+            return width
+    raise OverflowError(f"id {max_value} exceeds 64 bits")
+
+
+# -- wire dataclasses ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackedRows:
+    """A row set as parallel id columns: ``count`` rows, one buffer per
+    column at ``widths[i]`` bytes per id, concatenated into ``data``."""
+
+    count: int
+    widths: tuple[int, ...]
+    data: bytes
+
+
+@dataclass(frozen=True)
+class RawRows:
+    """Fallback: rows that cannot be id-encoded cross pickled as-is."""
+
+    rows: tuple
+
+
+@dataclass(frozen=True)
+class PackedRelation:
+    """A :class:`DistributedRelation` with per-node packed partitions."""
+
+    attrs: tuple[str, ...]
+    partitions: tuple
+
+
+@dataclass(frozen=True)
+class PackedMapResult:
+    """One map task's result: emits as a ``(partition, tag, *ids)``
+    matrix, direct output rows, and the task metrics (pickled — tiny)."""
+
+    emits: object
+    direct: object
+    metrics: object
+
+
+@dataclass(frozen=True)
+class PackedReduceResult:
+    """One reduce task's result: output rows plus task metrics."""
+
+    rows: object
+    metrics: object
+
+
+@dataclass(frozen=True)
+class ColumnarFrame:
+    """An encoded message plus the dictionary delta it depends on:
+    ``delta_terms`` are the sender's dictionary entries from id
+    ``delta_start`` on, which the receiver replays into its replica
+    before unpacking ``payload``."""
+
+    payload: object
+    delta_start: int
+    delta_terms: tuple[str, ...]
+
+
+# -- packing ------------------------------------------------------------------
+
+
+def _packable(rows: Sequence[tuple]) -> bool:
+    """Rows id-encode only when rectangular with all-string cells (the
+    plan specs guarantee this; closure-style tasks may not)."""
+    if not rows:
+        return True
+    arity = len(rows[0])
+    return all(
+        len(row) == arity and all(type(term) is str for term in row)
+        for row in rows
+    )
+
+
+def _pack_matrix(rows: Sequence[tuple]) -> PackedRows:
+    """Pack row-major int tuples into column buffers (no empty check)."""
+    count = len(rows)
+    if count == 0:
+        return PackedRows(0, (), b"")
+    widths = []
+    chunks = []
+    for column in zip(*rows):
+        width = _width_for(max(column))
+        widths.append(width)
+        chunks.append(array(_TYPECODE[width], column).tobytes())
+    return PackedRows(count, tuple(widths), b"".join(chunks))
+
+
+def _unpack_matrix(packed: PackedRows) -> list[tuple]:
+    if packed.count == 0:
+        return []
+    columns = []
+    offset = 0
+    for width in packed.widths:
+        end = offset + packed.count * width
+        columns.append(array(_TYPECODE[width], packed.data[offset:end]))
+        offset = end
+    return list(zip(*columns))
+
+
+def pack_rows(rows: Sequence[tuple], encode: Callable[[str], int]):
+    """Term-tuple rows -> :class:`PackedRows` (or :class:`RawRows` when
+    the rows are ragged or any cell is not a string)."""
+    if not _packable(rows):
+        return RawRows(tuple(rows))
+    return _pack_matrix(
+        [tuple(encode(term) for term in row) for row in rows]
+    )
+
+
+def unpack_rows(packed, decode: Callable[[int], str]) -> list[tuple]:
+    if isinstance(packed, RawRows):
+        return list(packed.rows)
+    return [
+        tuple(decode(i) for i in ids) for ids in _unpack_matrix(packed)
+    ]
+
+
+def pack_emits(emits: Sequence[tuple], encode: Callable[[str], int]):
+    """Shuffle emits ``(partition, tag, row)`` -> one packed matrix of
+    ``(partition, tag, *row_ids)`` rows."""
+    if not all(
+        type(partition) is int
+        and partition >= 0
+        and type(tag) is int
+        and tag >= 0
+        for partition, tag, _row in emits
+    ) or not _packable([row for _p, _t, row in emits]):
+        return RawRows(tuple(emits))
+    return _pack_matrix(
+        [
+            (partition, tag) + tuple(encode(term) for term in row)
+            for partition, tag, row in emits
+        ]
+    )
+
+
+def unpack_emits(packed, decode: Callable[[int], str]) -> list[tuple]:
+    if isinstance(packed, RawRows):
+        return list(packed.rows)
+    return [
+        (ids[0], ids[1], tuple(decode(i) for i in ids[2:]))
+        for ids in _unpack_matrix(packed)
+    ]
+
+
+# -- the codec ----------------------------------------------------------------
+
+
+def _seed_dictionary(snapshot) -> Dictionary:
+    """A dictionary over every term resident in *snapshot*, in the
+    snapshot's own deterministic iteration order."""
+    dictionary = Dictionary()
+    encode = dictionary.encode
+    for files in snapshot.files:
+        for triples in files.values():
+            for s, p, o in triples:
+                encode(s)
+                encode(p)
+                encode(o)
+    return dictionary
+
+
+class WireCodec:
+    """One endpoint of a columnar shard connection (see module docs).
+
+    Not thread-safe by itself: the RPC client serialises encode+send
+    and recv+decode under its per-connection lock, and a worker process
+    is single-threaded over its connection — which is exactly the
+    in-order delivery the delta watermark protocol needs.
+    """
+
+    def __init__(self, snapshot) -> None:
+        self.send = _seed_dictionary(snapshot)
+        self.recv = _seed_dictionary(snapshot)
+        self._watermark = len(self.send)
+
+    # -- encoding (outgoing) --------------------------------------------------
+
+    def _frame(self, payload) -> tuple[ColumnarFrame, Callable[[], None]]:
+        start = self._watermark
+        frame = ColumnarFrame(payload, start, self.send.entries_from(start))
+        new_len = len(self.send)
+
+        def commit() -> None:
+            self._watermark = new_len
+
+        return frame, commit
+
+    def encode_execute_level(self, msg):
+        """Pack an ``ExecuteLevel``'s row payloads (map ``inputs`` or
+        reduce exchange rows); returns ``(frame, commit)`` where
+        *commit* advances the delta watermark once the frame is sent."""
+        encode = self.send.encode
+        if msg.phase == "map":
+            inputs = {
+                name: PackedRelation(
+                    attrs=relation.attrs,
+                    partitions=tuple(
+                        pack_rows(part, encode) for part in relation.partitions
+                    ),
+                )
+                for name, relation in msg.inputs.items()
+            }
+            payload = replace(msg, inputs=inputs)
+        else:
+            payload = replace(
+                msg,
+                tasks=tuple(
+                    (
+                        job,
+                        partition,
+                        {
+                            tag: pack_rows(rows, encode)
+                            for tag, rows in grouped.items()
+                        },
+                    )
+                    for job, partition, grouped in msg.tasks
+                ),
+            )
+        return self._frame(payload)
+
+    def encode_results(self, reply):
+        """Pack a ``ResultsReply``: map results are ``(emits, direct,
+        metrics)`` triples, reduce results ``(rows, metrics)`` pairs."""
+        encode = self.send.encode
+        packed = []
+        for result in reply.results:
+            if len(result) == 3:
+                emits, direct, metrics = result
+                packed.append(
+                    PackedMapResult(
+                        emits=pack_emits(emits, encode),
+                        direct=pack_rows(direct, encode),
+                        metrics=metrics,
+                    )
+                )
+            else:
+                rows, metrics = result
+                packed.append(
+                    PackedReduceResult(rows=pack_rows(rows, encode), metrics=metrics)
+                )
+        return self._frame(replace(reply, results=packed))
+
+    # -- decoding (incoming) --------------------------------------------------
+
+    def decode_frame(self, frame: ColumnarFrame):
+        """Replay the frame's dictionary delta, then unpack its payload
+        (an ``ExecuteLevel`` or a ``ResultsReply``)."""
+        self.recv.merge_entries(frame.delta_start, frame.delta_terms)
+        decode = self.recv.decode
+        payload = frame.payload
+        results = getattr(payload, "results", None)
+        if results is not None:
+            return replace(
+                payload,
+                results=[self._decode_result(r, decode) for r in results],
+            )
+        if payload.phase == "map":
+            inputs = {
+                name: DistributedRelation(
+                    attrs=packed.attrs,
+                    partitions=[
+                        unpack_rows(part, decode) for part in packed.partitions
+                    ],
+                )
+                for name, packed in payload.inputs.items()
+            }
+            return replace(payload, inputs=inputs)
+        return replace(
+            payload,
+            tasks=tuple(
+                (
+                    job,
+                    partition,
+                    {
+                        tag: unpack_rows(packed, decode)
+                        for tag, packed in grouped.items()
+                    },
+                )
+                for job, partition, grouped in payload.tasks
+            ),
+        )
+
+    @staticmethod
+    def _decode_result(result, decode):
+        if isinstance(result, PackedMapResult):
+            return (
+                unpack_emits(result.emits, decode),
+                unpack_rows(result.direct, decode),
+                result.metrics,
+            )
+        return unpack_rows(result.rows, decode), result.metrics

@@ -15,6 +15,10 @@ the tasks of a level actually run:
   under the ``fork`` start method) and per-task HDFS traffic is cut to
   the slice each spec declares via ``hdfs_slice()`` (for map chains,
   one node's partitions of the shuffled intermediates).
+* :class:`ColumnarBackend` — inline like serial, but the plan task
+  specs run as vectorized id-space kernels over dictionary-encoded
+  :class:`~repro.columnar.block.ColumnBlock` columns (numpy when
+  importable, ``array('q')`` otherwise); see :mod:`repro.columnar`.
 
 Determinism: every backend returns task results **in submission order**
 regardless of completion order, and shuffle routing uses the
@@ -98,6 +102,56 @@ class SerialBackend(ExecutionBackend):
 
     def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
         return [inv.spec.run(ctx, *inv.args) for inv in invocations]
+
+
+class ColumnarBackend(ExecutionBackend):
+    """Run the plan task specs as vectorized id-space kernels.
+
+    Tasks execute inline like :class:`SerialBackend`, but the three plan
+    specs (``ChainMapSpec`` / ``MapOnlySpec`` / ``StarReduceSpec``) are
+    evaluated by :mod:`repro.columnar.engine` on dictionary-encoded
+    :class:`~repro.columnar.block.ColumnBlock` columns instead of tuple
+    lists; any other spec falls back to its own ``run``.  Answers and
+    reports are identical to serial by the engine's counter-parity
+    contract (the conformance matrix enforces it).
+
+    State (the term dictionary, hash memo, encoded-scan cache) is keyed
+    by store snapshot token, so a store mutation naturally starts a
+    fresh encoding; a few old snapshots are kept for in-flight queries.
+    """
+
+    name = "columnar"
+
+    #: Snapshot states retained (current + a few superseded in-flight).
+    MAX_STATES = 4
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._states: dict = {}
+
+    def _state_for(self, ctx: TaskContext):
+        from repro.columnar.engine import ColumnarState
+
+        token = store_token(ctx.store, ctx.num_nodes)
+        with self._lock:
+            state = self._states.get(token)
+            if state is None:
+                while len(self._states) >= self.MAX_STATES:
+                    self._states.pop(next(iter(self._states)))
+                state = self._states[token] = ColumnarState()
+        return state
+
+    def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
+        from repro.columnar.engine import run_invocation
+
+        state = self._state_for(ctx)
+        return [
+            run_invocation(inv.spec, inv.args, ctx, state)
+            for inv in invocations
+        ]
+
+    def prime(self, ctx: TaskContext) -> None:
+        self._state_for(ctx)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -398,7 +452,7 @@ def split_workers(total: int | None, parts: int, backend: str) -> int | None:
     """
     if parts < 1:
         raise ValueError(f"cannot split workers across {parts} parts")
-    if backend == "serial":
+    if backend in ("serial", "columnar"):
         return None
     if total is None:
         total = default_process_workers() if backend == "process" else 4
@@ -406,7 +460,7 @@ def split_workers(total: int | None, parts: int, backend: str) -> int | None:
 
 
 #: Names accepted by :func:`make_backend` (and ServiceConfig.backend).
-BACKEND_NAMES = ("serial", "thread", "process")
+BACKEND_NAMES = ("serial", "thread", "process", "columnar")
 
 
 def make_backend(
@@ -429,6 +483,8 @@ def make_backend(
         return ThreadBackend(num_workers if num_workers is not None else 4)
     if backend == "process":
         return ProcessBackend(num_workers, on_fallback=on_fallback)
+    if backend == "columnar":
+        return ColumnarBackend()
     raise ValueError(
         f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

@@ -12,6 +12,16 @@ holding the physical operator chain plus routing data, evaluated against
 a :class:`~repro.mapreduce.jobs.TaskContext`.  That keeps plan execution
 backend-agnostic — the same compiled plan runs serially, on a thread
 pool, or fanned out across a process pool, with byte-identical answers.
+
+The ``run`` methods below are also the *reference semantics* for the
+vectorized evaluator: :mod:`repro.columnar.engine` executes these same
+three specs over dictionary-encoded :class:`~repro.columnar.block.ColumnBlock`
+columns instead of term tuples.  Both the produced rows (as multisets —
+intermediate order is never observable, the reducers group by key and
+the final answer is a set) and every :class:`TaskMetrics` increment in
+this file are a compatibility contract: change the accounting here and
+the columnar mirror must change in lockstep (the conformance harness
+compares the two field-wise).
 """
 
 from __future__ import annotations

@@ -110,19 +110,29 @@ def explain(
     shard_map: Sequence[int] | None = None,
     shard_triples: Sequence[int] | None = None,
     transport: str | None = None,
+    rows: str | None = None,
+    wire: str | None = None,
+    wire_bytes: int | None = None,
 ) -> str:
     """Full three-layer explanation of a logical plan.
 
     ``backend`` names the execution backend the jobs would run on
-    (serial / thread / process); it changes wall-clock only, never the
-    job structure or answers, and is surfaced here so an EXPLAIN of a
-    service-configured query shows where its tasks will execute.
-    ``template`` is the template-signature digest of a prepared query,
-    shown so an EXPLAIN identifies which plan-template cache entry the
-    query binds into.  ``shard_map``/``shard_triples`` (set when a
-    sharded store is active) append the per-shard row/task distribution;
-    ``transport`` names the shard boundary ("inproc" backends or "rpc"
-    shard server processes) the tasks would cross.
+    (serial / thread / process / columnar); it changes wall-clock only,
+    never the job structure or answers, and is surfaced here so an
+    EXPLAIN of a service-configured query shows where its tasks will
+    execute.  ``rows`` names the in-flight row representation the
+    backend evaluates ("tuple" term-tuples or "columnar"
+    dictionary-encoded id blocks).  ``template`` is the
+    template-signature digest of a prepared query, shown so an EXPLAIN
+    identifies which plan-template cache entry the query binds into.
+    ``shard_map``/``shard_triples`` (set when a sharded store is
+    active) append the per-shard row/task distribution; ``transport``
+    names the shard boundary ("inproc" backends or "rpc" shard server
+    processes) the tasks would cross, ``wire`` the row encoding of the
+    rpc frames ("columnar" id buffers + dictionary delta, or "pickle"),
+    and ``wire_bytes`` the encoded request bytes the service last
+    measured shipping over that wire — so benchmark tables and explains
+    agree on what was measured.
     """
     physical = translate(plan, replicas=replicas)
     compiled = compile_plan(physical)
@@ -134,8 +144,14 @@ def explain(
         f"== MapReduce jobs ({compiled.num_jobs}; signature "
         f"{compiled.job_signature()}; backend {backend}"
     )
+    if rows is not None:
+        jobs_header += f"; rows {rows}"
     if transport is not None:
         jobs_header += f"; transport {transport}"
+    if wire is not None:
+        jobs_header += f"; wire {wire}"
+        if wire_bytes is not None:
+            jobs_header += f" ({wire_bytes} B last shipped)"
     jobs_header += ") =="
     parts = [
         header,

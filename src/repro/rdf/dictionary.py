@@ -58,3 +58,53 @@ class Dictionary:
     def decode_many(self, idents: Iterable[int]) -> list[str]:
         """Decode an iterable of ids, preserving order."""
         return [self.decode(i) for i in idents]
+
+    # -- delta replication ----------------------------------------------------
+    #
+    # Ids are dense and append-only, so two dictionaries seeded from the
+    # same term sequence stay identical as long as every append on one
+    # side is replayed on the other in order.  The columnar wire format
+    # exploits this: a frame carries only the entries past the peer's
+    # watermark, and the peer merges them by position.
+
+    def entries_from(self, start: int) -> tuple[str, ...]:
+        """The terms with ids ``start .. len(self)-1``, in id order."""
+        if not 0 <= start <= len(self._id_to_term):
+            raise ValueError(
+                f"delta start {start} outside dictionary of {len(self)} entries"
+            )
+        return tuple(self._id_to_term[start:])
+
+    def merge_entries(self, start: int, terms: Iterable[str]) -> int:
+        """Replay a delta produced by :meth:`entries_from` on a replica.
+
+        Idempotent: entries below the current length must match what is
+        already stored (re-delivery after a retry is a no-op); entries at
+        the current length are appended.  A *start* beyond the current
+        length means a delta was lost — raises ``ValueError`` rather than
+        silently desynchronising id assignment.  Returns the new length.
+        """
+        size = len(self._id_to_term)
+        if start > size:
+            raise ValueError(
+                f"dictionary delta gap: delta starts at {start}, "
+                f"replica holds {size} entries"
+            )
+        for offset, term in enumerate(terms):
+            ident = start + offset
+            if ident < size:
+                if self._id_to_term[ident] != term:
+                    raise ValueError(
+                        f"dictionary delta conflict at id {ident}: "
+                        f"{self._id_to_term[ident]!r} != {term!r}"
+                    )
+                continue
+            if term in self._term_to_id:
+                raise ValueError(
+                    f"dictionary delta conflict: term {term!r} already "
+                    f"has id {self._term_to_id[term]}, delta assigns {ident}"
+                )
+            self._term_to_id[term] = ident
+            self._id_to_term.append(term)
+            size += 1
+        return size

@@ -64,6 +64,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.cluster import ShardedPlanExecutor, ShardedStore, shard_graph
+from repro.columnar.wire import WIRE_FORMATS
 from repro.core.algorithm import OptimizerResult, cliquesquare
 from repro.core.decomposition import MSC, DecompositionOption
 from repro.core.logical import LogicalPlan, rewrite_patterns
@@ -225,6 +226,14 @@ class ServiceConfig:
     #: request retried) once; sustained failure raises a typed
     #: ShardUnavailable, counted in snapshot_stats().shard_failures.
     shard_transport: str = "inproc"
+    #: row encoding of the rpc shard exchanges: "columnar" (default)
+    #: ships map inputs, reduce exchange rows and results as
+    #: dictionary-encoded id buffers plus a delta of terms the worker's
+    #: resident snapshot doesn't hold (repro.columnar.wire); "pickle"
+    #: keeps the original pickled tuple-list frames.  Answers and
+    #: reports are identical either way; shard_bytes reports the
+    #: encoded request sizes.  Ignored unless shard_transport="rpc".
+    wire_format: str = "columnar"
     #: admission control: maximum concurrently executing submissions.
     #: Beyond it, submit/submit_batch/PreparedQuery.execute raise
     #: ServiceOverloaded instead of queueing.  None = unbounded.
@@ -476,19 +485,25 @@ class PreparedQuery:
             default = f" = {p.default}" if p.default is not None else ""
             lines.append(f"  {p.placeholder} <- ${p.name} [{p.kind}]{default}")
         store = self._service.store
+        config = self._service.config
         sharded = isinstance(store, ShardedStore)
+        backend = (
+            config.backend
+            if isinstance(config.backend, str)
+            else type(config.backend).__name__
+        )
+        rpc = sharded and config.shard_transport == "rpc"
         lines.append(
             explain_plan(
                 self._entry.plan,
-                backend=self._service.config.backend
-                if isinstance(self._service.config.backend, str)
-                else type(self._service.config.backend).__name__,
+                backend=backend,
                 template=t.digest(),
                 shard_map=store.node_shards if sharded else None,
                 shard_triples=store.triples_per_shard() if sharded else None,
-                transport=self._service.config.shard_transport
-                if sharded
-                else None,
+                transport=config.shard_transport if sharded else None,
+                rows="columnar" if backend == "columnar" else "tuple",
+                wire=config.wire_format if rpc else None,
+                wire_bytes=self._service._last_wire_bytes if rpc else None,
             )
         )
         return "\n".join(lines)
@@ -539,6 +554,11 @@ class QueryService:
                 "shard_transport='rpc' requires shards >= 1 "
                 "(the RPC boundary sits between router and shard workers)"
             )
+        if self.config.wire_format not in WIRE_FORMATS:
+            raise ValueError(
+                f"unknown wire_format {self.config.wire_format!r}; "
+                f"expected one of {WIRE_FORMATS}"
+            )
         if self.config.shards:
             # Sharded deployment: N shard workers each hold one slice of
             # the §5.1 layout; the global catalog is aggregated from the
@@ -558,6 +578,7 @@ class QueryService:
                     on_fallback=self._on_backend_fallback,
                     transport=self.config.shard_transport,
                     on_shard_failure=self._on_shard_failure,
+                    wire_format=self.config.wire_format,
                 )
             )
         else:
@@ -588,6 +609,9 @@ class QueryService:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        #: encoded request bytes of the most recent rpc-sharded query
+        #: (sum over shards) — surfaced by EXPLAIN's wire line
+        self._last_wire_bytes: int | None = None
         self._inflight = (
             None
             if self.config.max_inflight is None
@@ -902,6 +926,8 @@ class QueryService:
         )
 
     def _record(self, outcome: QueryOutcome, coalesced: bool) -> None:
+        if outcome.report.shard_bytes is not None:
+            self._last_wire_bytes = sum(outcome.report.shard_bytes)
         self.stats.record_query(
             outcome.timings,
             plan_hit=outcome.plan_cache_hit,

@@ -96,7 +96,7 @@ DEPLOYMENTS: dict[str, dict] = {
     "shards4-rpc": {"shards": 4, "shard_transport": "rpc"},
 }
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "columnar")
 
 SURFACES = ("submit", "prepare", "batch")
 
@@ -105,6 +105,14 @@ def skip_unless_supported(deployment: str, backend: str) -> None:
     """Skip a matrix cell whose environment requirements are unmet."""
     if backend == "process" and not process_pools_work():
         pytest.skip("process pools unavailable in this environment")
+    if backend == "columnar":
+        from repro.columnar import columnar_available
+
+        if not columnar_available():
+            pytest.skip(
+                "columnar backend needs numpy (or "
+                "REPRO_COLUMNAR_FORCE_FALLBACK=1 for the stdlib path)"
+            )
     if (
         DEPLOYMENTS[deployment].get("shard_transport") == "rpc"
         and not rpc_workers_work()

@@ -1,0 +1,377 @@
+"""repro.columnar: block round-trips, dictionary deltas, wire packing,
+and vectorized-vs-tuple kernel equivalence.
+
+The deterministic randomized tests always run (seeded ``random``); the
+property-based tests additionally run under hypothesis when it is
+installed (the tier-1 CI leg installs pytest only, so they are gated).
+Everything here works with or without numpy — ``ColumnBlock`` falls
+back to ``array('q')`` columns — and ``REPRO_COLUMNAR_FORCE_FALLBACK=1``
+re-runs the whole file on the stdlib path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.columnar.block import ColumnBlock, to_blocks, to_rows
+from repro.columnar.kernels import (
+    HashMemo,
+    project_block,
+    select_bind,
+    shuffle_partitions,
+    star_join_blocks,
+)
+from repro.columnar.wire import (
+    PackedRows,
+    RawRows,
+    WireCodec,
+    pack_emits,
+    pack_rows,
+    unpack_emits,
+    unpack_rows,
+)
+from repro.mapreduce.jobs import stable_hash
+from repro.rdf.dictionary import Dictionary
+from repro.relational.joins import star_join
+from repro.relational.relation import Relation
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # tier-1 CI leg installs pytest only
+    HAVE_HYPOTHESIS = False
+
+#: terms spanning every RDF shape the dictionary must hold losslessly
+TERMS = [
+    "<http://example.org/u/Alice>",
+    "<http://example.org/u/Bob#frag>",
+    'ub:name "Ann \\"the\\" author"',
+    '"literal with spaces and unicode: é中文"',
+    '"42"^^<http://www.w3.org/2001/XMLSchema#integer>',
+    "_:b0",
+    "_:blank-node.17",
+    "",
+    "plain",
+]
+
+
+# -- ColumnBlock round-trips ---------------------------------------------------
+
+
+def test_block_roundtrip_preserves_rows_and_order():
+    d = Dictionary()
+    rows = [
+        (TERMS[0], TERMS[2], TERMS[5]),
+        (TERMS[1], TERMS[3], TERMS[6]),
+        (TERMS[0], TERMS[2], TERMS[5]),  # duplicates survive
+        (TERMS[7], TERMS[8], TERMS[4]),
+    ]
+    block = ColumnBlock.from_rows(("?s", "?p", "?o"), rows, d)
+    assert len(block) == 4
+    assert block.to_rows(d) == rows
+
+
+def test_block_relation_seam_roundtrip():
+    d = Dictionary()
+    relation = Relation(("?x", "?y"), [(a, b) for a in TERMS for b in TERMS])
+    block = to_blocks(relation, d)
+    assert block.attrs == ("?x", "?y")
+    assert to_rows(block, d) == list(relation.rows)
+
+
+def test_empty_block_roundtrip():
+    d = Dictionary()
+    block = ColumnBlock.from_rows(("?x",), [], d)
+    assert len(block) == 0
+    assert block.to_rows(d) == []
+    assert ColumnBlock.empty(()).to_rows(d) == []
+
+
+def test_block_column_lookup():
+    d = Dictionary()
+    block = ColumnBlock.from_rows(("?a", "?b"), [("x", "y")], d)
+    assert list(block.column("?b")) == [d.encode("y")]
+    with pytest.raises(KeyError):
+        block.column("?missing")
+
+
+# -- dictionary deltas ---------------------------------------------------------
+
+
+def test_delta_merge_replicates_sender():
+    sender, receiver = Dictionary(), Dictionary()
+    for term in ("shared-a", "shared-b"):
+        sender.encode(term)
+        receiver.encode(term)
+    mark = len(sender)
+    ids = [sender.encode(t) for t in TERMS]
+    receiver.merge_entries(mark, sender.entries_from(mark))
+    assert len(receiver) == len(sender)
+    for term, ident in zip(TERMS, ids):
+        assert receiver.decode(ident) == term
+        assert receiver.lookup(term) == ident
+
+
+def test_delta_merge_is_idempotent():
+    sender, receiver = Dictionary(), Dictionary()
+    sender.encode("seed")
+    receiver.encode("seed")
+    sender.encode("new-term")
+    delta = sender.entries_from(1)
+    receiver.merge_entries(1, delta)
+    receiver.merge_entries(1, delta)  # re-delivery after a retry
+    assert len(receiver) == 2
+    assert receiver.decode(1) == "new-term"
+
+
+def test_delta_gap_and_conflict_rejected():
+    receiver = Dictionary()
+    receiver.encode("a")
+    with pytest.raises(ValueError, match="gap"):
+        receiver.merge_entries(5, ("x",))
+    with pytest.raises(ValueError):
+        receiver.merge_entries(0, ("not-a",))
+
+
+def test_delta_ships_only_unseen_terms():
+    sender = Dictionary()
+    sender.encode("resident")
+    mark = len(sender)
+    sender.encode("resident")  # already seen: id reused, no new entry
+    assert sender.entries_from(mark) == ()
+    sender.encode("fresh")
+    assert sender.entries_from(mark) == ("fresh",)
+
+
+# -- wire packing --------------------------------------------------------------
+
+
+def test_pack_rows_roundtrip_and_width_selection():
+    d = Dictionary()
+    # force ids into each width class: 1, 2, 4 bytes
+    for i in range(70000):
+        d.encode(f"t{i}")
+    for ids, width in (([0, 1], 1), ([300, 12], 2), ([69999, 3], 4)):
+        rows = [(d.decode(i),) for i in ids]
+        packed = pack_rows(rows, d.encode)
+        assert isinstance(packed, PackedRows)
+        assert packed.widths == (width,)
+        assert len(packed.data) == width * len(ids)
+        assert unpack_rows(packed, d.decode) == rows
+
+
+def test_pack_rows_smaller_than_pickle_on_wide_terms():
+    import pickle
+
+    d = Dictionary()
+    rows = [
+        (f"<http://example.org/dept{i % 7}/person{i}>", f'"name {i}"')
+        for i in range(500)
+    ]
+    for row in rows:
+        for term in row:
+            d.encode(term)  # terms resident on both ends: only ids ship
+    packed = pack_rows(rows, d.encode)
+    assert len(packed.data) < len(pickle.dumps(rows))
+
+
+def test_pack_rows_falls_back_on_ragged_or_nonstring():
+    d = Dictionary()
+    for rows in ([("a",), ("b", "c")], [("a", 1)], [(None,)]):
+        packed = pack_rows(rows, d.encode)
+        assert isinstance(packed, RawRows)
+        assert unpack_rows(packed, d.decode) == rows
+    assert len(d) == 0  # fallback must not pollute the send dictionary
+
+
+def test_pack_emits_roundtrip():
+    d = Dictionary()
+    emits = [(3, 0, ("a", "b")), (1, 2, ("c", "a")), (0, 1, ("b", "b"))]
+    packed = pack_emits(emits, d.encode)
+    assert not isinstance(packed, RawRows)
+    assert unpack_emits(packed, d.decode) == emits
+    bad = [(-1, 0, ("a",))]
+    assert isinstance(pack_emits(bad, d.encode), RawRows)
+
+
+def test_wire_codec_delta_watermark_protocol():
+    from repro.partitioning.triple_partitioner import StoreSnapshot
+
+    files = (
+        {"f": (("s0", "p0", "o0"), ("s1", "p0", "o1"))},
+        {"g": (("s2", "p1", "o2"),)},
+    )
+    snapshot = StoreSnapshot(
+        num_nodes=2, replicas=("s", "p", "o"), files=files, token=(0, 0)
+    )
+    a, b = WireCodec(snapshot), WireCodec(snapshot)
+    # resident terms ship as ids only; fresh terms ride the delta once
+    rows1 = [("s0", "fresh-term"), ("s1", "o2")]
+    packed = pack_rows(rows1, a.send.encode)
+    frame, commit = a._frame(packed)
+    assert frame.delta_terms == ("fresh-term",)
+    # decode on the peer replays the delta before unpacking
+    b.recv.merge_entries(frame.delta_start, frame.delta_terms)
+    assert unpack_rows(frame.payload, b.recv.decode) == rows1
+    # an uncommitted frame re-ships its delta (lost-frame retry) ...
+    frame2, commit = a._frame(pack_rows(rows1, a.send.encode))
+    assert frame2.delta_terms == ("fresh-term",)
+    b.recv.merge_entries(frame2.delta_start, frame2.delta_terms)  # idempotent
+    commit()
+    # ... and after commit the delta is empty
+    frame3, _ = a._frame(pack_rows(rows1, a.send.encode))
+    assert frame3.delta_terms == ()
+
+
+# -- kernel equivalence (deterministic randomized) -----------------------------
+
+
+def random_relation(rng, attrs, terms, n):
+    return Relation(
+        attrs, [tuple(rng.choice(terms) for _ in attrs) for _ in range(n)]
+    )
+
+
+def assert_join_equivalent(inputs, on):
+    """Vectorized and tuple star joins agree as row multisets."""
+    d = Dictionary()
+    blocks = [to_blocks(r, d) for r in inputs]
+    expected = star_join(inputs, on=on)
+    got = star_join_blocks(blocks, on=on)
+    assert got.attrs == expected.attrs
+    assert sorted(to_rows(got, d)) == sorted(expected.rows)
+
+
+def test_star_join_equivalence_randomized():
+    rng = random.Random(20150413)
+    terms = [f"v{i}" for i in range(6)] + TERMS[:4]
+    for trial in range(50):
+        width = rng.randint(1, 3)
+        num_inputs = rng.randint(2, 4)
+        on = tuple(f"?k{i}" for i in range(width))
+        inputs = [
+            random_relation(
+                rng,
+                on + tuple(f"?a{j}.{i}" for i in range(rng.randint(0, 2))),
+                terms,
+                rng.randint(0, 12),
+            )
+            for j in range(num_inputs)
+        ]
+        assert_join_equivalent(inputs, on)
+
+
+def test_star_join_shared_nonkey_attr_equivalence():
+    # two inputs sharing a non-key attribute: merge must enforce equality
+    left = Relation(("?k", "?x"), [("a", "1"), ("a", "2"), ("b", "1")])
+    right = Relation(("?k", "?x", "?y"), [("a", "1", "p"), ("a", "3", "q")])
+    assert_join_equivalent([left, right], on=("?k",))
+
+
+def test_select_bind_matches_bind_triple():
+    from repro.physical.translate import bind_triple
+    from repro.sparql.ast import TriplePattern
+
+    rng = random.Random(7)
+    terms = ["a", "b", "c"]
+    triples = [
+        tuple(rng.choice(terms) for _ in range(3)) for _ in range(200)
+    ]
+    d = Dictionary()
+    cols = tuple(
+        ColumnBlock.from_rows(("?c",), [(t[i],) for t in triples], d).columns[0]
+        for i in range(3)
+    )
+    for pattern in (
+        TriplePattern("?s", "b", "?o"),
+        TriplePattern("?s", "?p", "c"),
+        TriplePattern("?x", "b", "?x"),  # repeated variable
+        TriplePattern("?s", "never-seen", "?o"),
+    ):
+        expected = []
+        for t in triples:
+            row = bind_triple(pattern, t)
+            if row is not None:
+                expected.append(row)
+        out_vars = pattern.variables()
+        positions = {}
+        for pos, part in enumerate((pattern.s, pattern.p, pattern.o)):
+            if part.startswith("?"):
+                positions.setdefault(part, []).append(pos)
+        const_checks = [
+            (pos, d.lookup(part))
+            for pos, part in enumerate((pattern.s, pattern.p, pattern.o))
+            if not part.startswith("?")
+        ]
+        var_positions = [tuple(positions[v]) for v in out_vars]
+        selected = select_bind(cols, const_checks, var_positions)
+        block = ColumnBlock(tuple(out_vars), tuple(selected))
+        assert block.to_rows(d) == expected
+
+
+def test_project_block_matches_relation_project():
+    rng = random.Random(99)
+    relation = random_relation(rng, ("?a", "?b", "?c"), ["x", "y", "z"], 40)
+    d = Dictionary()
+    block = to_blocks(relation, d)
+    for attrs in (("?b",), ("?c", "?a"), ("?a", "?b", "?c")):
+        got = to_rows(project_block(block, attrs), d)
+        assert got == list(relation.project(attrs).rows)
+
+
+def test_shuffle_partitions_match_stable_hash():
+    rng = random.Random(3)
+    relation = random_relation(rng, ("?k1", "?k2", "?v"), TERMS, 60)
+    d = Dictionary()
+    block = to_blocks(relation, d)
+    memo = HashMemo(d)
+    key = relation.key(("?k2", "?k1"))
+    for num_reducers in (1, 3, 8):
+        got = shuffle_partitions(block, ("?k2", "?k1"), num_reducers, memo)
+        expected = [
+            stable_hash(key(row)) % num_reducers for row in relation.rows
+        ]
+        assert got == expected
+
+
+# -- property-based (hypothesis, optional) ------------------------------------
+
+if HAVE_HYPOTHESIS:
+    term_st = st.text(min_size=0, max_size=12)
+    row3_st = st.tuples(term_st, term_st, term_st)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(row3_st, max_size=30))
+    def test_prop_block_roundtrip(rows):
+        d = Dictionary()
+        block = ColumnBlock.from_rows(("?s", "?p", "?o"), rows, d)
+        assert block.to_rows(d) == rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(row3_st, max_size=30))
+    def test_prop_pack_roundtrip(rows):
+        sender, receiver = Dictionary(), Dictionary()
+        packed = pack_rows(rows, sender.encode)
+        receiver.merge_entries(0, sender.entries_from(0))
+        assert unpack_rows(packed, receiver.decode) == rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(term_st, term_st), max_size=15),
+        st.lists(st.tuples(term_st, term_st), max_size=15),
+    )
+    def test_prop_two_way_join_equivalence(left_rows, right_rows):
+        left = Relation(("?k", "?a"), left_rows)
+        right = Relation(("?k", "?b"), right_rows)
+        assert_join_equivalent([left, right], on=("?k",))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(term_st, min_size=1, max_size=8))
+    def test_prop_hash_memo_matches_stable_hash(terms):
+        d = Dictionary()
+        ids = [d.encode(t) for t in terms]
+        assert HashMemo(d).hash_id_row(ids) == stable_hash(terms)
