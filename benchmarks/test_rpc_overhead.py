@@ -13,19 +13,28 @@ bytes shipped per query under both wire formats: ``pickle`` (tuple
 lists) and ``columnar`` (dictionary-encoded id buffers plus a
 terms-the-peer-lacks delta, the default).
 
-There is no wall-clock gate: RPC cannot be faster than a function call
-in a single-machine simulation; the point of the table is to keep the
-overhead *visible* so a regression (e.g. a spec accidentally re-shipped
-per task) shows up as a bytes/latency jump.  Answer equality is the
-hard assertion, plus a bytes gate: the columnar wire must encode
-smaller than pickle on every row-heavy query (the ones where wire tax
-actually matters).
+There is no unconditional wall-clock gate: RPC cannot be faster than a
+function call in a single-machine simulation; the point of the table is
+to keep the overhead *visible* so a regression (e.g. a spec
+accidentally re-shipped per task) shows up as a bytes/latency jump.
+Answer equality is the hard assertion, plus a bytes gate: the columnar
+wire must encode smaller than pickle on every row-heavy query (the ones
+where wire tax actually matters).  On machines with real parallelism
+(>= 4 CPUs) two wall-clock gates arm: worst-case per-query rpc/inproc
+<= 2.0x, and — in the concurrent companion test — multiplexed+coalesced
+throughput >= 2x the serial-connection baseline under an 8-thread mixed
+workload.  Set RPC_BENCH_STRICT=0 to skip both on noisy runners.
 
-Results land in ``benchmarks/results/rpc_overhead.txt``.
+Results land in ``benchmarks/results/rpc_overhead.txt`` (per-query) and
+``benchmarks/results/rpc_overhead_concurrent.txt`` (8-thread mix:
+serial-connection vs multiplexed vs coalesced, bytes + frames per
+query).
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 
 import pytest
@@ -41,6 +50,21 @@ ROUNDS = 3
 #: queries that ship enough exchange rows for encoding to matter; the
 #: columnar wire must beat pickled tuples on every one of them
 ROW_HEAVY = ("Q5", "Q8", "Q10", "Q11", "Q14")
+
+#: wall-clock gates (worst-case per-query ratio, concurrent speedup)
+#: apply only where parallelism is physically possible
+MAX_RPC_RATIO = 2.0
+REQUIRED_CONCURRENT_SPEEDUP = 2.0
+DRIVER_THREADS = 8
+
+STRICT = os.environ.get("RPC_BENCH_STRICT", "1") != "0"
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def test_rpc_overhead(record_table):
@@ -130,4 +154,171 @@ def test_rpc_overhead(record_table):
         "columnar wire smaller than pickle on all row-heavy queries "
         f"({', '.join(ROW_HEAVY)}): yes"
     )
+    worst = max(ratio for _, _, _, _, ratio, _, _, _ in rows)
+    cpus = _cpus()
+    lines.append(
+        f"worst-case per-query rpc/inproc: {worst:.1f}x "
+        f"(gate <= {MAX_RPC_RATIO}x on >= 4 CPUs; {cpus} CPU(s) here)"
+    )
+    lines.append(
+        "concurrent throughput: see rpc_overhead_concurrent.txt"
+    )
     record_table("rpc_overhead", "\n".join(lines))
+    if STRICT and cpus >= 4:
+        assert worst <= MAX_RPC_RATIO, (
+            f"worst-case rpc/inproc {worst:.2f}x > {MAX_RPC_RATIO}x "
+            f"on {cpus} CPUs"
+        )
+
+
+def test_rpc_concurrent_throughput(record_table):
+    """The concurrency axis: 8 driver threads submit a rotated mixed
+    LUBM workload against the same rpc deployment under three transport
+    configurations — serial-connection (rpc_pipeline=0: one outstanding
+    request per socket, the pre-multiplexing baseline), multiplexed
+    (rpc_pipeline=8), and coalesced (multiplexed + cross-query level
+    batching).  Answers are always asserted; the frames column proves
+    coalescing actually merges concurrent levels (fewer frames shipped
+    than levels requested)."""
+    if not rpc_workers_work():
+        pytest.skip("RPC shard workers unavailable in this environment")
+    graph = lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
+    queries = lubm_queries.all_queries()
+    rotations = [
+        queries[i % len(queries):] + queries[: i % len(queries)]
+        for i in range(DRIVER_THREADS)
+    ]
+    total_queries = DRIVER_THREADS * len(queries)
+
+    configs = (
+        ("serial-conn", {"rpc_pipeline": 0}),
+        ("multiplexed", {"rpc_pipeline": DRIVER_THREADS}),
+        (
+            "coalesced",
+            {
+                "rpc_pipeline": DRIVER_THREADS,
+                "coalesce_window_ms": 2.0,
+                "coalesce_max_batch": DRIVER_THREADS,
+            },
+        ),
+    )
+
+    expected: dict[str, frozenset] = {}
+    measured = {}
+    for label, overrides in configs:
+        service = QueryService(
+            graph,
+            ServiceConfig(
+                shards=SHARDS,
+                shard_transport="rpc",
+                result_cache_size=0,
+                **overrides,
+            ),
+        )
+        try:
+            # Warm: optimize + register every template, fill the bound
+            # plan caches and the columnar dictionaries.
+            for query in queries:
+                outcome = service.submit(query)
+                expected.setdefault(query.name, frozenset(outcome.rows))
+                assert frozenset(outcome.rows) == expected[query.name]
+            router = service.executor.router
+            base_requests = router.level_requests
+            base_frames = router.level_frames
+            base_bytes = sum(
+                s.bytes_received for s in router.worker_stats()
+            )
+            results: list[object] = [None] * DRIVER_THREADS
+
+            def run(i: int) -> None:
+                try:
+                    results[i] = [
+                        (q.name, frozenset(service.submit(q).rows))
+                        for q in rotations[i]
+                    ]
+                except BaseException as exc:
+                    results[i] = exc
+
+            threads = [
+                threading.Thread(target=run, args=(i,))
+                for i in range(DRIVER_THREADS)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+            for i, result in enumerate(results):
+                assert not isinstance(result, BaseException), (label, i, result)
+                for name, rows_ in result:
+                    assert rows_ == expected[name], (label, name)
+            requests = router.level_requests - base_requests
+            frames = router.level_frames - base_frames
+            bytes_total = (
+                sum(s.bytes_received for s in router.worker_stats())
+                - base_bytes
+            )
+            measured[label] = {
+                "wall": wall,
+                "qps": total_queries / wall,
+                "requests": requests,
+                "frames": frames,
+                "frames_per_query": frames / total_queries,
+                "bytes": bytes_total,
+            }
+        finally:
+            service.close()
+
+    serial = measured["serial-conn"]
+    cpus = _cpus()
+    lines = [
+        f"RPC concurrent throughput — LUBM({UNIVERSITIES} universities), "
+        f"shards={SHARDS}, serial execution, {DRIVER_THREADS} driver "
+        f"threads x {len(queries)} queries (rotated mix), "
+        f"{cpus} CPU(s) available",
+        f"{'config':<12} {'wall s':>8} {'q/s':>8} {'speedup':>8} "
+        f"{'level reqs':>11} {'frames':>8} {'frames/q':>9} {'recv MB':>8}",
+    ]
+    for label, _ in configs:
+        m = measured[label]
+        lines.append(
+            f"{label:<12} {m['wall']:>8.2f} {m['qps']:>8.1f} "
+            f"{serial['wall'] / m['wall']:>7.2f}x {m['requests']:>11} "
+            f"{m['frames']:>8} {m['frames_per_query']:>9.2f} "
+            f"{m['bytes'] / 1e6:>8.2f}"
+        )
+    lines.append(
+        "answers identical to the single-connection warm reference "
+        "under all three configurations: yes"
+    )
+    coalesced, multiplexed = measured["coalesced"], measured["multiplexed"]
+    lines.append(
+        "coalescing merged concurrent levels: "
+        f"{coalesced['frames']} frames for {coalesced['requests']} level "
+        "requests"
+    )
+    if cpus < 4:
+        lines.append(
+            f"note: {cpus} CPU(s) available — concurrent speedup is not "
+            f"achievable here; the >= {REQUIRED_CONCURRENT_SPEEDUP}x gate "
+            "applies on >= 4 CPUs (see CI rpc-concurrency)"
+        )
+    record_table("rpc_overhead_concurrent", "\n".join(lines))
+
+    # The structural gates hold on any machine.  (Level-request totals
+    # legitimately differ across configs: concurrent identical
+    # submissions single-flight at the service layer, and how many
+    # coincide is timing-dependent.)  Without coalescing, frames ==
+    # level requests exactly; with it, strictly fewer frames went out
+    # than levels were requested — the merge provably happened.
+    assert serial["frames"] == serial["requests"]
+    assert multiplexed["frames"] == multiplexed["requests"]
+    assert 0 < coalesced["frames"] < coalesced["requests"]
+    if STRICT and cpus >= 4:
+        speedup = serial["wall"] / coalesced["wall"]
+        assert speedup >= REQUIRED_CONCURRENT_SPEEDUP, (
+            f"multiplexed+coalesced speedup {speedup:.2f}x < "
+            f"{REQUIRED_CONCURRENT_SPEEDUP}x over the serial-connection "
+            f"baseline on {cpus} CPUs"
+        )

@@ -41,6 +41,7 @@ from typing import Callable, Sequence
 
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
+    DEFAULT_RPC_PIPELINE,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -76,6 +77,10 @@ class ShardRunSummary:
     #: request bytes shipped to each shard worker (RPC transport only;
     #: None when shards are called in-process)
     bytes_shipped: tuple[int, ...] | None = None
+    #: request frames shipped to each shard worker (RPC transport only;
+    #: under cross-query coalescing a frame may carry several queries'
+    #: levels, so a query's frame count can undershoot its level count)
+    frames_shipped: tuple[int, ...] | None = None
 
 
 class _ShardJobState:
@@ -185,10 +190,17 @@ class ShardRouter:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
-                    max_workers=max(4, 2 * self.num_shards),
+                    max_workers=self._dispatch_width(),
                     thread_name_prefix="repro-shard",
                 )
             return self._pool
+
+    def _dispatch_width(self) -> int:
+        """Driver-side dispatch pool size.  The RPC router widens this
+        with its pipeline depth: coalescer followers park on a dispatch
+        thread until the leader flushes, so the pool must hold one
+        thread per concurrently in-flight shard call."""
+        return max(4, 2 * self.num_shards)
 
     # -- execution -----------------------------------------------------------
 
@@ -246,10 +258,15 @@ class ShardRouter:
         merged.shards = num_shards
         merged.transport = self.transport
         bytes_shipped = self._bytes_shipped(exec_ctx)
+        frames_shipped = self._frames_shipped(exec_ctx)
         merged.shard_bytes = bytes_shipped
+        merged.shard_frames = frames_shipped
         result = driver_hdfs.read("result")
         return result, merged, ShardRunSummary(
-            tasks=tuple(tasks), rows=tuple(rows), bytes_shipped=bytes_shipped
+            tasks=tuple(tasks),
+            rows=tuple(rows),
+            bytes_shipped=bytes_shipped,
+            frames_shipped=frames_shipped,
         )
 
     def execute_prepared(
@@ -266,6 +283,10 @@ class ShardRouter:
 
     def _bytes_shipped(self, exec_ctx: object | None) -> tuple[int, ...] | None:
         """Per-shard request bytes of one execution (None in-process)."""
+        return None
+
+    def _frames_shipped(self, exec_ctx: object | None) -> tuple[int, ...] | None:
+        """Per-shard request frames of one execution (None in-process)."""
         return None
 
     # -- internals -----------------------------------------------------------
@@ -498,6 +519,9 @@ class ShardedPlanExecutor:
         on_shard_failure: Callable[[int, str], None] | None = None,
         max_frame_bytes: int | None = None,
         wire_format: str = "columnar",
+        rpc_pipeline: int = DEFAULT_RPC_PIPELINE,
+        coalesce_window_ms: float = 0.0,
+        coalesce_max_batch: int = 1,
     ) -> None:
         self.store = store
         self.cluster = cluster or ClusterConfig(num_nodes=store.num_nodes)
@@ -537,6 +561,9 @@ class ShardedPlanExecutor:
                 on_failure=on_shard_failure,
                 on_warning=on_fallback,
                 wire_format=wire_format,
+                pipeline=rpc_pipeline,
+                coalesce_window_ms=coalesce_window_ms,
+                coalesce_max_batch=coalesce_max_batch,
                 **extra,
             )
             return
@@ -651,4 +678,5 @@ class ShardedPlanExecutor:
             shard_tasks=summary.tasks,
             shard_rows=summary.rows,
             shard_bytes=summary.bytes_shipped,
+            shard_frames=summary.frames_shipped,
         )

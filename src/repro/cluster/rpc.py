@@ -19,12 +19,27 @@ socket, HMAC-authenticated, no third-party deps) that holds, resident:
   worker itself may fan its batch out on a process pool of its own,
   keyed to the snapshot token exactly like the in-process deployment.
 
-After a template is registered once, a query crosses the wire as its
-**bound constant vector** (:class:`BoundSpecs`) plus per-level task
-metadata and exchange rows (:class:`ExecuteLevel`): the driver never
-re-ships task specs or operator chains.  Message frames are pickled
-dataclasses with an explicit size cap; oversized frames and unknown
-message types surface as typed errors, never hangs.
+After a template is registered once, a query crosses the wire as
+per-level task metadata plus exchange rows (:class:`ExecuteLevel`,
+naming the template key and constant vector the worker binds lazily):
+the driver never re-ships task specs or operator chains.  Message
+frames are pickled dataclasses with an explicit size cap; oversized
+frames and unknown message types surface as typed errors, never hangs.
+
+The connection is **multiplexed**: every frame travels in a
+:class:`Request`/:class:`Reply` envelope carrying a request id.  The
+worker's main thread is the connection's single reader; it dispatches
+``ExecuteLevel``/:class:`ExecuteBatch` frames onto a small thread pool
+(``pipeline`` wide) so levels of concurrent queries overlap, while
+state-mutating frames (Prime, RegisterTemplate, …) serialize behind a
+readers-writer state lock.  Driver-side, a per-connection reader thread
+matches replies to waiters by id, so :class:`ShardWorkerClient` holds
+no lock across a round trip.  On top of that, :class:`RpcShardRouter`
+can micro-batch: levels that concurrent queries dispatch to the same
+shard within a short window coalesce into one :class:`ExecuteBatch`
+frame — one encode/send/recv for many queries — and demultiplex by
+sub-request id.  Retries are idempotent: workers answer a repeated
+request id from a reply cache instead of executing twice.
 
 The driver side is :class:`RpcShardRouter` — a drop-in
 :class:`~repro.cluster.router.ShardRouter` whose level scheduling,
@@ -41,10 +56,15 @@ of deadlocking the service.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import multiprocessing
 import os
 import pickle
 import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing.connection import Client, Listener
 
@@ -52,10 +72,12 @@ from repro.cluster.router import ShardRouter
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
     BACKEND_NAMES,
+    DEFAULT_RPC_PIPELINE,
     ExecutionBackend,
     SerialBackend,
     TaskInvocation,
     make_backend,
+    pipeline_workers,
     store_token,
 )
 from repro.columnar.wire import WIRE_FORMATS, ColumnarFrame, WireCodec
@@ -79,6 +101,11 @@ DEFAULT_SPAWN_TIMEOUT = 60.0
 #: which an ad-hoc workload can grow without limit — a long-lived server
 #: must not.
 MAX_BOUND_PLANS = 256
+
+#: Reply payloads a shard server keeps per request id (LRU), so a
+#: retried execute frame is answered from the cache instead of running
+#: twice.  Small: the retry window is one in-flight request per waiter.
+DEDUP_CACHE_SIZE = 64
 
 
 # -- typed errors --------------------------------------------------------------
@@ -219,6 +246,30 @@ class ExecuteLevel:
 
 
 @dataclass(frozen=True)
+class ExecuteBatch:
+    """Several queries' :class:`ExecuteLevel` s for one shard, coalesced
+    into a single frame.
+
+    ``items`` pairs each level with the sub-request id its reply
+    demultiplexes under in the :class:`BatchReply`.  The batch shares
+    one encode/send/recv (and, columnar, one dictionary delta) across
+    its members; each member executes independently worker-side, so one
+    failing level yields a per-item :class:`ErrorReply`, never poisons
+    its neighbours.
+    """
+
+    items: tuple = ()
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Per-item replies of one :class:`ExecuteBatch`: ``(sub_request_id,
+    ResultsReply | ErrorReply)`` pairs, in item order."""
+
+    replies: tuple = ()
+
+
+@dataclass(frozen=True)
 class Stats:
     """Read the worker's counters (idempotent)."""
 
@@ -236,6 +287,17 @@ class StatsReply:
     bytes_received: int
     backend: str
     warnings: tuple[str, ...]
+    #: dispatch-pool size: how many levels may execute concurrently
+    pipeline: int = 1
+    #: levels currently executing / accepted but not yet started
+    inflight: int = 0
+    queue_depth: int = 0
+    #: high-water mark of ``inflight`` over the worker's life
+    peak_inflight: int = 0
+    #: ExecuteBatch frames served / duplicate request ids answered
+    #: from the dedup cache (or dropped while still in flight)
+    batches: int = 0
+    deduped: int = 0
 
 
 @dataclass(frozen=True)
@@ -263,6 +325,27 @@ class ErrorReply:
     kind: str = ""
 
 
+@dataclass(frozen=True)
+class Request:
+    """The envelope every driver→worker frame travels in: a connection-
+    unique ``id`` the reply is matched back under, plus the message
+    itself (possibly a :class:`ColumnarFrame` wrapping it)."""
+
+    id: int
+    msg: object
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The worker→driver envelope.  ``id`` echoes the request's; the
+    reserved id ``-1`` is a connection-level broadcast (the worker could
+    not attribute the failure to a request — e.g. an undecodable or
+    oversized incoming frame), which fails every in-flight waiter."""
+
+    id: int
+    payload: object
+
+
 #: All frame types, for protocol round-trip tests.
 MESSAGE_TYPES = (
     Hello,
@@ -272,12 +355,16 @@ MESSAGE_TYPES = (
     RegisterTemplate,
     BoundSpecs,
     ExecuteLevel,
+    ExecuteBatch,
     Stats,
     StatsReply,
     Shutdown,
     OkReply,
     ResultsReply,
+    BatchReply,
     ErrorReply,
+    Request,
+    Reply,
     ColumnarFrame,
 )
 
@@ -328,8 +415,56 @@ class _BoundPlan:
             raise WorkerStateError(f"job {job!r} has no reduce spec") from None
 
 
+class _StateRWLock:
+    """Writer-preferring readers-writer lock over worker resident state:
+    ExecuteLevels share it (readers run concurrently on the dispatch
+    pool), while Prime / InvalidateSnapshot / RegisterTemplate take it
+    exclusively, so a snapshot or template swap never interleaves with a
+    running level."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._waiting_writers += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._waiting_writers -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
 class _WorkerState:
-    """Everything resident in one shard server process."""
+    """Everything resident in one shard server process.
+
+    With a dispatch pool (``pipeline > 1``) levels execute on several
+    threads at once: resident-state swaps serialize behind
+    :attr:`rwlock`, the bound-plan LRU behind its own mutex, and every
+    counter behind the stats mutex."""
 
     def __init__(
         self,
@@ -338,14 +473,17 @@ class _WorkerState:
         num_shards: int,
         backend: str,
         backend_workers: int | None,
+        pipeline: int = 1,
     ) -> None:
         self.shard = shard
         self.num_nodes = num_nodes
         self.num_shards = num_shards
         self.backend_name = backend
+        self.pipeline = pipeline
         self.warnings: list[str] = []
         self.backend: ExecutionBackend = make_backend(
-            backend, num_workers=backend_workers,
+            backend,
+            num_workers=pipeline_workers(backend, backend_workers, pipeline),
             on_fallback=self.warnings.append,
         )
         self.snapshot: StoreSnapshot | None = None
@@ -353,10 +491,52 @@ class _WorkerState:
         self.wire: WireCodec | None = None
         self.templates: dict[str, PhysicalPlan] = {}
         self.bound: dict[tuple, _BoundPlan] = {}
+        self.rwlock = _StateRWLock()
+        self._bound_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self.tasks_run = 0
         self.levels_run = 0
         self.primes = 0
         self.bytes_received = 0
+        self.queued = 0
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.batches = 0
+        self.deduped = 0
+
+    # -- telemetry gauges --------------------------------------------------
+
+    def note_bytes(self, n: int) -> None:
+        with self._stats_lock:
+            self.bytes_received += n
+
+    def note_queued(self, n: int) -> None:
+        with self._stats_lock:
+            self.queued += n
+
+    def note_batch(self) -> None:
+        with self._stats_lock:
+            self.batches += 1
+
+    def note_dedup(self) -> None:
+        with self._stats_lock:
+            self.deduped += 1
+
+    def idle(self) -> bool:
+        """True when nothing executes or waits besides the one request
+        the caller just queued (the inline fast-path predicate)."""
+        with self._stats_lock:
+            return self.queued <= 1 and self.inflight == 0
+
+    def begin_execute(self) -> None:
+        with self._stats_lock:
+            self.queued -= 1
+            self.inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def end_execute(self) -> None:
+        with self._stats_lock:
+            self.inflight -= 1
 
     # -- state transitions -------------------------------------------------
 
@@ -380,33 +560,38 @@ class _WorkerState:
         return snapshot.token
 
     def register(self, key: str, physical: PhysicalPlan) -> bool:
-        new = key not in self.templates
-        self.templates[key] = physical
-        if not new:
-            # Re-registration replaces the plan; drop stale bindings.
-            self.bound = {k: v for k, v in self.bound.items() if k[0] != key}
-        return new
+        with self._bound_lock:
+            new = key not in self.templates
+            self.templates[key] = physical
+            if not new:
+                # Re-registration replaces the plan; drop stale bindings.
+                self.bound = {
+                    k: v for k, v in self.bound.items() if k[0] != key
+                }
+            return new
 
     def bound_for(self, key: str, binding: tuple) -> _BoundPlan:
-        cached = self.bound.get((key, binding))
-        if cached is None:
-            physical = self.templates.get(key)
-            if physical is None:
-                raise TemplateNotRegistered(
-                    f"shard {self.shard} holds no template {key!r}"
-                )
-            cached = _BoundPlan(physical, binding, self.num_nodes)
-            self.bound[(key, binding)] = cached
-            while len(self.bound) > MAX_BOUND_PLANS:
-                # LRU eviction: a constant-varying workload must not
-                # grow a long-lived server without bound.  Evicted
-                # bindings rebind on demand from the resident template.
-                self.bound.pop(next(iter(self.bound)))
-        else:
-            # Move-to-end marks the binding recently used.
-            self.bound.pop((key, binding))
-            self.bound[(key, binding)] = cached
-        return cached
+        with self._bound_lock:
+            cached = self.bound.get((key, binding))
+            if cached is None:
+                physical = self.templates.get(key)
+                if physical is None:
+                    raise TemplateNotRegistered(
+                        f"shard {self.shard} holds no template {key!r}"
+                    )
+                cached = _BoundPlan(physical, binding, self.num_nodes)
+                self.bound[(key, binding)] = cached
+                while len(self.bound) > MAX_BOUND_PLANS:
+                    # LRU eviction: a constant-varying workload must not
+                    # grow a long-lived server without bound.  Evicted
+                    # bindings rebind on demand from the resident
+                    # template.
+                    self.bound.pop(next(iter(self.bound)))
+            else:
+                # Move-to-end marks the binding recently used.
+                self.bound.pop((key, binding))
+                self.bound[(key, binding)] = cached
+            return cached
 
     # -- request handlers --------------------------------------------------
 
@@ -435,24 +620,32 @@ class _WorkerState:
         else:
             raise RpcProtocolError(f"unknown ExecuteLevel phase {msg.phase!r}")
         results = self.backend.run(invocations, ctx)
-        self.tasks_run += len(invocations)
-        self.levels_run += 1
+        with self._stats_lock:
+            self.tasks_run += len(invocations)
+            self.levels_run += 1
         return ResultsReply(results=list(results))
 
     def stats(self) -> StatsReply:
-        return StatsReply(
-            shard=self.shard,
-            pid=os.getpid(),
-            snapshot_token=self.token,
-            templates=len(self.templates),
-            bound_instances=len(self.bound),
-            tasks_run=self.tasks_run,
-            levels_run=self.levels_run,
-            primes=self.primes,
-            bytes_received=self.bytes_received,
-            backend=self.backend_name,
-            warnings=tuple(self.warnings),
-        )
+        with self._stats_lock:
+            return StatsReply(
+                shard=self.shard,
+                pid=os.getpid(),
+                snapshot_token=self.token,
+                templates=len(self.templates),
+                bound_instances=len(self.bound),
+                tasks_run=self.tasks_run,
+                levels_run=self.levels_run,
+                primes=self.primes,
+                bytes_received=self.bytes_received,
+                backend=self.backend_name,
+                warnings=tuple(self.warnings),
+                pipeline=self.pipeline,
+                inflight=self.inflight,
+                queue_depth=self.queued,
+                peak_inflight=self.peak_inflight,
+                batches=self.batches,
+                deduped=self.deduped,
+            )
 
     def close(self) -> None:
         try:
@@ -488,19 +681,43 @@ def _dispatch(state: _WorkerState, msg: object):
     raise RpcProtocolError(f"unknown message type {type(msg).__name__!r}")
 
 
-def _error_reply(exc: BaseException) -> bytes:
-    """Pickle an error reply, degrading to a string-only error when the
-    original exception itself does not pickle."""
-    reply = ErrorReply(error=exc, kind=type(exc).__name__)
+def _as_error_reply(exc: BaseException) -> ErrorReply:
+    return ErrorReply(error=exc, kind=type(exc).__name__)
+
+
+def _reply_payload(rid: int, reply) -> bytes:
+    """Pickle one :class:`Reply` envelope, degrading to a string-only
+    error when the payload itself does not pickle."""
     try:
-        return pickle.dumps(reply)
-    except Exception:
+        return pickle.dumps(Reply(rid, reply))
+    except Exception as exc:
+        source = reply.error if isinstance(reply, ErrorReply) else exc
         return pickle.dumps(
-            ErrorReply(
-                error=RpcError(f"{type(exc).__name__}: {exc}"),
-                kind=type(exc).__name__,
+            Reply(
+                rid,
+                ErrorReply(
+                    error=RpcError(f"{type(source).__name__}: {source}"),
+                    kind=type(source).__name__,
+                ),
             )
         )
+
+
+class _BatchAggregate:
+    """Collects one :class:`ExecuteBatch`'s per-item replies as pool
+    tasks finish; the task completing the batch sends the reply."""
+
+    def __init__(self, rid: int, count: int) -> None:
+        self.rid = rid
+        self.replies: list = [None] * count
+        self._remaining = count
+        self._lock = threading.Lock()
+
+    def finish(self, index: int, sub_rid: int, reply) -> bool:
+        with self._lock:
+            self.replies[index] = (sub_rid, reply)
+            self._remaining -= 1
+            return self._remaining == 0
 
 
 def _worker_main(
@@ -512,20 +729,158 @@ def _worker_main(
     backend_workers: int | None,
     max_frame_bytes: int,
     authkey: bytes,
+    pipeline: int = 1,
 ) -> None:
     """Entry point of a shard server process.
 
     Binds a localhost listener, reports the bound address back through
     *channel*, then serves its single router connection until Shutdown,
     EOF (driver died) or an unrecoverable frame error.
+
+    The loop is accept-dispatch: the main thread is the connection's
+    only reader — it decodes frames in arrival order (the columnar
+    dictionary replay requires that) and hands ``ExecuteLevel`` /
+    ``ExecuteBatch`` work to a dispatch pool of up to *pipeline*
+    threads, so levels of concurrent queries overlap.  Every other
+    frame is served inline; state mutators behind the write side of the
+    state lock.  Replies carry the request id of their envelope, and
+    reply *encoding* happens under the send lock so encode order equals
+    send order — the invariant the columnar delta watermark needs.
+    Execute replies are cached per request id: a retried frame is
+    answered from the cache, never run twice.
     """
     listener = Listener(("127.0.0.1", 0), authkey=bytes(authkey))
     try:
         channel.send(listener.address)
     finally:
         channel.close()
-    state = _WorkerState(shard, num_nodes, num_shards, backend, backend_workers)
+    concurrency = max(1, pipeline)
+    state = _WorkerState(
+        shard, num_nodes, num_shards, backend, backend_workers,
+        pipeline=concurrency,
+    )
     conn = listener.accept()
+    send_lock = threading.Lock()
+    pool = (
+        ThreadPoolExecutor(
+            max_workers=concurrency,
+            thread_name_prefix=f"repro-shard{shard}-exec",
+        )
+        if concurrency > 1
+        else None
+    )
+    dedup_lock = threading.Lock()
+    dedup_done: OrderedDict[int, bytes] = OrderedDict()
+    dedup_inflight: set[int] = set()
+
+    def dedup_check(rid: int):
+        """None = fresh (now marked in flight); bytes = already answered
+        (resend verbatim); "inflight" = executing right now (drop — the
+        original execution will reply)."""
+        with dedup_lock:
+            cached = dedup_done.get(rid)
+            if cached is not None:
+                state.note_dedup()
+                return cached
+            if rid in dedup_inflight:
+                state.note_dedup()
+                return "inflight"
+            dedup_inflight.add(rid)
+            return None
+
+    def dedup_finish(rid: int, payload: bytes | None) -> None:
+        with dedup_lock:
+            dedup_inflight.discard(rid)
+            if payload is not None:
+                dedup_done[rid] = payload
+                while len(dedup_done) > DEDUP_CACHE_SIZE:
+                    dedup_done.popitem(last=False)
+
+    def send_error(rid: int, exc: BaseException) -> None:
+        with send_lock:
+            try:
+                conn.send_bytes(_reply_payload(rid, _as_error_reply(exc)))
+            except Exception:
+                pass
+
+    def send_reply(rid: int, reply) -> bytes | None:
+        """Columnar-encode (when applicable), envelope, cap-check and
+        send one reply; returns the payload actually written (for the
+        dedup cache) or None when the connection is gone.  The delta
+        watermark advances only once the frame is written (an unsent
+        delta is simply re-shipped — merge_entries is idempotent, so
+        over-shipping is safe, gaps are not)."""
+        with send_lock:
+            out, commit = reply, None
+            if state.wire is not None and isinstance(
+                reply, (ResultsReply, BatchReply)
+            ):
+                try:
+                    out, commit = state.wire.encode_payload(reply)
+                except BaseException as exc:
+                    out, commit = _as_error_reply(exc), None
+            payload = _reply_payload(rid, out)
+            if len(payload) > max_frame_bytes:
+                payload = _reply_payload(
+                    rid,
+                    ErrorReply(
+                        error=FrameTooLarge(
+                            f"reply frame of {len(payload)} bytes exceeds "
+                            f"the {max_frame_bytes}-byte cap"
+                        ),
+                        kind="FrameTooLarge",
+                    ),
+                )
+                commit = None
+            try:
+                conn.send_bytes(payload)
+            except Exception:
+                return None
+            if commit is not None:
+                commit()
+            return payload
+
+    def run_item(level: ExecuteLevel):
+        """Execute one level under the read lock; errors become typed
+        per-item replies, never thread deaths."""
+        state.begin_execute()
+        try:
+            with state.rwlock.read():
+                try:
+                    return state.execute_level(level)
+                except BaseException as exc:
+                    return _as_error_reply(exc)
+        finally:
+            state.end_execute()
+
+    def run_level(rid: int, msg: ExecuteLevel) -> None:
+        reply = run_item(msg)
+        dedup_finish(rid, send_reply(rid, reply))
+
+    def run_batch_item(agg: _BatchAggregate, index: int, sub_rid: int, level) -> None:
+        if agg.finish(index, sub_rid, run_item(level)):
+            reply = BatchReply(replies=tuple(agg.replies))
+            dedup_finish(agg.rid, send_reply(agg.rid, reply))
+
+    def run_batch(rid: int, msg: ExecuteBatch) -> None:
+        state.note_batch()
+        items = tuple(msg.items)
+        if not items:
+            dedup_finish(rid, send_reply(rid, BatchReply(replies=())))
+            return
+        if pool is None:
+            replies = tuple(
+                (sub_rid, run_item(level)) for sub_rid, level in items
+            )
+            dedup_finish(rid, send_reply(rid, BatchReply(replies=replies)))
+            return
+        # Items are dispatched as sibling pool tasks (never nested
+        # submissions, which could deadlock a full pool); the last one
+        # to finish sends the combined reply.
+        agg = _BatchAggregate(rid, len(items))
+        for index, (sub_rid, level) in enumerate(items):
+            pool.submit(run_batch_item, agg, index, sub_rid, level)
+
     try:
         while True:
             try:
@@ -534,34 +889,58 @@ def _worker_main(
                 break
             except OSError:
                 # Oversized frame (recv_bytes over maxlength) or a broken
-                # pipe; the stream is unusable either way — report typed
-                # if possible, then stop serving.
-                try:
-                    conn.send_bytes(
-                        _error_reply(
-                            FrameTooLarge(
-                                f"request frame exceeded {max_frame_bytes} "
-                                "bytes (or the connection broke mid-frame)"
-                            )
-                        )
-                    )
-                except Exception:
-                    pass
+                # pipe; the inbound stream is unusable either way — the
+                # failure cannot be attributed to a request id, so
+                # broadcast it, then stop serving.
+                send_error(
+                    -1,
+                    FrameTooLarge(
+                        f"request frame exceeded {max_frame_bytes} "
+                        "bytes (or the connection broke mid-frame)"
+                    ),
+                )
                 break
-            state.bytes_received += len(data)
+            state.note_bytes(len(data))
             try:
-                msg = pickle.loads(data)
+                envelope = pickle.loads(data)
             except Exception as exc:
-                conn.send_bytes(
-                    _error_reply(RpcProtocolError(f"undecodable frame: {exc!r}"))
+                send_error(
+                    -1, RpcProtocolError(f"undecodable frame: {exc!r}")
                 )
                 continue
+            if not isinstance(envelope, Request):
+                send_error(
+                    -1,
+                    RpcProtocolError(
+                        "expected a Request envelope, got "
+                        f"{type(envelope).__name__!r}"
+                    ),
+                )
+                continue
+            rid, msg = envelope.id, envelope.msg
             if isinstance(msg, Shutdown):
-                try:
-                    conn.send_bytes(pickle.dumps(OkReply("bye")))
-                except Exception:
-                    pass
+                if pool is not None:
+                    pool.shutdown(wait=True)  # drain in-flight levels
+                with send_lock:
+                    try:
+                        conn.send_bytes(_reply_payload(rid, OkReply("bye")))
+                    except Exception:
+                        pass
                 break
+            is_execute = isinstance(
+                msg, (ExecuteLevel, ExecuteBatch, ColumnarFrame)
+            )
+            if is_execute:
+                prior = dedup_check(rid)
+                if prior == "inflight":
+                    continue
+                if prior is not None:
+                    with send_lock:
+                        try:
+                            conn.send_bytes(prior)
+                        except Exception:
+                            pass
+                    continue
             try:
                 if isinstance(msg, ColumnarFrame):
                     if state.wire is None:
@@ -570,34 +949,41 @@ def _worker_main(
                             "Prime established a wire codec"
                         )
                     msg = state.wire.decode_frame(msg)
-                reply = _dispatch(state, msg)
-            except BaseException as exc:  # typed error replies, not death
-                conn.send_bytes(_error_reply(exc))
-                continue
-            # Results go back columnar on a columnar connection; the
-            # delta watermark advances only once the frame is written
-            # (an unsent delta is simply re-shipped — merge_entries is
-            # idempotent, so over-shipping is safe, gaps are not).
-            commit = None
-            if state.wire is not None and isinstance(reply, ResultsReply):
-                try:
-                    reply, commit = state.wire.encode_results(reply)
-                except BaseException as exc:
-                    conn.send_bytes(_error_reply(exc))
+                if isinstance(msg, ExecuteLevel):
+                    state.note_queued(1)
+                    if pool is None or (state.idle() and not conn.poll(0)):
+                        # Fast path: the worker is idle and nothing else
+                        # waits on the socket, so run on the recv thread
+                        # and skip the pool hop (a lone query's
+                        # per-level latency tax).  At worst a request
+                        # arriving mid-level waits one level before the
+                        # loop resumes dispatching to the pool.
+                        run_level(rid, msg)
+                    else:
+                        pool.submit(run_level, rid, msg)
                     continue
-            payload = pickle.dumps(reply)
-            if len(payload) > max_frame_bytes:
-                payload = _error_reply(
-                    FrameTooLarge(
-                        f"reply frame of {len(payload)} bytes exceeds the "
-                        f"{max_frame_bytes}-byte cap"
-                    )
-                )
-                commit = None
-            conn.send_bytes(payload)
-            if commit is not None:
-                commit()
+                if isinstance(msg, ExecuteBatch):
+                    state.note_queued(len(msg.items))
+                    run_batch(rid, msg)
+                    continue
+                if isinstance(
+                    msg, (Prime, InvalidateSnapshot, RegisterTemplate)
+                ):
+                    # Mutators wait out in-flight levels, exclusively.
+                    with state.rwlock.write():
+                        reply = _dispatch(state, msg)
+                else:
+                    with state.rwlock.read():
+                        reply = _dispatch(state, msg)
+            except BaseException as exc:  # typed error replies, not death
+                if is_execute:
+                    dedup_finish(rid, None)
+                send_error(rid, exc)
+                continue
+            send_reply(rid, reply)
     finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
         state.close()
         try:
             conn.close()
@@ -615,13 +1001,42 @@ def _spawn_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+class _Waiter:
+    """One in-flight request's completion slot in the futures table."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self):
+        self._event.wait()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
 class ShardWorkerClient:
     """Driver-side handle on one shard server process.
 
-    Owns the process, the authenticated socket connection, and a lock
-    serializing request/reply exchanges (the protocol is strictly
-    request-response per connection; concurrent queries interleave at
-    request granularity).
+    Owns the process and the authenticated socket connection, and
+    multiplexes it: requests are stamped with a connection-unique id and
+    sent under a lock held only across encode+send; a per-connection
+    reader thread matches replies back to waiters by id.  Concurrent
+    callers therefore interleave on one socket instead of serializing
+    behind a round-trip lock.  ``pipeline=0`` restores the old strictly
+    serial request-response discipline (one outstanding request at a
+    time) — the baseline the multiplexed mode is benchmarked against.
     """
 
     def __init__(
@@ -634,6 +1049,7 @@ class ShardWorkerClient:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         start_method: str | None = None,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+        pipeline: int = DEFAULT_RPC_PIPELINE,
     ) -> None:
         self.shard = shard
         self.num_nodes = num_nodes
@@ -643,9 +1059,11 @@ class ShardWorkerClient:
         self.max_frame_bytes = max_frame_bytes
         self.start_method = start_method
         self.spawn_timeout = spawn_timeout
+        self.pipeline = pipeline
         self.process = None
         self.conn = None
         self.bytes_sent = 0
+        self.frames_sent = 0
         #: driver end of the columnar wire codec; established by the
         #: first successful ``Prime(wire="columnar")`` on this connection
         self.codec: WireCodec | None = None
@@ -653,7 +1071,14 @@ class ShardWorkerClient:
         self.primed_token: tuple | None = None
         #: worker warnings already relayed to the router's on_warning
         self.warnings_forwarded = 0
-        self._lock = threading.RLock()
+        self._send_lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        self._waiters: dict[int, _Waiter] = {}
+        self._waiters_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._reader: threading.Thread | None = None
+        self._reader_dead: BaseException | None = None
+        self._serial_lock = threading.Lock() if pipeline == 0 else None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -677,6 +1102,7 @@ class ShardWorkerClient:
                 self.backend_workers,
                 self.max_frame_bytes,
                 authkey,
+                self.pipeline,
             ),
             name=f"repro-shard-{self.shard}",
         )
@@ -707,6 +1133,14 @@ class ShardWorkerClient:
             parent.close()
         self.process = process
         self.conn = conn
+        self._reader_dead = None
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            args=(conn,),
+            name=f"repro-shard-{self.shard}-reader",
+            daemon=True,
+        )
+        self._reader.start()
         return self.request(Hello())
 
     def alive(self) -> bool:
@@ -730,69 +1164,150 @@ class ShardWorkerClient:
 
     def close(self, kill: bool = False) -> None:
         """Shut the worker down (gracefully unless *kill*); idempotent."""
-        with self._lock:
+        with self._close_lock:
             conn, self.conn = self.conn, None
             process, self.process = self.process, None
+        reader = self._reader
         if conn is not None:
             if not kill:
                 try:
-                    conn.send_bytes(pickle.dumps(Shutdown()))
-                    if conn.poll(5):
-                        conn.recv_bytes(self.max_frame_bytes)
+                    with self._send_lock:
+                        conn.send_bytes(
+                            pickle.dumps(Request(0, Shutdown()))
+                        )
                 except Exception:
                     pass
+                # The worker drains its pool, says bye (rid 0 — no
+                # waiter, dropped) and closes; the reader sees EOF.
+                if reader is not None:
+                    reader.join(timeout=5)
             try:
                 conn.close()
             except Exception:
                 pass
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=5)
         if process is not None:
             process.join(timeout=5)
             self._reap(process)
 
     # -- requests ----------------------------------------------------------
 
+    def _read_loop(self, conn) -> None:
+        """The connection's only reader: decodes replies in arrival
+        order (the columnar dictionary replay requires that) and
+        resolves the waiter the reply's id names.  A broadcast (id -1)
+        fails every in-flight waiter but keeps reading; a transport
+        error fails them and ends the loop — the next request raises a
+        ConnectionError and the router's respawn path takes over."""
+        try:
+            while True:
+                data = conn.recv_bytes(self.max_frame_bytes)
+                reply = pickle.loads(data)
+                if not isinstance(reply, Reply):
+                    continue
+                payload = reply.payload
+                if isinstance(payload, ColumnarFrame):
+                    codec = self.codec
+                    if codec is None:
+                        raise RpcProtocolError(
+                            f"shard {self.shard} sent a columnar frame "
+                            "on a pickle connection"
+                        )
+                    payload = codec.decode_frame(payload)
+                if reply.id == -1:
+                    error = (
+                        payload.error
+                        if isinstance(payload, ErrorReply)
+                        else RpcProtocolError(
+                            f"shard {self.shard} broadcast an unexpected "
+                            f"{type(payload).__name__!r}"
+                        )
+                    )
+                    self._fail_pending(error, terminal=False)
+                    continue
+                with self._waiters_lock:
+                    waiter = self._waiters.pop(reply.id, None)
+                if waiter is not None:
+                    waiter.resolve(payload)
+                # Unknown ids are replies whose waiter gave up: dropped.
+        except BaseException as exc:
+            self._fail_pending(exc, terminal=True)
+
+    def _fail_pending(self, error: BaseException, terminal: bool = True) -> None:
+        with self._waiters_lock:
+            if terminal:
+                self._reader_dead = error
+            waiters, self._waiters = dict(self._waiters), {}
+        for waiter in waiters.values():
+            waiter.fail(error)
+
     def request(self, msg, on_bytes=None):
         """One request/reply exchange; raises the typed error a worker
         replied with, or a transport error when the worker is gone.
 
-        On a columnar connection, ``ExecuteLevel`` requests and
-        ``ResultsReply`` responses are transcoded here, under the
-        connection lock — encode order equals send order, which the
-        dictionary-delta watermark protocol relies on.
+        Thread-safe: the send lock is held only across encode + send
+        (on a columnar connection ``ExecuteLevel`` / ``ExecuteBatch``
+        requests are transcoded under it — encode order equals send
+        order, which the dictionary-delta watermark protocol relies
+        on); the reply is awaited outside every lock, so concurrent
+        requests pipeline on the socket.
         """
-        with self._lock:
+        if self._serial_lock is not None:
+            with self._serial_lock:
+                return self._request(msg, on_bytes)
+        return self._request(msg, on_bytes)
+
+    def _request(self, msg, on_bytes=None):
+        waiter = _Waiter()
+        with self._waiters_lock:
             if self.conn is None:
                 raise ConnectionError(
                     f"shard {self.shard} worker is not running"
                 )
-            send_msg, commit = msg, None
-            if self.codec is not None and isinstance(msg, ExecuteLevel):
-                send_msg, commit = self.codec.encode_execute_level(msg)
-            payload = pickle.dumps(send_msg)
-            if len(payload) > self.max_frame_bytes:
-                raise FrameTooLarge(
-                    f"{type(msg).__name__} frame of {len(payload)} bytes "
-                    f"exceeds the {self.max_frame_bytes}-byte cap"
+            if self._reader_dead is not None:
+                raise ConnectionError(
+                    f"shard {self.shard} connection lost: "
+                    f"{self._reader_dead!r}"
                 )
-            self.conn.send_bytes(payload)
-            if commit is not None:
-                commit()
-            data = self.conn.recv_bytes(self.max_frame_bytes)
-            reply = pickle.loads(data)
-            if isinstance(reply, ColumnarFrame):
-                if self.codec is None:
-                    raise RpcProtocolError(
-                        f"shard {self.shard} sent a columnar frame on a "
-                        "pickle connection"
+            rid = next(self._ids)
+            self._waiters[rid] = waiter
+        try:
+            with self._send_lock:
+                conn = self.conn
+                if conn is None:
+                    raise ConnectionError(
+                        f"shard {self.shard} worker is not running"
                     )
-                reply = self.codec.decode_frame(reply)
-            if isinstance(msg, Prime) and not isinstance(reply, ErrorReply):
-                # The prime that seeds the worker's codec seeds ours,
-                # from the same snapshot object — ids agree end to end.
-                self.codec = (
-                    WireCodec(msg.snapshot) if msg.wire == "columnar" else None
-                )
-        self.bytes_sent += len(payload)
+                send_msg, commit = msg, None
+                if self.codec is not None and isinstance(
+                    msg, (ExecuteLevel, ExecuteBatch)
+                ):
+                    send_msg, commit = self.codec.encode_payload(msg)
+                payload = pickle.dumps(Request(rid, send_msg))
+                if len(payload) > self.max_frame_bytes:
+                    raise FrameTooLarge(
+                        f"{type(msg).__name__} frame of {len(payload)} "
+                        f"bytes exceeds the {self.max_frame_bytes}-byte cap"
+                    )
+                conn.send_bytes(payload)
+                if commit is not None:
+                    commit()
+                self.bytes_sent += len(payload)
+                self.frames_sent += 1
+        except BaseException:
+            with self._waiters_lock:
+                self._waiters.pop(rid, None)
+            raise
+        reply = waiter.wait()
+        if isinstance(msg, Prime) and not isinstance(reply, ErrorReply):
+            # The prime that seeds the worker's codec seeds ours, from
+            # the same snapshot object — ids agree end to end.  Primes
+            # only happen at quiescence points (startup, mutation,
+            # respawn), so no concurrent frame straddles the swap.
+            self.codec = (
+                WireCodec(msg.snapshot) if msg.wire == "columnar" else None
+            )
         if on_bytes is not None:
             on_bytes(len(payload))
         if isinstance(reply, ErrorReply):
@@ -805,14 +1320,155 @@ class ShardWorkerClient:
 
 @dataclass
 class _RpcExecution:
-    """Per-query execution context threaded through the level loop."""
+    """Per-query execution context threaded through the level loop.
+
+    Byte and frame attribution lives here, per query: concurrent
+    queries each accumulate into their own context (coalescing flushers
+    touch contexts cross-thread, hence the lock), so
+    ``ExecutionResult.shard_bytes`` and ``explain()``'s wire line stay
+    per-query correct under concurrency — no shared router-global
+    counter to race on.
+    """
 
     key: str
     binding: tuple[tuple[str, str], ...]
     bytes: list[int]
+    frames: list[int]
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def add(self, shard: int, n: int) -> None:
-        self.bytes[shard] += n
+    def add(self, shard: int, n: int, frames: int = 1) -> None:
+        with self._lock:
+            self.bytes[shard] += n
+            self.frames[shard] += frames
+
+
+class _PendingLevel:
+    """One query's ExecuteLevel waiting in a shard's coalescer."""
+
+    __slots__ = ("msg", "ctx", "reply", "error", "done")
+
+    def __init__(self, msg: ExecuteLevel, ctx: _RpcExecution | None) -> None:
+        self.msg = msg
+        self.ctx = ctx
+        self.reply = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class _LevelCoalescer:
+    """Per-shard micro-batcher merging concurrent queries' levels.
+
+    The first submitter becomes the *leader*: it waits up to the
+    coalescing window (or until ``max_batch`` levels are pending — no
+    background thread, no idle timer when traffic is serial), then
+    drains **everything** pending and flushes it in chunks of at most
+    ``max_batch`` as :class:`ExecuteBatch` frames; a chunk of one goes
+    out as a plain :class:`ExecuteLevel`.  Followers block on their
+    item until the leader's flush resolves it.  Every exit path sets
+    the item's event — a dead worker fails all coalesced queries typed
+    (or they recover via the respawn retry inside ``_shard_call``),
+    never hangs them.
+    """
+
+    def __init__(self, router: "RpcShardRouter", shard: int) -> None:
+        self.router = router
+        self.shard = shard
+        self.window = router.coalesce_window_ms / 1000.0
+        self.max_batch = router.coalesce_max_batch
+        self._cond = threading.Condition()
+        self._pending: list[_PendingLevel] = []
+        self._leader = False
+
+    def submit(self, msg: ExecuteLevel, exec_ctx: _RpcExecution | None):
+        item = _PendingLevel(msg, exec_ctx)
+        with self._cond:
+            self._pending.append(item)
+            if self._leader:
+                if len(self._pending) >= self.max_batch:
+                    self._cond.notify_all()
+                batch = None
+            else:
+                self._leader = True
+                if self.window > 0:
+                    deadline = time.monotonic() + self.window
+                    while len(self._pending) < self.max_batch:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+                batch, self._pending = self._pending, []
+                self._leader = False
+        if batch is None:
+            item.done.wait()
+        else:
+            for start in range(0, len(batch), self.max_batch):
+                self._flush(batch[start : start + self.max_batch])
+        if item.error is not None:
+            raise item.error
+        return item.reply
+
+    def _flush(self, chunk: list[_PendingLevel]) -> None:
+        try:
+            if len(chunk) == 1:
+                item = chunk[0]
+                self.router._note_frames(1)
+                item.reply = self.router._call_with_registration(
+                    self.shard, item.msg, item.ctx
+                )
+            else:
+                self._flush_batch(chunk)
+        except BaseException as exc:
+            for item in chunk:
+                if item.reply is None and item.error is None:
+                    item.error = exc
+        finally:
+            for item in chunk:
+                item.done.set()
+
+    def _flush_batch(self, chunk: list[_PendingLevel]) -> None:
+        router, shard = self.router, self.shard
+        sub_rids = [router._next_sub_id() for _ in chunk]
+        msg = ExecuteBatch(
+            items=tuple(
+                (rid, item.msg) for rid, item in zip(sub_rids, chunk)
+            )
+        )
+        sent = [0]
+
+        def on_bytes(n: int) -> None:
+            sent[0] = n
+
+        router._note_frames(1)
+        reply = router._shard_call(shard, msg, on_bytes)
+        # Attribute the shared frame's bytes across its members (the
+        # remainder lands on the first few); each member rode 1 frame.
+        share, spill = divmod(sent[0], len(chunk))
+        by_sub = dict(reply.replies)
+        for index, (rid, item) in enumerate(zip(sub_rids, chunk)):
+            if item.ctx is not None:
+                item.ctx.add(shard, share + (1 if index < spill else 0))
+            sub = by_sub.get(rid)
+            if sub is None:
+                item.error = RpcProtocolError(
+                    f"shard {shard} batch reply is missing request {rid}"
+                )
+            elif isinstance(sub, ErrorReply):
+                if isinstance(sub.error, TemplateNotRegistered):
+                    # An ad-hoc plan not yet shipped to this worker:
+                    # register and retry this member individually.
+                    try:
+                        router._note_frames(1)
+                        item.reply = router._call_with_registration(
+                            shard, item.msg, item.ctx
+                        )
+                    except BaseException as exc:
+                        item.error = exc
+                else:
+                    item.error = sub.error
+            else:
+                item.reply = sub
 
 
 class RpcShardRouter(ShardRouter):
@@ -845,6 +1501,9 @@ class RpcShardRouter(ShardRouter):
         start_method: str | None = None,
         spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
         wire_format: str = "pickle",
+        pipeline: int = DEFAULT_RPC_PIPELINE,
+        coalesce_window_ms: float = 0.0,
+        coalesce_max_batch: int = 1,
     ) -> None:
         if worker_backend not in BACKEND_NAMES:
             raise ValueError(
@@ -855,6 +1514,16 @@ class RpcShardRouter(ShardRouter):
             raise ValueError(
                 f"unknown wire format {wire_format!r}; "
                 f"expected one of {WIRE_FORMATS}"
+            )
+        if pipeline < 0:
+            raise ValueError(f"pipeline must be >= 0, got {pipeline}")
+        if coalesce_window_ms < 0:
+            raise ValueError(
+                f"coalesce_window_ms must be >= 0, got {coalesce_window_ms}"
+            )
+        if coalesce_max_batch < 1:
+            raise ValueError(
+                f"coalesce_max_batch must be >= 1, got {coalesce_max_batch}"
             )
         super().__init__(
             num_nodes,
@@ -869,27 +1538,62 @@ class RpcShardRouter(ShardRouter):
         self.max_frame_bytes = max_frame_bytes
         self.start_method = start_method
         self.spawn_timeout = spawn_timeout
+        self.pipeline = pipeline
+        self.coalesce_window_ms = coalesce_window_ms
+        self.coalesce_max_batch = coalesce_max_batch
         self.on_failure = on_failure
         #: receives worker-side operational warnings (e.g. a shard
         #: server's process pool falling back to serial) so they surface
         #: through the service's stats exactly like in-process fallbacks
         self.on_warning = on_warning
         self.shard_failures = 0
+        #: level traffic counters: requests = ExecuteLevels asked for,
+        #: frames = physical wire frames that carried them.  Coalescing
+        #: provably merges when frames < requests.
+        self.level_requests = 0
+        self.level_frames = 0
+        self._counter_lock = threading.Lock()
+        self._sub_ids = itertools.count(1)
         self._clients: list[ShardWorkerClient | None] = [None] * num_shards
         self._shard_locks = [threading.RLock() for _ in range(num_shards)]
         self._registry_lock = threading.Lock()
         self._templates: dict[str, PhysicalPlan] = {}
         self._last_snapshot = None
+        self._coalescers = (
+            [_LevelCoalescer(self, shard) for shard in range(num_shards)]
+            if coalesce_max_batch > 1
+            else None
+        )
 
     # -- transport-specific report labels ----------------------------------
 
     def _shard_backend_name(self, shard: int) -> str:
         return f"rpc:{self.worker_backend}"
 
+    def _dispatch_width(self) -> int:
+        # Coalescer followers park on a dispatch thread until the
+        # leader flushes their frame, so size the pool for the full
+        # pipeline depth per shard, not just one call per shard.
+        return max(4, 2 * self.num_shards,
+                   max(1, self.pipeline) * self.num_shards)
+
     def _bytes_shipped(self, exec_ctx) -> tuple[int, ...] | None:
         if isinstance(exec_ctx, _RpcExecution):
             return tuple(exec_ctx.bytes)
         return None
+
+    def _frames_shipped(self, exec_ctx) -> tuple[int, ...] | None:
+        if isinstance(exec_ctx, _RpcExecution):
+            return tuple(exec_ctx.frames)
+        return None
+
+    def _note_frames(self, n: int) -> None:
+        with self._counter_lock:
+            self.level_frames += n
+
+    def _next_sub_id(self) -> int:
+        with self._counter_lock:
+            return next(self._sub_ids)
 
     @property
     def templates_registered(self) -> int:
@@ -962,6 +1666,7 @@ class RpcShardRouter(ShardRouter):
             max_frame_bytes=self.max_frame_bytes,
             start_method=self.start_method,
             spawn_timeout=self.spawn_timeout,
+            pipeline=self.pipeline,
         )
         try:
             client.start()
@@ -981,6 +1686,22 @@ class RpcShardRouter(ShardRouter):
             self._shard_call(shard, Stats())
             for shard in range(self.num_shards)
         ]
+
+    def worker_gauges(self) -> list[StatsReply]:
+        """Telemetry without side effects: stats of the shard servers
+        currently alive — a dead or not-yet-spawned shard is simply
+        absent (no spawn, no recovery, no failure recorded)."""
+        replies = []
+        for shard in range(self.num_shards):
+            with self._shard_locks[shard]:
+                client = self._clients[shard]
+            if client is None or not client.alive():
+                continue
+            try:
+                replies.append(client.request(Stats()))
+            except Exception:
+                continue
+        return replies
 
     def invalidate(self, shard: int) -> None:
         """Drop shard *shard*'s resident snapshot (re-primed lazily)."""
@@ -1030,44 +1751,57 @@ class RpcShardRouter(ShardRouter):
             self._clients[shard] = None
             raise ShardUnavailable(shard, f"respawn failed: {exc!r}") from exc
 
-    def _shard_call(self, shard: int, msg, exec_ctx: _RpcExecution | None = None):
-        """One request to one shard, with the one-respawn retry budget.
-
-        A typed :class:`ErrorReply` from a live worker re-raises as-is
-        (the request failed, not the worker).  A transport failure means
-        the worker died: it is respawned — snapshot re-primed, templates
-        re-registered — and the request retried exactly once; any
-        further failure raises :class:`ShardUnavailable`.
-        """
-        on_bytes = (
-            None if exec_ctx is None else (lambda n: exec_ctx.add(shard, n))
-        )
+    def _ensure_client(self, shard: int) -> ShardWorkerClient:
+        """The shard's live client, recovering a dead one (recorded as
+        a failure, matching the in-call discovery semantics)."""
         with self._shard_locks[shard]:
             client = self._clients[shard]
-            respawned = False
             if client is None or not client.alive():
                 client = self._recover(shard, "worker process is not running")
-                respawned = True
+            return client
+
+    def _recover_from(
+        self, shard: int, failed: ShardWorkerClient, reason: str
+    ) -> ShardWorkerClient:
+        """Recover after *failed* saw a transport error — once per dead
+        worker: when another thread already replaced it, reuse its
+        client instead of respawning (and counting a failure) again."""
+        with self._shard_locks[shard]:
+            current = self._clients[shard]
+            if current is not None and current is not failed and current.alive():
+                return current
+            return self._recover(shard, reason)
+
+    def _shard_call(self, shard: int, msg, on_bytes=None):
+        """One request to one shard, with the one-respawn retry budget.
+
+        The shard lock guards only client lookup and recovery — the
+        round trip itself runs outside it, so concurrent queries
+        multiplex on the worker connection instead of serializing
+        behind a per-shard lock.  A typed :class:`ErrorReply` from a
+        live worker re-raises as-is (the request failed, not the
+        worker).  A transport failure means the worker died: it is
+        respawned — snapshot re-primed, templates re-registered — and
+        the request retried exactly once (idempotent: request-id dedup
+        worker-side, and a fresh worker starts from a clean slate); any
+        further failure raises :class:`ShardUnavailable`.
+        """
+        client = self._ensure_client(shard)
+        try:
+            return client.request(msg, on_bytes)
+        except _TRANSPORT_ERRORS as exc:
+            retry = self._recover_from(
+                shard, client, f"{type(exc).__name__}: {exc}"
+            )
             try:
-                return client.request(msg, on_bytes)
-            except _TRANSPORT_ERRORS as exc:
-                if respawned:
-                    self._record_failure(
-                        shard, f"request failed after respawn: {exc!r}"
-                    )
-                    raise ShardUnavailable(
-                        shard, f"request failed after respawn: {exc!r}"
-                    ) from exc
-                client = self._recover(shard, f"{type(exc).__name__}: {exc}")
-                try:
-                    return client.request(msg, on_bytes)
-                except _TRANSPORT_ERRORS as retry_exc:
-                    self._record_failure(
-                        shard, f"request failed after respawn: {retry_exc!r}"
-                    )
-                    raise ShardUnavailable(
-                        shard, f"request failed after respawn: {retry_exc!r}"
-                    ) from retry_exc
+                return retry.request(msg, on_bytes)
+            except _TRANSPORT_ERRORS as retry_exc:
+                self._record_failure(
+                    shard, f"request failed after respawn: {retry_exc!r}"
+                )
+                raise ShardUnavailable(
+                    shard, f"request failed after respawn: {retry_exc!r}"
+                ) from retry_exc
 
     # -- template registry ---------------------------------------------------
 
@@ -1125,7 +1859,9 @@ class RpcShardRouter(ShardRouter):
         A plan bound from a registered template ships as its template
         key plus binding; anything else (raw logical plans through the
         escape hatches, uncacheable queries) is registered ad hoc as its
-        own template with an empty binding.
+        own template with an empty binding.  Workers bind lazily: the
+        first :class:`ExecuteLevel` naming a ``(key, binding)`` compiles
+        and caches it worker-side — no per-query bind round trip.
         """
         self.ensure_workers(snapshot)
         key = prepared.template_key
@@ -1138,38 +1874,49 @@ class RpcShardRouter(ShardRouter):
             with self._registry_lock:
                 self._templates.setdefault(key, prepared.physical)
         exec_ctx = _RpcExecution(
-            key=key, binding=binding, bytes=[0] * self.num_shards
+            key=key,
+            binding=binding,
+            bytes=[0] * self.num_shards,
+            frames=[0] * self.num_shards,
         )
-        self._bind_all(exec_ctx)
         return self.execute(prepared.compiled, snapshot, exec_ctx)
 
-    def _bind_shard(self, shard: int, exec_ctx: _RpcExecution) -> None:
-        msg = BoundSpecs(exec_ctx.key, exec_ctx.binding)
+    # -- the dispatch hop ----------------------------------------------------
+
+    def _call_with_registration(
+        self, shard: int, msg: ExecuteLevel, exec_ctx: _RpcExecution | None
+    ):
+        """An ExecuteLevel round trip that self-heals the one typed
+        failure lazy binding can produce: a worker missing the template
+        (ad-hoc plans are registered driver-side only; respawns start
+        empty between re-registration and use) gets it shipped, then
+        the level is resent."""
+        on_bytes = (
+            None if exec_ctx is None else (lambda n: exec_ctx.add(shard, n))
+        )
         try:
-            self._shard_call(shard, msg, exec_ctx)
+            return self._shard_call(shard, msg, on_bytes)
         except TemplateNotRegistered:
             with self._registry_lock:
-                physical = self._templates[exec_ctx.key]
+                physical = self._templates.get(msg.key)
+            if physical is None:
+                raise
             self._shard_call(
-                shard, RegisterTemplate(exec_ctx.key, physical), exec_ctx
+                shard, RegisterTemplate(msg.key, physical), on_bytes
             )
-            self._shard_call(shard, msg, exec_ctx)
+            return self._shard_call(shard, msg, on_bytes)
 
-    def _bind_all(self, exec_ctx: _RpcExecution) -> None:
-        shards = range(self.num_shards)
-        if self.num_shards > 1 and self.parallel_shards:
-            pool = self._dispatch_pool()
-            futures = [
-                pool.submit(self._bind_shard, shard, exec_ctx)
-                for shard in shards
-            ]
-            for future in futures:
-                future.result()
-            return
-        for shard in shards:
-            self._bind_shard(shard, exec_ctx)
-
-    # -- the dispatch hop ----------------------------------------------------
+    def _level_call(
+        self, shard: int, msg: ExecuteLevel, exec_ctx: _RpcExecution | None
+    ):
+        """Route one level to its shard: through the coalescer when
+        cross-query batching is on, directly otherwise."""
+        with self._counter_lock:
+            self.level_requests += 1
+        if self._coalescers is not None:
+            return self._coalescers[shard].submit(msg, exec_ctx)
+        self._note_frames(1)
+        return self._call_with_registration(shard, msg, exec_ctx)
 
     def _run_shards(self, per_shard, metas, ctxs, phase, level_index, exec_ctx):
         active = [s for s in range(self.num_shards) if per_shard[s]]
@@ -1197,7 +1944,7 @@ class RpcShardRouter(ShardRouter):
                         metas[shard], per_shard[shard]
                     )
                 )
-            reply = self._shard_call(
+            reply = self._level_call(
                 shard,
                 ExecuteLevel(
                     key=exec_ctx.key,
@@ -1224,10 +1971,13 @@ class RpcShardRouter(ShardRouter):
 
 
 __all__ = [
+    "BatchReply",
     "BoundSpecs",
     "ColumnarFrame",
     "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_RPC_PIPELINE",
     "ErrorReply",
+    "ExecuteBatch",
     "ExecuteLevel",
     "FrameTooLarge",
     "Hello",
@@ -1237,6 +1987,8 @@ __all__ = [
     "OkReply",
     "Prime",
     "RegisterTemplate",
+    "Reply",
+    "Request",
     "ResultsReply",
     "RpcError",
     "RpcProtocolError",

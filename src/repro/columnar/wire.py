@@ -30,6 +30,7 @@ tasks could) fall back to their pickled form via :class:`RawRows`.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
@@ -219,16 +220,27 @@ def _seed_dictionary(snapshot) -> Dictionary:
 class WireCodec:
     """One endpoint of a columnar shard connection (see module docs).
 
-    Not thread-safe by itself: the RPC client serialises encode+send
-    and recv+decode under its per-connection lock, and a worker process
-    is single-threaded over its connection — which is exactly the
-    in-order delivery the delta watermark protocol needs.
+    Concurrency contract (the multiplexed transport encodes from many
+    threads over one connection): the codec's own state — both
+    dictionaries and the delta watermark — is guarded by an internal
+    lock, so concurrent ``encode_*`` calls assign ids safely.  What the
+    codec *cannot* enforce is frame ordering: the delta watermark
+    protocol requires that frames are **sent in the order their commit
+    callbacks run**, so callers must hold their connection's send lock
+    across encode + send and invoke ``commit`` before releasing it.
+    A frame encoded after another thread grew the dictionary simply
+    carries a window that also covers those not-yet-shipped ids —
+    harmless over-shipping, since the receiver replays deltas in send
+    order and :meth:`Dictionary.merge_entries` is idempotent.  Decoding
+    likewise must happen in receive order (each endpoint has a single
+    reader, which is exactly that).
     """
 
     def __init__(self, snapshot) -> None:
         self.send = _seed_dictionary(snapshot)
         self.recv = _seed_dictionary(snapshot)
         self._watermark = len(self.send)
+        self._lock = threading.RLock()
 
     # -- encoding (outgoing) --------------------------------------------------
 
@@ -238,14 +250,17 @@ class WireCodec:
         new_len = len(self.send)
 
         def commit() -> None:
-            self._watermark = new_len
+            with self._lock:
+                # Commits run in send order; max() keeps a late commit
+                # from rolling the watermark back should a caller ever
+                # violate that.
+                self._watermark = max(self._watermark, new_len)
 
         return frame, commit
 
-    def encode_execute_level(self, msg):
-        """Pack an ``ExecuteLevel``'s row payloads (map ``inputs`` or
-        reduce exchange rows); returns ``(frame, commit)`` where
-        *commit* advances the delta watermark once the frame is sent."""
+    def _pack_level(self, msg):
+        """An ``ExecuteLevel`` with its row payloads (map ``inputs`` or
+        reduce exchange rows) packed; no frame wrapping."""
         encode = self.send.encode
         if msg.phase == "map":
             inputs = {
@@ -257,27 +272,26 @@ class WireCodec:
                 )
                 for name, relation in msg.inputs.items()
             }
-            payload = replace(msg, inputs=inputs)
-        else:
-            payload = replace(
-                msg,
-                tasks=tuple(
-                    (
-                        job,
-                        partition,
-                        {
-                            tag: pack_rows(rows, encode)
-                            for tag, rows in grouped.items()
-                        },
-                    )
-                    for job, partition, grouped in msg.tasks
-                ),
-            )
-        return self._frame(payload)
+            return replace(msg, inputs=inputs)
+        return replace(
+            msg,
+            tasks=tuple(
+                (
+                    job,
+                    partition,
+                    {
+                        tag: pack_rows(rows, encode)
+                        for tag, rows in grouped.items()
+                    },
+                )
+                for job, partition, grouped in msg.tasks
+            ),
+        )
 
-    def encode_results(self, reply):
-        """Pack a ``ResultsReply``: map results are ``(emits, direct,
-        metrics)`` triples, reduce results ``(rows, metrics)`` pairs."""
+    def _pack_results(self, reply):
+        """A ``ResultsReply`` with packed results: map results are
+        ``(emits, direct, metrics)`` triples, reduce results
+        ``(rows, metrics)`` pairs; no frame wrapping."""
         encode = self.send.encode
         packed = []
         for result in reply.results:
@@ -295,23 +309,94 @@ class WireCodec:
                 packed.append(
                     PackedReduceResult(rows=pack_rows(rows, encode), metrics=metrics)
                 )
-        return self._frame(replace(reply, results=packed))
+        return replace(reply, results=packed)
+
+    def encode_execute_level(self, msg):
+        """Pack an ``ExecuteLevel``; returns ``(frame, commit)`` where
+        *commit* advances the delta watermark once the frame is sent."""
+        with self._lock:
+            return self._frame(self._pack_level(msg))
+
+    def encode_execute_batch(self, msg):
+        """Pack every level in an ``ExecuteBatch`` into one frame (one
+        shared dictionary delta for the whole batch)."""
+        with self._lock:
+            items = tuple(
+                (rid, self._pack_level(level)) for rid, level in msg.items
+            )
+            return self._frame(replace(msg, items=items))
+
+    def encode_results(self, reply):
+        """Pack a ``ResultsReply``; returns ``(frame, commit)``."""
+        with self._lock:
+            return self._frame(self._pack_results(reply))
+
+    def encode_batch_results(self, reply):
+        """Pack a ``BatchReply``'s per-request ``ResultsReply`` members
+        (error members cross unpacked) into one frame."""
+        with self._lock:
+            replies = tuple(
+                (
+                    rid,
+                    self._pack_results(sub)
+                    if getattr(sub, "results", None) is not None
+                    else sub,
+                )
+                for rid, sub in reply.replies
+            )
+            return self._frame(replace(reply, replies=replies))
+
+    def encode_payload(self, msg):
+        """Encode any frameable message — ``ExecuteLevel``,
+        ``ExecuteBatch``, ``ResultsReply`` or ``BatchReply`` — picking
+        the shape by its fields; returns ``(frame, commit)``."""
+        if getattr(msg, "items", None) is not None:
+            return self.encode_execute_batch(msg)
+        if getattr(msg, "replies", None) is not None:
+            return self.encode_batch_results(msg)
+        if getattr(msg, "results", None) is not None:
+            return self.encode_results(msg)
+        return self.encode_execute_level(msg)
 
     # -- decoding (incoming) --------------------------------------------------
 
     def decode_frame(self, frame: ColumnarFrame):
         """Replay the frame's dictionary delta, then unpack its payload
-        (an ``ExecuteLevel`` or a ``ResultsReply``)."""
-        self.recv.merge_entries(frame.delta_start, frame.delta_terms)
-        decode = self.recv.decode
-        payload = frame.payload
+        (an ``ExecuteLevel``, ``ExecuteBatch``, ``ResultsReply`` or
+        ``BatchReply``)."""
+        with self._lock:
+            self.recv.merge_entries(frame.delta_start, frame.delta_terms)
+            return self._decode_payload(frame.payload, self.recv.decode)
+
+    def _decode_payload(self, payload, decode):
+        replies = getattr(payload, "replies", None)
+        if replies is not None:  # BatchReply
+            return replace(
+                payload,
+                replies=tuple(
+                    (rid, self._decode_payload(sub, decode))
+                    for rid, sub in replies
+                ),
+            )
+        items = getattr(payload, "items", None)
+        if items is not None:  # ExecuteBatch
+            return replace(
+                payload,
+                items=tuple(
+                    (rid, self._decode_payload(level, decode))
+                    for rid, level in items
+                ),
+            )
         results = getattr(payload, "results", None)
-        if results is not None:
+        if results is not None:  # ResultsReply
             return replace(
                 payload,
                 results=[self._decode_result(r, decode) for r in results],
             )
-        if payload.phase == "map":
+        phase = getattr(payload, "phase", None)
+        if phase is None:  # e.g. an ErrorReply inside a BatchReply
+            return payload
+        if phase == "map":
             inputs = {
                 name: DistributedRelation(
                     attrs=packed.attrs,

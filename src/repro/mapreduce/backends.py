@@ -459,6 +459,31 @@ def split_workers(total: int | None, parts: int, backend: str) -> int | None:
     return max(1, total // parts)
 
 
+#: Default number of concurrently executing requests per RPC shard
+#: server — the worker-side dispatch pool size (ServiceConfig.rpc_pipeline).
+#: ``0`` disables multiplexing: the driver serialises the connection.
+DEFAULT_RPC_PIPELINE = 4
+
+
+def pipeline_workers(
+    backend: str, num_workers: int | None, pipeline: int
+) -> int | None:
+    """Size a shard server's execution backend for a pipelined request
+    stream.
+
+    A worker dispatching up to *pipeline* levels concurrently shares one
+    backend across them.  A thread pool smaller than the pipeline would
+    serialise the very concurrency the dispatch pool exists to provide,
+    so it is widened to at least *pipeline* threads; serial and columnar
+    backends have no workers, and a process pool's size is a CPU budget
+    that concurrent levels should share rather than multiply.
+    """
+    if backend == "thread":
+        base = num_workers if num_workers is not None else 4
+        return max(1, base, pipeline)
+    return num_workers
+
+
 #: Names accepted by :func:`make_backend` (and ServiceConfig.backend).
 BACKEND_NAMES = ("serial", "thread", "process", "columnar")
 

@@ -103,6 +103,11 @@ class ExecutionReport:
     #: request bytes shipped to each shard server for this execution
     #: (RPC transport only; None otherwise)
     shard_bytes: tuple[int, ...] | None = None
+    #: request frames shipped to each shard server for this execution
+    #: (RPC transport only; None otherwise).  With cross-query
+    #: coalescing a frame may carry several queries' levels, so this
+    #: can undershoot levels x shards.
+    shard_frames: tuple[int, ...] | None = None
 
     @property
     def num_jobs(self) -> int:

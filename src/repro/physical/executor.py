@@ -386,6 +386,9 @@ class ExecutionResult:
     shard_rows: tuple[int, ...] | None = None
     #: request bytes shipped per shard server (RPC transport only)
     shard_bytes: tuple[int, ...] | None = None
+    #: request frames shipped per shard server (RPC transport only;
+    #: coalesced frames carry several queries' levels)
+    shard_frames: tuple[int, ...] | None = None
 
     @property
     def response_time(self) -> float:

@@ -75,7 +75,7 @@ from repro.cost.cardinality import (
 )
 from repro.cost.model import PlanCoster, select_best_plan
 from repro.cost.params import DEFAULT_PARAMS, CostParams
-from repro.mapreduce.backends import make_backend
+from repro.mapreduce.backends import DEFAULT_RPC_PIPELINE, make_backend
 from repro.mapreduce.counters import ExecutionReport
 from repro.mapreduce.engine import ClusterConfig
 from repro.partitioning.triple_partitioner import partition_graph
@@ -90,7 +90,12 @@ from repro.service.cache import (
     TemplateCache,
     TemplateEntry,
 )
-from repro.service.stats import QueryTimings, ServiceStats, StatsSnapshot
+from repro.service.stats import (
+    QueryTimings,
+    ServiceStats,
+    ShardWorkerGauge,
+    StatsSnapshot,
+)
 from repro.sparql.ast import BGPQuery
 from repro.sparql.canonical import (
     CanonicalizationBudgetExceeded,
@@ -234,6 +239,24 @@ class ServiceConfig:
     #: reports are identical either way; shard_bytes reports the
     #: encoded request sizes.  Ignored unless shard_transport="rpc".
     wire_format: str = "columnar"
+    #: outstanding requests per shard rpc connection.  Each frame
+    #: carries a request id; a per-connection reader thread matches
+    #: replies to waiters, and each shard worker executes up to this
+    #: many levels concurrently on a dispatch pool (state-mutating
+    #: frames still serialize).  0 = serial request-response (one
+    #: outstanding request at a time — the pre-multiplexing baseline).
+    #: Ignored unless shard_transport="rpc".
+    rpc_pipeline: int = DEFAULT_RPC_PIPELINE
+    #: cross-query level coalescing: when > 0 (and coalesce_max_batch
+    #: > 1), ExecuteLevels that concurrent queries dispatch to the same
+    #: shard within this window are merged into one ExecuteBatch frame
+    #: — one encode/send/recv per shard instead of one per query.
+    #: Adds up to this much latency to a lone query's level; answers
+    #: and reports are unchanged.  Ignored unless shard_transport="rpc".
+    coalesce_window_ms: float = 0.0
+    #: upper bound on levels merged into one ExecuteBatch frame
+    #: (1 = coalescing off).  Ignored unless shard_transport="rpc".
+    coalesce_max_batch: int = 1
     #: admission control: maximum concurrently executing submissions.
     #: Beyond it, submit/submit_batch/PreparedQuery.execute raise
     #: ServiceOverloaded instead of queueing.  None = unbounded.
@@ -559,6 +582,20 @@ class QueryService:
                 f"unknown wire_format {self.config.wire_format!r}; "
                 f"expected one of {WIRE_FORMATS}"
             )
+        if self.config.rpc_pipeline < 0:
+            raise ValueError(
+                f"rpc_pipeline must be >= 0, got {self.config.rpc_pipeline}"
+            )
+        if self.config.coalesce_window_ms < 0:
+            raise ValueError(
+                "coalesce_window_ms must be >= 0, "
+                f"got {self.config.coalesce_window_ms}"
+            )
+        if self.config.coalesce_max_batch < 1:
+            raise ValueError(
+                "coalesce_max_batch must be >= 1, "
+                f"got {self.config.coalesce_max_batch}"
+            )
         if self.config.shards:
             # Sharded deployment: N shard workers each hold one slice of
             # the §5.1 layout; the global catalog is aggregated from the
@@ -579,6 +616,9 @@ class QueryService:
                     transport=self.config.shard_transport,
                     on_shard_failure=self._on_shard_failure,
                     wire_format=self.config.wire_format,
+                    rpc_pipeline=self.config.rpc_pipeline,
+                    coalesce_window_ms=self.config.coalesce_window_ms,
+                    coalesce_max_batch=self.config.coalesce_max_batch,
                 )
             )
         else:
@@ -1107,7 +1147,32 @@ class QueryService:
 
     def snapshot_stats(self) -> StatsSnapshot:
         return self.stats.snapshot(
-            self._version, templates_cached=len(self.template_cache)
+            self._version,
+            templates_cached=len(self.template_cache),
+            shard_workers=self._shard_worker_gauges(),
+        )
+
+    def _shard_worker_gauges(self) -> tuple[ShardWorkerGauge, ...]:
+        """Load gauges of the live RPC shard workers (best-effort: a
+        dead worker is absent, a failing probe yields no gauges)."""
+        if self.config.shard_transport != "rpc" or not self.config.shards:
+            return ()
+        try:
+            replies = self.executor.router.worker_gauges()  # type: ignore[union-attr]
+        except Exception:
+            return ()
+        return tuple(
+            ShardWorkerGauge(
+                shard=reply.shard,
+                inflight=reply.inflight,
+                queue_depth=reply.queue_depth,
+                max_concurrency=reply.pipeline,
+                peak_inflight=reply.peak_inflight,
+                tasks_run=reply.tasks_run,
+                batches=reply.batches,
+                deduped=reply.deduped,
+            )
+            for reply in replies
         )
 
     # -- internals ---------------------------------------------------------

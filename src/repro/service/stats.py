@@ -69,6 +69,32 @@ class QueryTimings:
 
 
 @dataclass(frozen=True)
+class ShardWorkerGauge:
+    """Point-in-time load of one live RPC shard worker.
+
+    Sampled by :meth:`QueryService.snapshot_stats` from the workers'
+    telemetry so overload is observable *before* admission control
+    rejects: a queue depth persistently above zero means levels are
+    waiting behind the worker's dispatch pool.
+    """
+
+    shard: int
+    #: levels currently executing on the worker's dispatch pool
+    inflight: int
+    #: levels accepted but not yet started
+    queue_depth: int
+    #: dispatch-pool size (the concurrency ceiling)
+    max_concurrency: int
+    #: high-water mark of ``inflight`` over the worker's life
+    peak_inflight: int
+    tasks_run: int
+    #: coalesced ExecuteBatch frames served
+    batches: int
+    #: duplicate request ids answered from the dedup cache
+    deduped: int
+
+
+@dataclass(frozen=True)
 class StatsSnapshot:
     """Immutable aggregate view of a service's lifetime."""
 
@@ -106,6 +132,9 @@ class StatsSnapshot:
     #: death, failed respawn or post-respawn failure counts once; a
     #: single transparent respawn therefore shows up as 1)
     shard_failures: int = 0
+    #: point-in-time load gauges of the live RPC shard workers
+    #: (empty for non-RPC deployments or when no worker is up)
+    shard_workers: tuple[ShardWorkerGauge, ...] = ()
 
     @property
     def plan_hit_rate(self) -> float:
@@ -147,6 +176,14 @@ class StatsSnapshot:
                 f"{label:>8} latency: p50={1e3 * summary.p50:.2f}ms "
                 f"p95={1e3 * summary.p95:.2f}ms p99={1e3 * summary.p99:.2f}ms "
                 f"(n={summary.count})"
+            )
+        for gauge in self.shard_workers:
+            lines.append(
+                f"shard {gauge.shard} worker: "
+                f"{gauge.inflight}/{gauge.max_concurrency} inflight "
+                f"(queue {gauge.queue_depth}, peak {gauge.peak_inflight}), "
+                f"{gauge.tasks_run} tasks, {gauge.batches} batches, "
+                f"{gauge.deduped} deduped"
             )
         for warning in self.warnings:
             lines.append(f"warning: {warning}")
@@ -251,7 +288,10 @@ class ServiceStats:
                 self.warnings.append(message)
 
     def snapshot(
-        self, graph_version: int = 0, templates_cached: int = 0
+        self,
+        graph_version: int = 0,
+        templates_cached: int = 0,
+        shard_workers: tuple[ShardWorkerGauge, ...] = (),
     ) -> StatsSnapshot:
         with self._lock:
             return StatsSnapshot(
@@ -275,4 +315,5 @@ class ServiceStats:
                 execute=LatencySummary.of(list(self._execute)),
                 total=LatencySummary.of(list(self._total)),
                 warnings=tuple(self.warnings),
+                shard_workers=shard_workers,
             )

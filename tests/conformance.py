@@ -19,6 +19,7 @@ pools or localhost sockets skip the cells that need them.
 from __future__ import annotations
 
 import functools
+import threading
 from dataclasses import dataclass
 
 import pytest
@@ -99,6 +100,22 @@ DEPLOYMENTS: dict[str, dict] = {
 BACKENDS = ("serial", "thread", "process", "columnar")
 
 SURFACES = ("submit", "prepare", "batch")
+
+#: rpc concurrency mode id -> ServiceConfig overrides.  "pipelined"
+#: multiplexes many outstanding requests on each shard socket;
+#: "coalesced" additionally merges concurrent queries' levels into
+#: shared ExecuteBatch frames inside a short window.
+RPC_MODES: dict[str, dict] = {
+    "pipelined": {"rpc_pipeline": 8},
+    "coalesced": {
+        "rpc_pipeline": 8,
+        "coalesce_window_ms": 2.0,
+        "coalesce_max_batch": 8,
+    },
+}
+
+#: row encodings of the rpc shard exchanges
+RPC_WIRES = ("pickle", "columnar")
 
 
 def skip_unless_supported(deployment: str, backend: str) -> None:
@@ -261,3 +278,48 @@ def assert_surface_conforms(
         assert_conforms(
             reference[query.name], outcome, f"{where}/{surface}/{query.name}"
         )
+
+
+def assert_concurrent_conforms(
+    service: QueryService,
+    queries,
+    reference: dict[str, Expected],
+    threads: int = 4,
+    where: str = "",
+) -> None:
+    """The concurrent=N dimension: *threads* driver threads each submit
+    the full workload, rotated so different threads sit on different
+    queries at any instant (a mixed concurrent load, not a stampede on
+    one key), and every outcome must conform to the serial reference.
+    """
+    queries = list(queries)
+    rotations = [
+        queries[i % len(queries):] + queries[: i % len(queries)]
+        for i in range(threads)
+    ]
+    results: list[object] = [None] * threads
+
+    def run(i: int) -> None:
+        try:
+            results[i] = [service.submit(q) for q in rotations[i]]
+        except BaseException as exc:  # surfaced by the main thread
+            results[i] = exc
+
+    workers = [
+        threading.Thread(target=run, args=(i,), name=f"conform-driver-{i}")
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=600)
+    assert all(not w.is_alive() for w in workers), (where, "hung driver")
+    for i, outcomes in enumerate(results):
+        assert not isinstance(outcomes, BaseException), (where, i, outcomes)
+        assert len(outcomes) == len(rotations[i]), (where, i)
+        for query, outcome in zip(rotations[i], outcomes):
+            assert_conforms(
+                reference[query.name],
+                outcome,
+                f"{where}/concurrent{threads}:t{i}/{query.name}",
+            )

@@ -17,7 +17,10 @@ from repro.workloads import lubm, lubm_queries
 from tests.conformance import (
     BACKENDS,
     DEPLOYMENTS,
+    RPC_MODES,
+    RPC_WIRES,
     SURFACES,
+    assert_concurrent_conforms,
     assert_surface_conforms,
     make_service,
     reference_answers,
@@ -66,6 +69,26 @@ def test_conformance_matrix(graph, queries, reference, deployment, backend):
             )
         assert not service.snapshot_stats().warnings, (
             "a backend silently degraded mid-matrix"
+        )
+    finally:
+        service.close()
+
+
+@pytest.mark.parametrize("mode", sorted(RPC_MODES))
+@pytest.mark.parametrize("wire", RPC_WIRES)
+def test_concurrent_rpc_conformance(graph, queries, reference, wire, mode):
+    """The concurrent=N dimension: 4 driver threads submit the rotated
+    LUBM workload over rpc x {pickle, columnar} x {pipelined,
+    coalesced}; answers and reports stay field-wise equal to the serial
+    reference under multiplexing and cross-query coalescing."""
+    skip_unless_supported("shards4-rpc", "serial")
+    service = make_service(
+        graph, "serial", "shards4-rpc", wire_format=wire, **RPC_MODES[mode]
+    )
+    try:
+        assert_concurrent_conforms(
+            service, queries, reference, threads=4,
+            where=f"shards4-rpc/{wire}/{mode}",
         )
     finally:
         service.close()

@@ -13,13 +13,17 @@ surface (config validation, explain, per-shard bytes-shipped).
 from __future__ import annotations
 
 import pickle
+import threading
+import time
 
 import pytest
 
 from repro.cluster import ShardedPlanExecutor, shard_graph
 from repro.cluster.rpc import (
+    BatchReply,
     BoundSpecs,
     ErrorReply,
+    ExecuteBatch,
     ExecuteLevel,
     FrameTooLarge,
     Hello,
@@ -28,6 +32,8 @@ from repro.cluster.rpc import (
     OkReply,
     Prime,
     RegisterTemplate,
+    Reply,
+    Request,
     ResultsReply,
     RpcError,
     RpcProtocolError,
@@ -139,10 +145,28 @@ class TestProtocolFrames:
                 shard=0, pid=9, snapshot_token=None, templates=2,
                 bound_instances=3, tasks_run=17, levels_run=4, primes=1,
                 bytes_received=1024, backend="serial", warnings=("w",),
+                pipeline=4, inflight=2, queue_depth=1, peak_inflight=3,
+                batches=5, deduped=1,
             ),
             Shutdown(),
             OkReply(value=("k1", ())),
             ResultsReply(results=[([], [("r",)], None)]),
+            ExecuteBatch(
+                items=(
+                    (11, ExecuteLevel(
+                        key="k1", binding=(), level=0, phase="reduce",
+                        tasks=(),
+                    )),
+                )
+            ),
+            BatchReply(
+                replies=(
+                    (11, ResultsReply(results=[([], [("r",)], None)])),
+                    (12, ResultsReply(results=[])),
+                )
+            ),
+            Request(id=7, msg=Hello()),
+            Reply(id=7, payload=OkReply(value="bye")),
         ]
 
     def test_every_frame_pickles_to_equality(self, university, prepared_star):
@@ -283,20 +307,19 @@ class TestWorkerLifecycle:
 
     def test_oversized_frame_rejected_worker_side(self, university):
         """A frame that slips past the driver cap still fails typed at
-        the worker's recv (which then stops serving that connection)."""
+        the worker's recv (which then stops serving that connection):
+        the worker broadcasts the error on request id -1, failing every
+        in-flight waiter on the connection."""
         client = ShardWorkerClient(
             shard=0, num_nodes=NUM_NODES, num_shards=1, max_frame_bytes=4096
         )
         client.start()
         try:
-            payload = pickle.dumps(Prime(
-                partition_graph(university, NUM_NODES).snapshot()
-            ))
-            assert len(payload) > 4096
-            client.conn.send_bytes(payload)
-            reply = pickle.loads(client.conn.recv_bytes())
-            assert isinstance(reply, ErrorReply)
-            assert isinstance(reply.error, FrameTooLarge)
+            client.max_frame_bytes = 1 << 30  # disarm the driver-side cap
+            snapshot = partition_graph(university, NUM_NODES).snapshot()
+            assert len(pickle.dumps(Prime(snapshot))) > 4096
+            with pytest.raises(FrameTooLarge, match="exceeded"):
+                client.request(Prime(snapshot))
         finally:
             client.close(kill=True)
 
@@ -337,6 +360,70 @@ class TestWorkerLifecycle:
         client.request(InvalidateSnapshot())
         client.request(InvalidateSnapshot())
         assert client.request(Stats()).snapshot_token is None
+
+    def test_duplicate_request_id_is_idempotent(self, client, prepared_star):
+        """A retried execute frame (same request id) is answered from
+        the worker's dedup cache, never run twice — what makes the
+        respawn-retry path safe for levels with side effects."""
+        client.request(RegisterTemplate("k", prepared_star.physical))
+        base = client.request(Stats())
+        frame = pickle.dumps(Request(777, ExecuteLevel(
+            key="k", binding=(), level=0, phase="reduce", tasks=()
+        )))
+        client.conn.send_bytes(frame)  # raw: reply has no waiter, dropped
+        stats = self._poll_stats(
+            client, lambda s: s.levels_run == base.levels_run + 1
+        )
+        assert stats.levels_run == base.levels_run + 1
+        # The retry: identical request id, answered without re-running.
+        client.conn.send_bytes(frame)
+        stats = self._poll_stats(client, lambda s: s.deduped >= 1)
+        assert stats.deduped == 1
+        assert stats.levels_run == base.levels_run + 1
+
+    @staticmethod
+    def _poll_stats(client, done, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while True:
+            stats = client.request(Stats())
+            if done(stats) or time.monotonic() >= deadline:
+                return stats
+            time.sleep(0.01)
+
+    def test_serial_mode_client_still_round_trips(self, prepared_star):
+        """pipeline=0 keeps the strict request-response discipline (the
+        benchmark baseline) on the same protocol."""
+        client = ShardWorkerClient(
+            shard=0, num_nodes=NUM_NODES, num_shards=1, pipeline=0
+        )
+        client.start()
+        try:
+            client.request(RegisterTemplate("k", prepared_star.physical))
+            stats = client.request(Stats())
+            assert stats.templates == 1
+            assert stats.pipeline == 1  # worker-side floor
+        finally:
+            client.close()
+
+    def test_concurrent_requests_interleave_on_one_socket(self, client):
+        """Multiplexing: many driver threads share the connection, every
+        reply lands with its own waiter."""
+        errors: list[BaseException] = []
+
+        def probe() -> None:
+            try:
+                for _ in range(20):
+                    assert isinstance(client.request(Stats()), StatsReply)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert all(not t.is_alive() for t in threads)
 
 
 # -- fault injection -----------------------------------------------------------
@@ -401,6 +488,178 @@ def _respawn_bomb(shard):
 
 def _start_bomb(self):
     raise OSError("fork denied")
+
+
+# -- multiplexing and coalescing -----------------------------------------------
+
+
+MEMBER_QUERY = (
+    "SELECT ?s WHERE { ?s ub:memberOf <dept0> . ?s rdf:type ub:Student }"
+)
+
+MIXED_QUERIES = (TEMPLATE_A, TEMPLATE_B, STAR_QUERY, MEMBER_QUERY)
+
+
+@needs_rpc
+class TestMultiplexing:
+    """The concurrent transport surface: per-query byte attribution,
+    worker load gauges, and cross-query level coalescing."""
+
+    def test_concurrent_submissions_attribute_bytes_per_query(self):
+        service = rpc_service(make_university_graph())
+        try:
+            # Warm templates, bound plans and the columnar dictionaries:
+            # afterwards repeat submissions ship byte-identical frames.
+            for query in MIXED_QUERIES:
+                service.submit(query)
+                service.submit(query)
+            serial = {
+                query: service.submit(query).report.shard_bytes
+                for query in MIXED_QUERIES
+            }
+            assert all(
+                b is not None and all(x > 0 for x in b)
+                for b in serial.values()
+            )
+            concurrent: dict[str, tuple] = {}
+
+            def run(query: str) -> None:
+                concurrent[query] = service.submit(query).report.shard_bytes
+
+            threads = [
+                threading.Thread(target=run, args=(query,))
+                for query in MIXED_QUERIES
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(not t.is_alive() for t in threads)
+            # No racing router-global counter: every query sees exactly
+            # its own bytes, concurrency notwithstanding.
+            assert concurrent == serial
+        finally:
+            service.close()
+
+    def test_snapshot_stats_surfaces_worker_gauges(self):
+        service = rpc_service(make_university_graph(), rpc_pipeline=3)
+        try:
+            service.submit(STAR_QUERY)
+            snapshot = service.snapshot_stats()
+            assert [g.shard for g in snapshot.shard_workers] == [0, 1]
+            for gauge in snapshot.shard_workers:
+                assert gauge.max_concurrency == 3
+                assert gauge.tasks_run > 0
+                assert gauge.inflight == 0
+                assert gauge.queue_depth == 0
+                assert gauge.peak_inflight >= 1
+                assert gauge.batches == 0  # coalescing off by default
+            assert "shard 0 worker:" in snapshot.format()
+        finally:
+            service.close()
+
+    def test_inproc_deployments_report_no_worker_gauges(self, university):
+        service = QueryService(university, ServiceConfig(shards=2))
+        try:
+            service.submit(STAR_QUERY)
+            assert service.snapshot_stats().shard_workers == ()
+        finally:
+            service.close()
+
+    def test_coalescing_merges_concurrent_levels(self):
+        service = rpc_service(
+            make_university_graph(),
+            rpc_pipeline=8,
+            coalesce_window_ms=150.0,
+            coalesce_max_batch=8,
+        )
+        reference = QueryService(make_university_graph())
+        try:
+            # Register every template first so the measured runs need no
+            # TemplateNotRegistered retry frames.
+            expected = {q: service.submit(q).rows for q in MIXED_QUERIES}
+            router = service.executor.router
+            base_requests = router.level_requests
+            base_frames = router.level_frames
+            outcomes = service.submit_batch(list(MIXED_QUERIES))
+            for query, outcome in zip(MIXED_QUERIES, outcomes):
+                assert outcome.rows == expected[query]
+                assert outcome.rows == reference.submit(query).rows
+                assert outcome.report.shard_frames is not None
+            requests = router.level_requests - base_requests
+            frames = router.level_frames - base_frames
+            # Four concurrent queries inside a generous window: at least
+            # one ExecuteBatch merged levels across queries, so strictly
+            # fewer frames went out than levels were requested.
+            assert requests > len(MIXED_QUERIES)
+            assert 0 < frames < requests
+            assert any(s.batches > 0 for s in router.worker_stats())
+        finally:
+            service.close()
+            reference.close()
+
+    def test_worker_kill_mid_batch_recovers_or_fails_typed(self):
+        """Killing a worker while coalesced batches are in flight never
+        hangs a query: every submission either recovers transparently
+        (respawn + idempotent retry) or fails with ShardUnavailable."""
+        service = rpc_service(
+            make_university_graph(),
+            rpc_pipeline=8,
+            coalesce_window_ms=50.0,
+            coalesce_max_batch=8,
+        )
+        try:
+            expected = {q: service.submit(q).rows for q in MIXED_QUERIES}
+            router = service.executor.router
+            workload = list(MIXED_QUERIES) * 2
+            results: dict[int, object] = {}
+
+            def run(i: int, query: str) -> None:
+                try:
+                    results[i] = service.submit(query).rows
+                except BaseException as exc:
+                    results[i] = exc
+
+            threads = [
+                threading.Thread(target=run, args=(i, q))
+                for i, q in enumerate(workload)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.05)
+            victim = router._clients[0]
+            if victim is not None and victim.process is not None:
+                victim.process.kill()
+            for t in threads:
+                t.join(timeout=60)
+            assert all(not t.is_alive() for t in threads), "hung queries"
+            assert len(results) == len(workload)
+            for i, query in enumerate(workload):
+                outcome = results[i]
+                if isinstance(outcome, BaseException):
+                    assert isinstance(outcome, ShardUnavailable), outcome
+                else:
+                    assert outcome == expected[query]
+            # The transport recovered: fresh submissions are correct.
+            for query in MIXED_QUERIES:
+                assert service.submit(query).rows == expected[query]
+        finally:
+            service.close()
+
+    def test_serial_connection_mode_still_serves(self):
+        """rpc_pipeline=0 (the benchmark baseline) keeps full service
+        semantics on the enveloped protocol."""
+        service = rpc_service(make_university_graph(), rpc_pipeline=0)
+        reference = QueryService(make_university_graph())
+        try:
+            for query in MIXED_QUERIES:
+                assert (
+                    service.submit(query).rows
+                    == reference.submit(query).rows
+                )
+        finally:
+            service.close()
+            reference.close()
 
 
 # -- mutation over RPC ---------------------------------------------------------
@@ -588,3 +847,26 @@ class TestRpcConfigValidation:
             RpcShardRouter(
                 num_nodes=4, num_shards=2, worker_backend="quantum"
             )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"rpc_pipeline": -1},
+            {"coalesce_window_ms": -0.5},
+            {"coalesce_max_batch": 0},
+        ],
+    )
+    def test_service_rejects_bad_concurrency_knobs(self, university, overrides):
+        with pytest.raises(ValueError):
+            QueryService(
+                university,
+                ServiceConfig(shards=2, shard_transport="rpc", **overrides),
+            )
+
+    def test_router_rejects_bad_concurrency_knobs(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            RpcShardRouter(num_nodes=4, num_shards=2, pipeline=-1)
+        with pytest.raises(ValueError, match="coalesce_window_ms"):
+            RpcShardRouter(num_nodes=4, num_shards=2, coalesce_window_ms=-1)
+        with pytest.raises(ValueError, match="coalesce_max_batch"):
+            RpcShardRouter(num_nodes=4, num_shards=2, coalesce_max_batch=0)
