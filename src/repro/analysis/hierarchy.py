@@ -1,0 +1,66 @@
+"""The declared lock hierarchy — single source of truth for LOCK002.
+
+Locks are ranked into tiers; a thread may only acquire a lock whose tier
+is **strictly greater** than every lock it already holds (outermost
+locks have the smallest tier).  The static rule ``LOCK002`` rejects
+lexically nested ``with`` acquisitions that invert the order, and the
+dynamic witness (:mod:`repro.analysis.locks`, ``REPRO_LOCK_CHECK=1``)
+enforces the same ranks across function-call boundaries at runtime.
+
+Names are matched by their final attribute component (``_store_lock``),
+optionally qualified by class (``QueryService._store_lock`` wins over a
+bare ``_store_lock`` entry).  Locks absent from the table are unranked:
+the witness still includes them in cycle detection, but no ordering is
+imposed — add an entry when a new lock participates in nesting.
+
+Tier map (outermost first):
+
+* **10 — orchestration**: single-flight registries consulted before any
+  engine state is touched.
+* **20 — engine state**: the store RW locks and template/bound-spec
+  registries; held across planning and level execution.
+* **30 — transport**: per-shard client management, connection swap and
+  send serialization on the RPC path.
+* **40 — leaves**: counters, caches, pools and gauges; never held while
+  acquiring anything else.
+"""
+
+from __future__ import annotations
+
+LOCK_RANKS: dict[str, int] = {
+    # -- orchestration ----------------------------------------------------
+    "_flights_lock": 10,  # service single-flight (queries + templates)
+    "_pool_lock": 15,  # executor pool lifecycle; close() holds it while
+    #   tearing down the executor -> router -> shard clients
+    # -- engine state -----------------------------------------------------
+    "_store_lock": 20,  # QueryService store RW lock
+    "rwlock": 20,  # RPC worker snapshot RW lock
+    "_bound_lock": 20,  # worker template/bound-spec state
+    # -- transport --------------------------------------------------------
+    "_shard_locks": 30,  # per-shard client slot (respawn/prime)
+    "_close_lock": 30,  # client connection swap
+    "_cond": 32,  # coalescer leader/pending wait
+    "_serial_lock": 34,  # unpipelined request serialization
+    "_send_lock": 36,  # frame write + codec commit ordering
+    "_registry_lock": 38,  # router template registry (snapshot reads only;
+    #   taken inside _start_worker while the shard lock is held)
+    # -- leaves -----------------------------------------------------------
+    "_waiters_lock": 40,  # reply futures table
+    "_counter_lock": 40,  # router per-level counters
+    "_stats_lock": 40,  # worker telemetry gauges
+    "_dedup_lock": 40,  # request-id dedup LRU
+    "send_lock": 40,  # worker reply-write serialization
+    "_lock": 40,  # leaf utility locks (caches, backends, router pool)
+}
+
+
+def rank_of(name: str) -> int | None:
+    """The declared tier of a lock name, or None when unranked.
+
+    *name* may be fully qualified (``Class._attr``); the qualified form
+    is consulted first, then the bare attribute.
+    """
+    if name in LOCK_RANKS:
+        return LOCK_RANKS[name]
+    attr = name.rsplit(".", 1)[-1]
+    return LOCK_RANKS.get(attr)

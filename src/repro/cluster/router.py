@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.analysis.locks import checked
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
     DEFAULT_RPC_PIPELINE,
@@ -137,9 +138,9 @@ class ShardRouter:
         #: dispatch shard batches on driver threads so per-shard process
         #: pools overlap; pointless for the serial backend (GIL-bound)
         self.parallel_shards = parallel_shards and num_shards > 1
-        self._pool: ThreadPoolExecutor | None = None
-        self._lock = threading.Lock()
-        self._registered: set[tuple] = set()
+        self._lock = checked(threading.Lock(), "ShardRouter._lock")
+        self._pool: ThreadPoolExecutor | None = None  # guarded-by: _lock
+        self._registered: set[tuple] = set()  # guarded-by: _lock
 
     # -- template registration ---------------------------------------------
 
@@ -643,9 +644,16 @@ class ShardedPlanExecutor:
     # -- public API -----------------------------------------------------------
 
     def prepare(self, plan: LogicalPlan) -> PreparedPlan:
-        """Translate and compile *plan* without running it."""
+        """Translate and compile *plan* without running it.
+
+        With ``REPRO_CHECK_PLANS=1``, the prepared plan is verified
+        against the paper's structural invariants first.
+        """
         physical = translate(plan, replicas=self.store.replicas)
         compiled = compile_plan(physical)
+        from repro.analysis.plan_check import maybe_check
+
+        maybe_check(plan, physical=physical, compiled=compiled)
         return PreparedPlan(plan=plan, physical=physical, compiled=compiled)
 
     def register_template(self, prepared: PreparedPlan) -> bool:

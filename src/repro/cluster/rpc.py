@@ -68,6 +68,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing.connection import Client, Listener
 
+from repro.analysis.locks import (
+    checked,
+    note_acquired,
+    note_released,
+    witness_name_if_enabled,
+)
 from repro.cluster.router import ShardRouter
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
@@ -368,6 +374,36 @@ MESSAGE_TYPES = (
     ColumnarFrame,
 )
 
+#: The worker dispatch table (FRAME001): frames the worker main loop or
+#: :func:`_dispatch` accepts.  A frame added to :data:`MESSAGE_TYPES`
+#: without an entry here (or in :data:`CLIENT_HANDLED`) is a lint error,
+#: and the main loop rejects frames outside this table with a typed
+#: protocol error instead of an arbitrary failure mid-dispatch.
+WORKER_HANDLED = (
+    Hello,
+    Prime,
+    InvalidateSnapshot,
+    RegisterTemplate,
+    BoundSpecs,
+    ExecuteLevel,
+    ExecuteBatch,
+    Stats,
+    Shutdown,
+    Request,
+    ColumnarFrame,
+)
+
+#: Frames only ever decoded on the driver side (replies + envelope).
+CLIENT_HANDLED = (
+    HelloReply,
+    OkReply,
+    ResultsReply,
+    BatchReply,
+    StatsReply,
+    ErrorReply,
+    Reply,
+)
+
 
 def plan_key(physical: PhysicalPlan) -> str:
     """Content digest of a physical plan, used as its registry key.
@@ -427,6 +463,10 @@ class _StateRWLock:
         self._readers = 0
         self._writer = False
         self._waiting_writers = 0
+        # Lock-order witness node (REPRO_LOCK_CHECK=1); the internal
+        # _cond is deliberately not witnessed — it is held only for the
+        # bookkeeping instants, never across user code.
+        self._witness = witness_name_if_enabled("_WorkerState.rwlock")
 
     @contextmanager
     def read(self):
@@ -434,9 +474,13 @@ class _StateRWLock:
             while self._writer or self._waiting_writers:
                 self._cond.wait()
             self._readers += 1
+        if self._witness:
+            note_acquired(self._witness)
         try:
             yield
         finally:
+            if self._witness:
+                note_released(self._witness)
             with self._cond:
                 self._readers -= 1
                 if self._readers == 0:
@@ -450,9 +494,13 @@ class _StateRWLock:
                 self._cond.wait()
             self._waiting_writers -= 1
             self._writer = True
+        if self._witness:
+            note_acquired(self._witness)
         try:
             yield
         finally:
+            if self._witness:
+                note_released(self._witness)
             with self._cond:
                 self._writer = False
                 self._cond.notify_all()
@@ -486,23 +534,27 @@ class _WorkerState:
             num_workers=pipeline_workers(backend, backend_workers, pipeline),
             on_fallback=self.warnings.append,
         )
+        # snapshot/wire are resident-state: swapped only under
+        # rwlock.write() (the caller's mutator path), read during level
+        # execution under rwlock.read() — the RW lock, not a mutex,
+        # because reads are long (whole levels) and concurrent.
         self.snapshot: StoreSnapshot | None = None
         #: columnar wire codec of this connection; None = pickle wire
         self.wire: WireCodec | None = None
-        self.templates: dict[str, PhysicalPlan] = {}
-        self.bound: dict[tuple, _BoundPlan] = {}
         self.rwlock = _StateRWLock()
-        self._bound_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self.tasks_run = 0
-        self.levels_run = 0
-        self.primes = 0
-        self.bytes_received = 0
-        self.queued = 0
-        self.inflight = 0
-        self.peak_inflight = 0
-        self.batches = 0
-        self.deduped = 0
+        self._bound_lock = checked(threading.Lock(), "_WorkerState._bound_lock")
+        self._stats_lock = checked(threading.Lock(), "_WorkerState._stats_lock")
+        self.templates: dict[str, PhysicalPlan] = {}  # guarded-by: _bound_lock
+        self.bound: dict[tuple, _BoundPlan] = {}  # guarded-by: _bound_lock
+        self.tasks_run = 0  # guarded-by: _stats_lock
+        self.levels_run = 0  # guarded-by: _stats_lock
+        self.primes = 0  # guarded-by: _stats_lock
+        self.bytes_received = 0  # guarded-by: _stats_lock
+        self.queued = 0  # guarded-by: _stats_lock
+        self.inflight = 0  # guarded-by: _stats_lock
+        self.peak_inflight = 0  # guarded-by: _stats_lock
+        self.batches = 0  # guarded-by: _stats_lock
+        self.deduped = 0  # guarded-by: _stats_lock
 
     # -- telemetry gauges --------------------------------------------------
 
@@ -550,7 +602,8 @@ class _WorkerState:
         # snapshot object it just sent, so both ends assign identical ids
         # to every resident term and the delta watermarks restart in sync.
         self.wire = WireCodec(snapshot) if wire == "columnar" else None
-        self.primes += 1
+        with self._stats_lock:
+            self.primes += 1
         # Revalidate the local backend against the new snapshot token: a
         # process pool keyed to the old token rebuilds, anything else is
         # a no-op — the same mutation protocol as the in-proc deployment.
@@ -626,13 +679,18 @@ class _WorkerState:
         return ResultsReply(results=list(results))
 
     def stats(self) -> StatsReply:
+        # Registry sizes are owned by _bound_lock; read them first so
+        # the two leaf mutexes are never held together.
+        with self._bound_lock:
+            templates = len(self.templates)
+            bound_instances = len(self.bound)
         with self._stats_lock:
             return StatsReply(
                 shard=self.shard,
                 pid=os.getpid(),
                 snapshot_token=self.token,
-                templates=len(self.templates),
-                bound_instances=len(self.bound),
+                templates=templates,
+                bound_instances=bound_instances,
                 tasks_run=self.tasks_run,
                 levels_run=self.levels_run,
                 primes=self.primes,
@@ -711,7 +769,7 @@ class _BatchAggregate:
         self.rid = rid
         self.replies: list = [None] * count
         self._remaining = count
-        self._lock = threading.Lock()
+        self._lock = checked(threading.Lock(), "_BatchAggregate._lock")
 
     def finish(self, index: int, sub_rid: int, reply) -> bool:
         with self._lock:
@@ -760,7 +818,7 @@ def _worker_main(
         pipeline=concurrency,
     )
     conn = listener.accept()
-    send_lock = threading.Lock()
+    send_lock = checked(threading.Lock(), "worker.send_lock")
     pool = (
         ThreadPoolExecutor(
             max_workers=concurrency,
@@ -769,7 +827,7 @@ def _worker_main(
         if concurrency > 1
         else None
     )
-    dedup_lock = threading.Lock()
+    dedup_lock = checked(threading.Lock(), "worker.dedup_lock")
     dedup_done: OrderedDict[int, bytes] = OrderedDict()
     dedup_inflight: set[int] = set()
 
@@ -918,6 +976,15 @@ def _worker_main(
                 )
                 continue
             rid, msg = envelope.id, envelope.msg
+            if not isinstance(msg, WORKER_HANDLED):
+                send_error(
+                    rid,
+                    RpcProtocolError(
+                        f"unknown message type {type(msg).__name__!r}: "
+                        "not in the worker dispatch table"
+                    ),
+                )
+                continue
             if isinstance(msg, Shutdown):
                 if pool is not None:
                     pool.shutdown(wait=True)  # drain in-flight levels
@@ -1060,25 +1127,36 @@ class ShardWorkerClient:
         self.start_method = start_method
         self.spawn_timeout = spawn_timeout
         self.pipeline = pipeline
+        # process/conn are swapped to None under _close_lock on close;
+        # the send/request paths re-read them under their own locks and
+        # treat None as "worker gone" (ConnectionError), so a torn read
+        # is impossible and a stale non-None at worst fails the send.
         self.process = None
         self.conn = None
-        self.bytes_sent = 0
-        self.frames_sent = 0
+        self._send_lock = checked(threading.Lock(), "ShardWorkerClient._send_lock")
+        self._close_lock = checked(threading.Lock(), "ShardWorkerClient._close_lock")
+        self._waiters_lock = checked(
+            threading.Lock(), "ShardWorkerClient._waiters_lock"
+        )
+        self.bytes_sent = 0  # guarded-by: _send_lock
+        self.frames_sent = 0  # guarded-by: _send_lock
         #: driver end of the columnar wire codec; established by the
         #: first successful ``Prime(wire="columnar")`` on this connection
+        #: (a quiescence point: no concurrent frame straddles the swap)
         self.codec: WireCodec | None = None
         #: snapshot token last primed onto this worker (driver-side view)
         self.primed_token: tuple | None = None
         #: worker warnings already relayed to the router's on_warning
         self.warnings_forwarded = 0
-        self._send_lock = threading.Lock()
-        self._close_lock = threading.Lock()
-        self._waiters: dict[int, _Waiter] = {}
-        self._waiters_lock = threading.Lock()
-        self._ids = itertools.count(1)
+        self._waiters: dict[int, _Waiter] = {}  # guarded-by: _waiters_lock
+        self._reader_dead: BaseException | None = None  # guarded-by: _waiters_lock
+        self._ids = itertools.count(1)  # guarded-by: _waiters_lock
         self._reader: threading.Thread | None = None
-        self._reader_dead: BaseException | None = None
-        self._serial_lock = threading.Lock() if pipeline == 0 else None
+        self._serial_lock = (
+            checked(threading.Lock(), "ShardWorkerClient._serial_lock")
+            if pipeline == 0
+            else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -1133,7 +1211,8 @@ class ShardWorkerClient:
             parent.close()
         self.process = process
         self.conn = conn
-        self._reader_dead = None
+        with self._waiters_lock:
+            self._reader_dead = None
         self._reader = threading.Thread(
             target=self._read_loop,
             args=(conn,),
@@ -1377,7 +1456,7 @@ class _LevelCoalescer:
         self.shard = shard
         self.window = router.coalesce_window_ms / 1000.0
         self.max_batch = router.coalesce_max_batch
-        self._cond = threading.Condition()
+        self._cond = checked(threading.Condition(), "_LevelCoalescer._cond")
         self._pending: list[_PendingLevel] = []
         self._leader = False
 
@@ -1546,18 +1625,28 @@ class RpcShardRouter(ShardRouter):
         #: server's process pool falling back to serial) so they surface
         #: through the service's stats exactly like in-process fallbacks
         self.on_warning = on_warning
-        self.shard_failures = 0
+        self._counter_lock = checked(
+            threading.Lock(), "RpcShardRouter._counter_lock"
+        )
+        self.shard_failures = 0  # guarded-by: _counter_lock
         #: level traffic counters: requests = ExecuteLevels asked for,
         #: frames = physical wire frames that carried them.  Coalescing
         #: provably merges when frames < requests.
-        self.level_requests = 0
-        self.level_frames = 0
-        self._counter_lock = threading.Lock()
-        self._sub_ids = itertools.count(1)
-        self._clients: list[ShardWorkerClient | None] = [None] * num_shards
-        self._shard_locks = [threading.RLock() for _ in range(num_shards)]
-        self._registry_lock = threading.Lock()
-        self._templates: dict[str, PhysicalPlan] = {}
+        self.level_requests = 0  # guarded-by: _counter_lock
+        self.level_frames = 0  # guarded-by: _counter_lock
+        self._sub_ids = itertools.count(1)  # guarded-by: _counter_lock
+        # One witness node for all shards: cross-shard nesting between
+        # sibling locks is same-name and thus not edge-checked (no code
+        # path holds two shard locks at once).
+        self._shard_locks = [
+            checked(threading.RLock(), "RpcShardRouter._shard_locks")
+            for _ in range(num_shards)
+        ]
+        self._clients: list[ShardWorkerClient | None] = [None] * num_shards  # guarded-by: _shard_locks
+        self._registry_lock = checked(
+            threading.Lock(), "RpcShardRouter._registry_lock"
+        )
+        self._templates: dict[str, PhysicalPlan] = {}  # guarded-by: _registry_lock
         self._last_snapshot = None
         self._coalescers = (
             [_LevelCoalescer(self, shard) for shard in range(num_shards)]
@@ -1652,9 +1741,12 @@ class RpcShardRouter(ShardRouter):
         client.warnings_forwarded = len(stats.warnings)
 
     def _start_worker(self, shard: int) -> ShardWorkerClient:
-        """Spawn shard *shard*'s server, handshake, re-register templates."""
-        old = self._clients[shard]
-        self._clients[shard] = None
+        """Spawn shard *shard*'s server, handshake, re-register templates.
+
+        Callers (``ensure_workers``, ``_recover``) hold this shard's lock.
+        """
+        old = self._clients[shard]  # lint: disable=LOCK001 — caller holds this shard's lock (see docstring)
+        self._clients[shard] = None  # lint: disable=LOCK001 — caller holds this shard's lock (see docstring)
         if old is not None:
             old.close(kill=True)
         client = ShardWorkerClient(
@@ -1677,7 +1769,7 @@ class RpcShardRouter(ShardRouter):
         except Exception:
             client.close(kill=True)
             raise
-        self._clients[shard] = client
+        self._clients[shard] = client  # lint: disable=LOCK001 — caller holds this shard's lock (see docstring)
         return client
 
     def worker_stats(self) -> list[StatsReply]:
@@ -1723,7 +1815,10 @@ class RpcShardRouter(ShardRouter):
     # -- failure handling ---------------------------------------------------
 
     def _record_failure(self, shard: int, reason: str) -> None:
-        self.shard_failures += 1
+        # Distinct shards fail concurrently (each path holds only its
+        # own shard lock), so the shared tally needs the counter mutex.
+        with self._counter_lock:
+            self.shard_failures += 1
         if self.on_failure is not None:
             try:
                 self.on_failure(shard, reason)
@@ -1748,7 +1843,7 @@ class RpcShardRouter(ShardRouter):
             return client
         except Exception as exc:
             self._record_failure(shard, f"respawn failed: {exc!r}")
-            self._clients[shard] = None
+            self._clients[shard] = None  # lint: disable=LOCK001 — caller holds this shard's lock (see docstring)
             raise ShardUnavailable(shard, f"respawn failed: {exc!r}") from exc
 
     def _ensure_client(self, shard: int) -> ShardWorkerClient:

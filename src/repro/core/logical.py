@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cache
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.sparql.ast import BGPQuery, TriplePattern
 
@@ -165,7 +165,7 @@ class Project(LogicalOperator):
 
 def rewrite_patterns(
     op: LogicalOperator,
-    pattern_fn,
+    pattern_fn: Callable[[TriplePattern], TriplePattern],
     _memo: dict[int, LogicalOperator] | None = None,
 ) -> LogicalOperator:
     """Rebuild a sub-DAG with every Match pattern passed through

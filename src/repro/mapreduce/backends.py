@@ -45,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.analysis.locks import checked
 from repro.mapreduce.jobs import TaskContext, TaskSpec
 
 
@@ -126,8 +127,8 @@ class ColumnarBackend(ExecutionBackend):
     MAX_STATES = 4
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._states: dict = {}
+        self._lock = checked(threading.Lock(), "ColumnarBackend._lock")
+        self._states: dict = {}  # guarded-by: _lock
 
     def _state_for(self, ctx: TaskContext):
         from repro.columnar.engine import ColumnarState
@@ -163,9 +164,9 @@ class ThreadBackend(ExecutionBackend):
         if num_workers < 1:
             raise ValueError(f"ThreadBackend needs >= 1 worker, got {num_workers}")
         self.num_workers = num_workers
-        self._pool: ThreadPoolExecutor | None = None
-        self._closed = False
-        self._lock = threading.Lock()
+        self._lock = checked(threading.Lock(), "ThreadBackend._lock")
+        self._pool: ThreadPoolExecutor | None = None  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
         if len(invocations) <= 1:
@@ -302,14 +303,17 @@ class ProcessBackend(ExecutionBackend):
         self.fallback = fallback
         self.on_fallback = on_fallback
         self._mp_context = mp_context
-        self._pool: ProcessPoolExecutor | None = None
-        self._pool_token: object = None
-        self._closed = False
-        self._serial: SerialBackend | None = None
         #: guards pool creation/swap/demotion (run() may be called from
         #: many service threads at once; submissions themselves are
         #: thread-safe on the pool)
-        self._lock = threading.Lock()
+        self._lock = checked(threading.Lock(), "ProcessBackend._lock")
+        self._pool: ProcessPoolExecutor | None = None  # guarded-by: _lock
+        self._pool_token: object = None  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        # Written only under _lock; read lock-free on the hot path as a
+        # monotonic None -> SerialBackend latch (a stale None merely
+        # retries the pool once more before demoting again).
+        self._serial: SerialBackend | None = None
 
     # -- pool management ---------------------------------------------------
 

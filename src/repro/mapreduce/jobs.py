@@ -102,7 +102,7 @@ class ReduceTaskSpec(TaskSpec):
 class FnMapSpec(MapTaskSpec):
     """Adapter for closure-style map tasks (not process-safe)."""
 
-    fn: Callable[[], MapResult]
+    fn: Callable[[], MapResult]  # lint: disable=SPEC001 — closure adapter for in-process backends only, never pickled
 
     def run(self, ctx: TaskContext, *args) -> MapResult:
         return self.fn()
@@ -112,7 +112,7 @@ class FnMapSpec(MapTaskSpec):
 class FnReduceSpec(ReduceTaskSpec):
     """Adapter for closure-style reducers (not process-safe)."""
 
-    fn: ReduceFn
+    fn: ReduceFn  # lint: disable=SPEC001 — closure adapter for in-process backends only, never pickled
 
     def run(self, ctx: TaskContext, partition: int, grouped: dict) -> tuple:
         return self.fn(partition, grouped)

@@ -458,9 +458,17 @@ class PlanExecutor:
         return self.execute_prepared(self.prepare(plan))
 
     def prepare(self, plan: LogicalPlan) -> PreparedPlan:
-        """Translate and compile *plan* without running it."""
+        """Translate and compile *plan* without running it.
+
+        With ``REPRO_CHECK_PLANS=1``, every prepared plan is verified
+        against the paper's structural invariants (logical, physical and
+        job-DAG level) before it is handed out.
+        """
         physical = translate(plan, replicas=self.store.replicas)
         compiled = compile_plan(physical)
+        from repro.analysis.plan_check import maybe_check
+
+        maybe_check(plan, physical=physical, compiled=compiled)
         return PreparedPlan(plan=plan, physical=physical, compiled=compiled)
 
     def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, Hashable, TypeVar
 
+from repro.analysis.locks import checked
 from repro.core.logical import LogicalPlan
 from repro.mapreduce.counters import ExecutionReport
 from repro.physical.executor import PreparedPlan
@@ -46,11 +47,11 @@ class LRUCache(Generic[K, V]):
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be None or >= 0")
         self.maxsize = maxsize
-        self._data: OrderedDict[K, V] = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lock = checked(threading.Lock(), "LRUCache._lock")
+        self._data: OrderedDict[K, V] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def get(self, key: K) -> V | None:
         with self._lock:
@@ -86,8 +87,9 @@ class LRUCache(Generic[K, V]):
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 @dataclass
@@ -152,7 +154,7 @@ class ResultCache(LRUCache[tuple, ResultEntry]):
 
     def __init__(self, maxsize: int | None = 256) -> None:
         super().__init__(maxsize)
-        self.stale_drops = 0
+        self.stale_drops = 0  # guarded-by: _lock
 
     def get_current(self, key: tuple, version: int) -> ResultEntry | None:
         """The cached entry, unless absent or computed at an older version."""

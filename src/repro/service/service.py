@@ -63,6 +63,12 @@ import warnings as _warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro.analysis.locks import (
+    checked,
+    note_acquired,
+    note_released,
+    witness_name_if_enabled,
+)
 from repro.cluster import ShardedPlanExecutor, ShardedStore, shard_graph
 from repro.columnar.wire import WIRE_FORMATS
 from repro.core.algorithm import OptimizerResult, cliquesquare
@@ -129,14 +135,22 @@ class _ReadWriteLock:
         self._readers = 0
         self._writer = False
         self._waiting_writers = 0
+        # Lock-order witness node (REPRO_LOCK_CHECK=1); the internal
+        # _cond is deliberately not witnessed — it is held only for the
+        # bookkeeping instants, never across user code.
+        self._witness = witness_name_if_enabled("QueryService._store_lock")
 
     def acquire_read(self) -> None:
         with self._cond:
             while self._writer or self._waiting_writers:
                 self._cond.wait()
             self._readers += 1
+        if self._witness:
+            note_acquired(self._witness)
 
     def release_read(self) -> None:
+        if self._witness:
+            note_released(self._witness)
         with self._cond:
             self._readers -= 1
             if not self._readers:
@@ -149,8 +163,12 @@ class _ReadWriteLock:
                 self._cond.wait()
             self._waiting_writers -= 1
             self._writer = True
+        if self._witness:
+            note_acquired(self._witness)
 
     def release_write(self) -> None:
+        if self._witness:
+            note_released(self._witness)
         with self._cond:
             self._writer = False
             self._cond.notify_all()
@@ -643,14 +661,20 @@ class QueryService:
         self.stats = ServiceStats()
         self._version = 0
         self._store_lock = _ReadWriteLock()
-        self._flights: dict[tuple, _Flight] = {}
-        self._template_flights: dict[tuple, _Flight] = {}
-        self._flights_lock = threading.Lock()
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
+        self._flights_lock = checked(
+            threading.Lock(), "QueryService._flights_lock"
+        )
+        self._flights: dict[tuple, _Flight] = {}  # guarded-by: _flights_lock
+        self._template_flights: dict[tuple, _Flight] = {}  # guarded-by: _flights_lock
+        self._pool_lock = checked(threading.Lock(), "QueryService._pool_lock")
+        self._pool: ThreadPoolExecutor | None = None  # guarded-by: _pool_lock
+        # Written only under _pool_lock; read lock-free in _check_open as
+        # a monotonic False -> True latch (and under the lock in
+        # _ensure_pool, which is why _check_open itself cannot lock).
         self._closed = False
         #: encoded request bytes of the most recent rpc-sharded query
-        #: (sum over shards) — surfaced by EXPLAIN's wire line
+        #: (sum over shards) — surfaced by EXPLAIN's wire line.  Advisory:
+        #: written per query, read racily by EXPLAIN, never synchronized.
         self._last_wire_bytes: int | None = None
         self._inflight = (
             None
@@ -761,6 +785,13 @@ class QueryService:
                 f"{self.config.option} produced no plan for {query.name or query}"
             )
         best, _ = select_best_plan(result.unique_plans(), self.coster)
+        from repro.analysis.plan_check import check_plan_space, plans_checked
+
+        if plans_checked():
+            # Opt-in invariant mode: the retained space must still hold
+            # a height-optimal plan (HO-partiality survives max_plans
+            # truncation); the chosen plan itself is checked in prepare.
+            check_plan_space(query, result)
         return best, result
 
     # -- the prepared-query surface ----------------------------------------
@@ -1231,7 +1262,7 @@ class QueryService:
                     False,
                 )
             answer, reused = self._single_flight(
-                self._flights,
+                self._flights,  # lint: disable=LOCK001 — reference only; _single_flight mutates it under _flights_lock
                 inst.key,
                 lambda: self._compute(inst),
                 on_error=self.stats.record_error,
@@ -1269,7 +1300,9 @@ class QueryService:
             return built
 
         entry, reused = self._single_flight(
-            self._template_flights, template.signature, build
+            self._template_flights,  # lint: disable=LOCK001 — reference only; _single_flight mutates it under _flights_lock
+            template.signature,
+            build,
         )
         assert isinstance(entry, TemplateEntry)
         return entry, reused

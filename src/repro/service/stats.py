@@ -17,6 +17,8 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.analysis.locks import checked
+
 
 def percentile(samples: list[float], p: float) -> float:
     """Nearest-rank percentile (``p`` in [0, 100]); 0.0 on no samples."""
@@ -212,7 +214,10 @@ class ServiceStats:
     _bind: deque = field(default_factory=deque, repr=False)
     _execute: deque = field(default_factory=deque, repr=False)
     _total: deque = field(default_factory=deque, repr=False)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lambda: checked(threading.Lock(), "ServiceStats._lock"),
+        repr=False,
+    )
     _started: float = field(default_factory=time.monotonic, repr=False)
 
     def __post_init__(self) -> None:

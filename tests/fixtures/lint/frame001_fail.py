@@ -1,0 +1,23 @@
+"""FRAME001 fail: a declared frame in neither dispatch table, and a
+worker-handled frame the dispatcher never isinstance-matches."""
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+class Quux:
+    pass
+
+
+MESSAGE_TYPES = (Ping, Pong, Quux)
+WORKER_HANDLED = (Ping,)
+CLIENT_HANDLED = (Pong,)
+
+
+def dispatch(msg):
+    return None

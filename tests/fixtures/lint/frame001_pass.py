@@ -1,0 +1,21 @@
+"""FRAME001 pass: every frame sits in exactly one dispatch table and
+every worker frame is isinstance-matched."""
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+MESSAGE_TYPES = (Ping, Pong)
+WORKER_HANDLED = (Ping,)
+CLIENT_HANDLED = (Pong,)
+
+
+def dispatch(msg):
+    if isinstance(msg, Ping):
+        return Pong()
+    raise ValueError(msg)

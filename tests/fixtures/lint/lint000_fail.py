@@ -1,0 +1,13 @@
+"""LINT000 fail: a suppression with no justification is itself an error
+(and does not silence the underlying finding)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1  # lint: disable=LOCK001

@@ -1,0 +1,12 @@
+"""LOCK001 fail: a guarded attribute touched without its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1  # unlocked read-modify-write

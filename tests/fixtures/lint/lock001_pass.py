@@ -1,0 +1,18 @@
+"""LOCK001 pass: every guarded access is inside `with` (or an alias)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def read_via_alias(self):
+        lock = self._lock
+        with lock:
+            return self.count

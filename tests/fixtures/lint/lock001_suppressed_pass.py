@@ -1,0 +1,12 @@
+"""LOCK001 pass: the unlocked access carries a justified suppression."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def peek(self):
+        return self.count  # lint: disable=LOCK001 — advisory snapshot read, torn values acceptable

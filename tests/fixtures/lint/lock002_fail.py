@@ -1,0 +1,14 @@
+"""LOCK002 fail: a tier-20 lock acquired while a tier-40 leaf is held."""
+
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._store_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    def inverted(self):
+        with self._stats_lock:
+            with self._store_lock:
+                pass

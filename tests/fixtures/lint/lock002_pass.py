@@ -1,0 +1,15 @@
+"""LOCK002 pass: nested acquisition follows the declared hierarchy
+(outer tier 20 store lock, then tier 40 stats leaf)."""
+
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._store_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+
+    def mutate(self):
+        with self._store_lock:
+            with self._stats_lock:
+                pass

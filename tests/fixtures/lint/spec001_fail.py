@@ -1,0 +1,15 @@
+"""SPEC001 fail: an unfrozen spec with a Callable field and a lambda
+default — unpicklable by reference, so a process backend would break."""
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class MapTaskSpec:  # stand-in for repro.mapreduce.jobs.MapTaskSpec
+    pass
+
+
+@dataclass
+class ClosureSpec(MapTaskSpec):
+    fn: Callable[[], list]
+    fallback: object = field(default=lambda: [])

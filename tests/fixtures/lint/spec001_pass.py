@@ -1,0 +1,13 @@
+"""SPEC001 pass: a frozen dataclass spec with plain-data fields."""
+
+from dataclasses import dataclass
+
+
+class MapTaskSpec:  # stand-in for repro.mapreduce.jobs.MapTaskSpec
+    pass
+
+
+@dataclass(frozen=True)
+class ScanSpec(MapTaskSpec):
+    pattern: tuple
+    node: int

@@ -1,0 +1,81 @@
+"""The repo lint, tested against itself: seeded-violation fixtures must
+fire exactly their rule, pass fixtures must come back clean, and the
+merged ``src/`` tree must lint clean end to end."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_paths, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _lint_fixture(name: str):
+    # The synthetic /fixtures path keeps FRAME001's cross-file registry
+    # check (which resolves the repo root from the lint path) out of the
+    # fixture runs — fixtures exercise one rule each, hermetically.
+    return lint_source((FIXTURES / name).read_text(), path=f"/fixtures/{name}")
+
+
+FAIL_CASES = [
+    ("lock001_fail.py", "LOCK001"),
+    ("lock002_fail.py", "LOCK002"),
+    ("spec001_fail.py", "SPEC001"),
+    ("frame001_fail.py", "FRAME001"),
+    ("lint000_fail.py", "LINT000"),
+]
+
+PASS_CASES = [
+    "lock001_pass.py",
+    "lock001_suppressed_pass.py",
+    "lock002_pass.py",
+    "spec001_pass.py",
+    "frame001_pass.py",
+]
+
+
+@pytest.mark.parametrize("name,rule", FAIL_CASES)
+def test_fail_fixture_fires_its_rule(name, rule):
+    findings = _lint_fixture(name)
+    assert rule in {f.rule for f in findings}, findings
+
+
+@pytest.mark.parametrize("name", PASS_CASES)
+def test_pass_fixture_is_clean(name):
+    assert _lint_fixture(name) == []
+
+
+def test_every_rule_has_a_fail_fixture():
+    assert {rule for _, rule in FAIL_CASES} == set(RULES)
+
+
+def test_unjustified_suppression_does_not_silence():
+    findings = _lint_fixture("lint000_fail.py")
+    rules = {f.rule for f in findings}
+    assert {"LOCK001", "LINT000"} <= rules
+
+
+def test_frame001_requires_registry_entry():
+    # A frame module *inside the repo* must register every frame in
+    # tests/test_rpc_frames.py::FRAME_EXAMPLES.
+    source = (
+        "class Zorp:\n    pass\n\n"
+        "MESSAGE_TYPES = (Zorp,)\n"
+        "WORKER_HANDLED = (Zorp,)\n"
+        "CLIENT_HANDLED = ()\n\n"
+        "def dispatch(msg):\n"
+        "    return isinstance(msg, Zorp)\n"
+    )
+    findings = lint_source(source, path=str(REPO / "src" / "zorp_frames.py"))
+    assert any(
+        f.rule == "FRAME001" and "pickle-round-trip" in f.message
+        for f in findings
+    ), findings
+
+
+def test_src_tree_lints_clean():
+    assert lint_paths([REPO / "src"]) == []
