@@ -51,6 +51,12 @@ LOCK_RANKS: dict[str, int] = {
     "_dedup_lock": 40,  # request-id dedup LRU
     "send_lock": 40,  # worker reply-write serialization
     "_lock": 40,  # leaf utility locks (caches, backends, router pool)
+    # -- observability (repro.obs; below every engine lock so spans and
+    #    metrics may be recorded from any instrumented path) --------------
+    "MetricsRegistry._lock": 41,  # family directory; held before children
+    "_metric_lock": 42,  # per-child counter/gauge/histogram state
+    "TraceSink._lock": 44,  # trace store (span append, snapshot, evict)
+    "_trace_dir_lock": 46,  # process-local trace_id -> sink directory
 }
 
 

@@ -34,12 +34,14 @@ order, and node placement is identical to the unsharded store — so
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.analysis.locks import checked
+from repro.obs.trace import record_remote, span, trace_ctx
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
     DEFAULT_RPC_PIPELINE,
@@ -249,20 +251,22 @@ class ShardRouter:
         tasks = [0] * num_shards
         rows = [0] * num_shards
         for level_index, level in enumerate(graph.levels()):
-            self._run_level(
-                level, spec_of, ctxs, reports, driver_hdfs, shard_hdfs,
-                tasks, rows, level_index, exec_ctx,
-            )
-        merged = reports[0]
-        for other in reports[1:]:
-            merged.merge(other)
-        merged.shards = num_shards
-        merged.transport = self.transport
-        bytes_shipped = self._bytes_shipped(exec_ctx)
-        frames_shipped = self._frames_shipped(exec_ctx)
-        merged.shard_bytes = bytes_shipped
-        merged.shard_frames = frames_shipped
-        result = driver_hdfs.read("result")
+            with span("level", index=level_index, jobs=len(level)):
+                self._run_level(
+                    level, spec_of, ctxs, reports, driver_hdfs, shard_hdfs,
+                    tasks, rows, level_index, exec_ctx,
+                )
+        with span("merge", shards=num_shards):
+            merged = reports[0]
+            for other in reports[1:]:
+                merged.merge(other)
+            merged.shards = num_shards
+            merged.transport = self.transport
+            bytes_shipped = self._bytes_shipped(exec_ctx)
+            frames_shipped = self._frames_shipped(exec_ctx)
+            merged.shard_bytes = bytes_shipped
+            merged.shard_frames = frames_shipped
+            result = driver_hdfs.read("result")
         return result, merged, ShardRunSummary(
             tasks=tuple(tasks),
             rows=tuple(rows),
@@ -310,16 +314,27 @@ class ShardRouter:
         ships the descriptors (plus exchange rows) instead of the specs.
         """
         active = [s for s in range(self.num_shards) if per_shard[s]]
+        # Captured on the query thread: dispatch-pool threads never saw
+        # this query's contextvar, so per-shard spans attach explicitly.
+        tctx = trace_ctx()
+
+        def call(s: int) -> list:
+            if tctx is None:
+                return self.backends[s].run(per_shard[s], ctxs[s])
+            t0 = time.perf_counter()
+            out = self.backends[s].run(per_shard[s], ctxs[s])
+            record_remote(
+                tctx, "shard", t0, time.perf_counter(),
+                shard=s, phase=phase, level=level_index,
+                tasks=len(per_shard[s]),
+            )
+            return out
+
         if len(active) > 1 and self.parallel_shards:
             pool = self._dispatch_pool()
-            futures = [
-                (s, pool.submit(self.backends[s].run, per_shard[s], ctxs[s]))
-                for s in active
-            ]
+            futures = [(s, pool.submit(call, s)) for s in active]
             return [(s, f.result()) for s, f in futures]
-        return [
-            (s, self.backends[s].run(per_shard[s], ctxs[s])) for s in active
-        ]
+        return [(s, call(s)) for s in active]
 
     def _run_level(
         self,

@@ -85,10 +85,17 @@ from repro.mapreduce.backends import (
     make_backend,
     pipeline_workers,
     store_token,
+    task_timing,
 )
 from repro.columnar.wire import WIRE_FORMATS, ColumnarFrame, WireCodec
 from repro.mapreduce.hdfs import HDFS, DistributedRelation
 from repro.mapreduce.jobs import TaskContext
+from repro.obs.trace import (
+    SpanAccumulator,
+    attach_worker_spans,
+    record_remote,
+    trace_ctx,
+)
 from repro.partitioning.triple_partitioner import StoreSnapshot
 from repro.physical.executor import job_from_spec
 from repro.physical.job_compiler import compile_plan
@@ -112,6 +119,12 @@ MAX_BOUND_PLANS = 256
 #: retried execute frame is answered from the cache instead of running
 #: twice.  Small: the retry window is one in-flight request per waiter.
 DEDUP_CACHE_SIZE = 64
+
+#: Per-task spans a traced :class:`ExecuteLevel` ships back per level;
+#: further tasks are summarized by a ``task_spans_dropped`` attribute on
+#: the execute span (levels can hold many tasks and span records travel
+#: over the wire).
+MAX_TASK_SPANS = 16
 
 
 # -- typed errors --------------------------------------------------------------
@@ -241,6 +254,11 @@ class ExecuteLevel:
     grouped)`` — the cross-shard exchange rows.  Requests are
     self-contained (no execution state lives on the worker between
     levels), which is what makes respawn-and-retry safe.
+
+    ``trace_ctx`` is the driver's picklable ``(trace_id, span_id)``
+    tracing context (:func:`repro.obs.trace.trace_ctx`); None — the
+    default, and the wire cost when tracing is off — disables all
+    worker-side span accumulation for the frame.
     """
 
     key: str
@@ -249,6 +267,7 @@ class ExecuteLevel:
     phase: str
     tasks: tuple
     inputs: dict[str, DistributedRelation] = field(default_factory=dict)
+    trace_ctx: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -318,9 +337,15 @@ class OkReply:
 
 @dataclass(frozen=True)
 class ResultsReply:
-    """Task results of one :class:`ExecuteLevel`, in task order."""
+    """Task results of one :class:`ExecuteLevel`, in task order.
+
+    ``spans`` carries the worker's span records for a traced frame
+    (:class:`repro.obs.trace.SpanAccumulator` tuples, offsets relative
+    to the worker's frame receipt); empty when tracing is off.
+    """
 
     results: list
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -346,10 +371,17 @@ class Reply:
     """The worker→driver envelope.  ``id`` echoes the request's; the
     reserved id ``-1`` is a connection-level broadcast (the worker could
     not attribute the failure to a request — e.g. an undecodable or
-    oversized incoming frame), which fails every in-flight waiter."""
+    oversized incoming frame), which fails every in-flight waiter.
+
+    ``encode_s`` reports the worker's payload-encode time (columnar
+    transcode) for traced frames.  It lives on the envelope because a
+    span *inside* the payload cannot time the encoding of that same
+    payload; the envelope pickle itself stays untimed (≈0 on the
+    pickle wire), which is documented behaviour."""
 
     id: int
     payload: object
+    encode_s: float = 0.0
 
 
 #: All frame types, for protocol round-trip tests.
@@ -648,8 +680,47 @@ class _WorkerState:
 
     # -- request handlers --------------------------------------------------
 
-    def execute_level(self, msg: ExecuteLevel) -> ResultsReply:
+    def execute_level(
+        self, msg: ExecuteLevel, acc: SpanAccumulator | None = None
+    ) -> ResultsReply:
+        if acc is None:
+            return self._execute_level(msg)
+        with acc.timed("bind"):
+            bound = self.bound_for(msg.key, msg.binding)
+        invocations, ctx = self._invocations(msg, bound)
+        start = time.perf_counter()
+        with task_timing() as tasks:
+            results = self.backend.run(invocations, ctx)
+        end = time.perf_counter()
+        execute_ix = acc.record(
+            "execute", start, end, tasks=len(invocations)
+        )
+        # Ship at most a handful of per-task spans: serial/columnar
+        # backends report them; a level can hold many tasks and the
+        # records travel back over the wire.
+        for task_ix, (t0, t1) in enumerate(tasks[:MAX_TASK_SPANS]):
+            acc.record("task", t0, t1, parent=execute_ix, index=task_ix)
+        if len(tasks) > MAX_TASK_SPANS:
+            acc.records[execute_ix][4]["task_spans_dropped"] = (
+                len(tasks) - MAX_TASK_SPANS
+            )
+        with self._stats_lock:
+            self.tasks_run += len(invocations)
+            self.levels_run += 1
+        return ResultsReply(results=list(results), spans=acc.packed())
+
+    def _execute_level(self, msg: ExecuteLevel) -> ResultsReply:
         bound = self.bound_for(msg.key, msg.binding)
+        invocations, ctx = self._invocations(msg, bound)
+        results = self.backend.run(invocations, ctx)
+        with self._stats_lock:
+            self.tasks_run += len(invocations)
+            self.levels_run += 1
+        return ResultsReply(results=list(results))
+
+    def _invocations(
+        self, msg: ExecuteLevel, bound: _BoundPlan
+    ) -> tuple[list[TaskInvocation], TaskContext]:
         if msg.phase == "map":
             if self.snapshot is None:
                 raise WorkerStateError(
@@ -672,11 +743,7 @@ class _WorkerState:
             ]
         else:
             raise RpcProtocolError(f"unknown ExecuteLevel phase {msg.phase!r}")
-        results = self.backend.run(invocations, ctx)
-        with self._stats_lock:
-            self.tasks_run += len(invocations)
-            self.levels_run += 1
-        return ResultsReply(results=list(results))
+        return invocations, ctx
 
     def stats(self) -> StatsReply:
         # Registry sizes are owned by _bound_lock; read them first so
@@ -743,11 +810,11 @@ def _as_error_reply(exc: BaseException) -> ErrorReply:
     return ErrorReply(error=exc, kind=type(exc).__name__)
 
 
-def _reply_payload(rid: int, reply) -> bytes:
+def _reply_payload(rid: int, reply, encode_s: float = 0.0) -> bytes:
     """Pickle one :class:`Reply` envelope, degrading to a string-only
     error when the payload itself does not pickle."""
     try:
-        return pickle.dumps(Reply(rid, reply))
+        return pickle.dumps(Reply(rid, reply, encode_s))
     except Exception as exc:
         source = reply.error if isinstance(reply, ErrorReply) else exc
         return pickle.dumps(
@@ -869,15 +936,17 @@ def _worker_main(
         delta is simply re-shipped — merge_entries is idempotent, so
         over-shipping is safe, gaps are not)."""
         with send_lock:
-            out, commit = reply, None
+            out, commit, encode_s = reply, None, 0.0
             if state.wire is not None and isinstance(
                 reply, (ResultsReply, BatchReply)
             ):
                 try:
+                    t0 = time.perf_counter()
                     out, commit = state.wire.encode_payload(reply)
+                    encode_s = time.perf_counter() - t0
                 except BaseException as exc:
-                    out, commit = _as_error_reply(exc), None
-            payload = _reply_payload(rid, out)
+                    out, commit, encode_s = _as_error_reply(exc), None, 0.0
+            payload = _reply_payload(rid, out, encode_s)
             if len(payload) > max_frame_bytes:
                 payload = _reply_payload(
                     rid,
@@ -898,29 +967,42 @@ def _worker_main(
                 commit()
             return payload
 
-    def run_item(level: ExecuteLevel):
+    def run_item(level: ExecuteLevel, received: float):
         """Execute one level under the read lock; errors become typed
-        per-item replies, never thread deaths."""
+        per-item replies, never thread deaths.  *received* is the
+        frame-receipt instant — the worker-side t0 every traced span
+        offset is relative to (queue wait = receipt to start)."""
         state.begin_execute()
+        acc = None
+        if level.trace_ctx is not None:
+            acc = SpanAccumulator(received)
+            acc.record("queue_wait", received, time.perf_counter())
         try:
+            lock_t0 = time.perf_counter()
             with state.rwlock.read():
+                if acc is not None:
+                    acc.record(
+                        "state_lock_wait", lock_t0, time.perf_counter()
+                    )
                 try:
-                    return state.execute_level(level)
+                    return state.execute_level(level, acc)
                 except BaseException as exc:
                     return _as_error_reply(exc)
         finally:
             state.end_execute()
 
-    def run_level(rid: int, msg: ExecuteLevel) -> None:
-        reply = run_item(msg)
+    def run_level(rid: int, msg: ExecuteLevel, received: float) -> None:
+        reply = run_item(msg, received)
         dedup_finish(rid, send_reply(rid, reply))
 
-    def run_batch_item(agg: _BatchAggregate, index: int, sub_rid: int, level) -> None:
-        if agg.finish(index, sub_rid, run_item(level)):
+    def run_batch_item(
+        agg: _BatchAggregate, index: int, sub_rid: int, level, received: float
+    ) -> None:
+        if agg.finish(index, sub_rid, run_item(level, received)):
             reply = BatchReply(replies=tuple(agg.replies))
             dedup_finish(agg.rid, send_reply(agg.rid, reply))
 
-    def run_batch(rid: int, msg: ExecuteBatch) -> None:
+    def run_batch(rid: int, msg: ExecuteBatch, received: float) -> None:
         state.note_batch()
         items = tuple(msg.items)
         if not items:
@@ -928,7 +1010,8 @@ def _worker_main(
             return
         if pool is None:
             replies = tuple(
-                (sub_rid, run_item(level)) for sub_rid, level in items
+                (sub_rid, run_item(level, received))
+                for sub_rid, level in items
             )
             dedup_finish(rid, send_reply(rid, BatchReply(replies=replies)))
             return
@@ -937,7 +1020,7 @@ def _worker_main(
         # to finish sends the combined reply.
         agg = _BatchAggregate(rid, len(items))
         for index, (sub_rid, level) in enumerate(items):
-            pool.submit(run_batch_item, agg, index, sub_rid, level)
+            pool.submit(run_batch_item, agg, index, sub_rid, level, received)
 
     try:
         while True:
@@ -958,6 +1041,7 @@ def _worker_main(
                     ),
                 )
                 break
+            received = time.perf_counter()
             state.note_bytes(len(data))
             try:
                 envelope = pickle.loads(data)
@@ -1025,13 +1109,13 @@ def _worker_main(
                         # per-level latency tax).  At worst a request
                         # arriving mid-level waits one level before the
                         # loop resumes dispatching to the pool.
-                        run_level(rid, msg)
+                        run_level(rid, msg, received)
                     else:
-                        pool.submit(run_level, rid, msg)
+                        pool.submit(run_level, rid, msg, received)
                     continue
                 if isinstance(msg, ExecuteBatch):
                     state.note_queued(len(msg.items))
-                    run_batch(rid, msg)
+                    run_batch(rid, msg, received)
                     continue
                 if isinstance(
                     msg, (Prime, InvalidateSnapshot, RegisterTemplate)
@@ -1069,14 +1153,19 @@ def _spawn_context():
 
 
 class _Waiter:
-    """One in-flight request's completion slot in the futures table."""
+    """One in-flight request's completion slot in the futures table.
 
-    __slots__ = ("_event", "_value", "_error")
+    ``encode_s`` relays the worker's reply-encode time (from the
+    :class:`Reply` envelope) alongside the payload for traced calls.
+    """
+
+    __slots__ = ("_event", "_value", "_error", "encode_s")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value = None
         self._error: BaseException | None = None
+        self.encode_s = 0.0
 
     def resolve(self, value) -> None:
         self._value = value
@@ -1308,6 +1397,7 @@ class ShardWorkerClient:
                 with self._waiters_lock:
                     waiter = self._waiters.pop(reply.id, None)
                 if waiter is not None:
+                    waiter.encode_s = reply.encode_s
                     waiter.resolve(payload)
                 # Unknown ids are replies whose waiter gave up: dropped.
         except BaseException as exc:
@@ -1321,7 +1411,7 @@ class ShardWorkerClient:
         for waiter in waiters.values():
             waiter.fail(error)
 
-    def request(self, msg, on_bytes=None):
+    def request(self, msg, on_bytes=None, on_encode=None):
         """One request/reply exchange; raises the typed error a worker
         replied with, or a transport error when the worker is gone.
 
@@ -1331,13 +1421,18 @@ class ShardWorkerClient:
         order, which the dictionary-delta watermark protocol relies
         on); the reply is awaited outside every lock, so concurrent
         requests pipeline on the socket.
+
+        ``on_encode`` (like ``on_bytes``) is called after a successful
+        exchange with the worker's reply-encode seconds from the
+        :class:`Reply` envelope — the only place that timing can live,
+        since a span inside the payload cannot time its own encoding.
         """
         if self._serial_lock is not None:
             with self._serial_lock:
-                return self._request(msg, on_bytes)
-        return self._request(msg, on_bytes)
+                return self._request(msg, on_bytes, on_encode)
+        return self._request(msg, on_bytes, on_encode)
 
-    def _request(self, msg, on_bytes=None):
+    def _request(self, msg, on_bytes=None, on_encode=None):
         waiter = _Waiter()
         with self._waiters_lock:
             if self.conn is None:
@@ -1389,6 +1484,8 @@ class ShardWorkerClient:
             )
         if on_bytes is not None:
             on_bytes(len(payload))
+        if on_encode is not None:
+            on_encode(waiter.encode_s)
         if isinstance(reply, ErrorReply):
             raise reply.error
         return reply
@@ -1421,6 +1518,55 @@ class _RpcExecution:
         with self._lock:
             self.bytes[shard] += n
             self.frames[shard] += frames
+
+
+def _frame_trace_ctxs(msg) -> list[tuple]:
+    """Every trace context an execute frame carries (a batch fans out
+    to each item's own); empty for untraced or non-execute frames."""
+    items = getattr(msg, "items", None)
+    if items is not None:
+        return [
+            level.trace_ctx
+            for _rid, level in items
+            if getattr(level, "trace_ctx", None) is not None
+        ]
+    ctx = getattr(msg, "trace_ctx", None)
+    return [] if ctx is None else [ctx]
+
+
+def _record_level_span(
+    msg: ExecuteLevel,
+    reply,
+    start: float,
+    end: float,
+    encode_s: float,
+    shard: int,
+    coalesced: int = 1,
+) -> None:
+    """Record one traced level round trip driver-side.
+
+    Re-anchors the worker's shipped span records at *start* (the only
+    shared instant the two clocks agree on — the driver's send is the
+    worker's receipt, minus wire latency) and appends the worker's
+    reply-encode time as a span at the tail of the round-trip window.
+    ``coalesced`` > 1 marks members of a shared :class:`ExecuteBatch`
+    frame, whose round trip (and encode share) covers all members.
+    """
+    attrs = {"shard": shard, "level": msg.level, "phase": msg.phase}
+    if coalesced > 1:
+        attrs["coalesced"] = coalesced
+    ref = record_remote(msg.trace_ctx, "rpc:level", start, end, **attrs)
+    if ref is None:
+        return
+    records = list(getattr(reply, "spans", None) or ())
+    if encode_s > 0.0:
+        records.append(
+            ("encode", -1, max(0.0, (end - start) - encode_s), encode_s, {})
+        )
+    if records:
+        attach_worker_spans(
+            ref, records, anchor=start, scale_hint=coalesced, shard=shard
+        )
 
 
 class _PendingLevel:
@@ -1515,20 +1661,39 @@ class _LevelCoalescer:
             )
         )
         sent = [0]
+        encode = [0.0]
 
         def on_bytes(n: int) -> None:
             sent[0] = n
 
+        traced = any(item.msg.trace_ctx is not None for item in chunk)
+        on_encode = (
+            (lambda s: encode.__setitem__(0, s)) if traced else None
+        )
         router._note_frames(1)
-        reply = router._shard_call(shard, msg, on_bytes)
+        start = time.perf_counter()
+        reply = router._shard_call(shard, msg, on_bytes, on_encode)
+        end = time.perf_counter()
         # Attribute the shared frame's bytes across its members (the
         # remainder lands on the first few); each member rode 1 frame.
+        # The worker's encode time is split equally the same way.
         share, spill = divmod(sent[0], len(chunk))
+        encode_share = encode[0] / len(chunk)
         by_sub = dict(reply.replies)
         for index, (rid, item) in enumerate(zip(sub_rids, chunk)):
             if item.ctx is not None:
                 item.ctx.add(shard, share + (1 if index < spill else 0))
             sub = by_sub.get(rid)
+            if item.msg.trace_ctx is not None:
+                _record_level_span(
+                    item.msg,
+                    sub,
+                    start,
+                    end,
+                    encode_share,
+                    shard,
+                    coalesced=len(chunk),
+                )
             if sub is None:
                 item.error = RpcProtocolError(
                     f"shard {shard} batch reply is missing request {rid}"
@@ -1779,21 +1944,55 @@ class RpcShardRouter(ShardRouter):
             for shard in range(self.num_shards)
         ]
 
-    def worker_gauges(self) -> list[StatsReply]:
-        """Telemetry without side effects: stats of the shard servers
-        currently alive — a dead or not-yet-spawned shard is simply
-        absent (no spawn, no recovery, no failure recorded)."""
-        replies = []
+    def worker_gauges(self) -> list[tuple[int, StatsReply | None]]:
+        """Telemetry without side effects, probed concurrently:
+        ``(shard, StatsReply | None)`` pairs for the shard servers with
+        a live client — ``None`` marks a probe that failed mid-flight
+        (the service surfaces it as a *stale* gauge instead of raising
+        or silently hiding the shard).  A never-spawned or already
+        reaped shard is absent entirely (no spawn, no recovery, no
+        failure recorded).  Probes fan out on the dispatch pool so one
+        slow worker does not serialize the sweep."""
+        probes: list[tuple[int, ShardWorkerClient]] = []
         for shard in range(self.num_shards):
             with self._shard_locks[shard]:
                 client = self._clients[shard]
             if client is None or not client.alive():
                 continue
+            probes.append((shard, client))
+
+        def probe(client: ShardWorkerClient) -> StatsReply | None:
             try:
-                replies.append(client.request(Stats()))
+                return client.request(Stats())
             except Exception:
+                return None
+
+        if len(probes) > 1:
+            pool = self._dispatch_pool()
+            futures = [(s, pool.submit(probe, c)) for s, c in probes]
+            return [(s, f.result()) for s, f in futures]
+        return [(s, probe(c)) for s, c in probes]
+
+    def wire_stats(self) -> list[tuple[int, dict]]:
+        """Driver-side transport counters per live shard connection:
+        frames/bytes sent and, on the columnar wire, the codec's
+        frame/term totals.  Point-in-time advisory reads — no RPC, no
+        blocking on in-flight requests."""
+        out: list[tuple[int, dict]] = []
+        for shard in range(self.num_shards):
+            with self._shard_locks[shard]:
+                client = self._clients[shard]
+            if client is None:
                 continue
-        return replies
+            stats = {
+                "frames_sent": client.frames_sent,
+                "bytes_sent": client.bytes_sent,
+            }
+            codec = client.codec
+            if codec is not None:
+                stats.update(codec.stats())
+            out.append((shard, stats))
+        return out
 
     def invalidate(self, shard: int) -> None:
         """Drop shard *shard*'s resident snapshot (re-primed lazily)."""
@@ -1867,7 +2066,7 @@ class RpcShardRouter(ShardRouter):
                 return current
             return self._recover(shard, reason)
 
-    def _shard_call(self, shard: int, msg, on_bytes=None):
+    def _shard_call(self, shard: int, msg, on_bytes=None, on_encode=None):
         """One request to one shard, with the one-respawn retry budget.
 
         The shard lock guards only client lookup and recovery — the
@@ -1879,17 +2078,20 @@ class RpcShardRouter(ShardRouter):
         respawned — snapshot re-primed, templates re-registered — and
         the request retried exactly once (idempotent: request-id dedup
         worker-side, and a fresh worker starts from a clean slate); any
-        further failure raises :class:`ShardUnavailable`.
+        further failure raises :class:`ShardUnavailable`.  A successful
+        retry of a traced execute frame is marked by an ``rpc:retry``
+        span covering respawn + resend on every contributing trace.
         """
         client = self._ensure_client(shard)
         try:
-            return client.request(msg, on_bytes)
+            return client.request(msg, on_bytes, on_encode)
         except _TRANSPORT_ERRORS as exc:
+            retry_start = time.perf_counter()
             retry = self._recover_from(
                 shard, client, f"{type(exc).__name__}: {exc}"
             )
             try:
-                return retry.request(msg, on_bytes)
+                reply = retry.request(msg, on_bytes, on_encode)
             except _TRANSPORT_ERRORS as retry_exc:
                 self._record_failure(
                     shard, f"request failed after respawn: {retry_exc!r}"
@@ -1897,6 +2099,17 @@ class RpcShardRouter(ShardRouter):
                 raise ShardUnavailable(
                     shard, f"request failed after respawn: {retry_exc!r}"
                 ) from retry_exc
+            retry_end = time.perf_counter()
+            for ctx in _frame_trace_ctxs(msg):
+                record_remote(
+                    ctx,
+                    "rpc:retry",
+                    retry_start,
+                    retry_end,
+                    shard=shard,
+                    error=type(exc).__name__,
+                )
+            return reply
 
     # -- template registry ---------------------------------------------------
 
@@ -1981,16 +2194,33 @@ class RpcShardRouter(ShardRouter):
     def _call_with_registration(
         self, shard: int, msg: ExecuteLevel, exec_ctx: _RpcExecution | None
     ):
-        """An ExecuteLevel round trip that self-heals the one typed
-        failure lazy binding can produce: a worker missing the template
-        (ad-hoc plans are registered driver-side only; respawns start
-        empty between re-registration and use) gets it shipped, then
-        the level is resent."""
+        """An ExecuteLevel round trip, traced when the frame carries a
+        context: the driver records an ``rpc:level`` span over the
+        round trip and re-anchors the worker's shipped span records
+        (plus the reply-encode time from the envelope) under it."""
         on_bytes = (
             None if exec_ctx is None else (lambda n: exec_ctx.add(shard, n))
         )
+        if msg.trace_ctx is None:
+            return self._send_level(shard, msg, on_bytes)
+        encode = [0.0]
+        start = time.perf_counter()
+        reply = self._send_level(
+            shard, msg, on_bytes, lambda s: encode.__setitem__(0, s)
+        )
+        _record_level_span(
+            msg, reply, start, time.perf_counter(), encode[0], shard
+        )
+        return reply
+
+    def _send_level(self, shard, msg, on_bytes=None, on_encode=None):
+        """The raw round trip, self-healing the one typed failure lazy
+        binding can produce: a worker missing the template (ad-hoc
+        plans are registered driver-side only; respawns start empty
+        between re-registration and use) gets it shipped, then the
+        level is resent."""
         try:
-            return self._shard_call(shard, msg, on_bytes)
+            return self._shard_call(shard, msg, on_bytes, on_encode)
         except TemplateNotRegistered:
             with self._registry_lock:
                 physical = self._templates.get(msg.key)
@@ -1999,7 +2229,7 @@ class RpcShardRouter(ShardRouter):
             self._shard_call(
                 shard, RegisterTemplate(msg.key, physical), on_bytes
             )
-            return self._shard_call(shard, msg, on_bytes)
+            return self._shard_call(shard, msg, on_bytes, on_encode)
 
     def _level_call(
         self, shard: int, msg: ExecuteLevel, exec_ctx: _RpcExecution | None
@@ -2015,6 +2245,9 @@ class RpcShardRouter(ShardRouter):
 
     def _run_shards(self, per_shard, metas, ctxs, phase, level_index, exec_ctx):
         active = [s for s in range(self.num_shards) if per_shard[s]]
+        # Captured on the query thread: the dispatch-pool threads the
+        # per-shard closures run on never saw this query's contextvar.
+        tctx = trace_ctx()
 
         def call(shard: int) -> list:
             if phase == "map":
@@ -2048,6 +2281,7 @@ class RpcShardRouter(ShardRouter):
                     phase=phase,
                     tasks=tasks,
                     inputs=inputs,
+                    trace_ctx=tctx,
                 ),
                 exec_ctx,
             )

@@ -241,6 +241,20 @@ class WireCodec:
         self.recv = _seed_dictionary(snapshot)
         self._watermark = len(self.send)
         self._lock = threading.RLock()
+        # Cumulative wire telemetry (guarded by _lock), surfaced via
+        # stats() and the service's Prometheus exposition.
+        self.frames_encoded = 0
+        self.frames_decoded = 0
+        self.terms_shipped = 0
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative frame/delta counters for this endpoint."""
+        with self._lock:
+            return {
+                "frames_encoded": self.frames_encoded,
+                "frames_decoded": self.frames_decoded,
+                "terms_shipped": self.terms_shipped,
+            }
 
     # -- encoding (outgoing) --------------------------------------------------
 
@@ -248,6 +262,8 @@ class WireCodec:
         start = self._watermark
         frame = ColumnarFrame(payload, start, self.send.entries_from(start))
         new_len = len(self.send)
+        self.frames_encoded += 1
+        self.terms_shipped += len(frame.delta_terms)
 
         def commit() -> None:
             with self._lock:
@@ -366,6 +382,7 @@ class WireCodec:
         ``BatchReply``)."""
         with self._lock:
             self.recv.merge_entries(frame.delta_start, frame.delta_terms)
+            self.frames_decoded += 1
             return self._decode_payload(frame.payload, self.recv.decode)
 
     def _decode_payload(self, payload, decode):

@@ -38,6 +38,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -96,13 +97,58 @@ class ExecutionBackend(ABC):
         return False
 
 
+# -- per-task timing hook (observability) --------------------------------------
+#
+# The inline backends (serial, columnar) optionally report per-task
+# (start, end) perf_counter pairs to a caller that wrapped the run in
+# ``task_timing()``.  The hook is a plain thread-local consulted once
+# per run (not per task), so the untimed path costs one getattr.
+
+_task_hook = threading.local()
+
+
+class task_timing:
+    """Collect per-task ``(start, end)`` instants from an inline backend.
+
+    ``with task_timing() as spans: backend.run(...)`` — *spans* is a
+    list the backend appends to while the context is active.  Pool
+    backends (thread/process) ignore the hook: their task wall time is
+    not attributable to the calling thread.
+    """
+
+    __slots__ = ("spans",)
+
+    def __enter__(self) -> list:
+        self.spans: list[tuple[float, float]] = []
+        _task_hook.sink = self.spans
+        return self.spans
+
+    def __exit__(self, *exc: object) -> None:
+        _task_hook.sink = None
+
+
+def _run_inline(
+    invocations: Sequence[TaskInvocation],
+    runner: Callable[[TaskInvocation], object],
+) -> list:
+    sink = getattr(_task_hook, "sink", None)
+    if sink is None:
+        return [runner(inv) for inv in invocations]
+    out = []
+    for inv in invocations:
+        start = time.perf_counter()
+        out.append(runner(inv))
+        sink.append((start, time.perf_counter()))
+    return out
+
+
 class SerialBackend(ExecutionBackend):
     """Run every task inline — today's semantics, and the reference."""
 
     name = "serial"
 
     def run(self, invocations: Sequence[TaskInvocation], ctx: TaskContext) -> list:
-        return [inv.spec.run(ctx, *inv.args) for inv in invocations]
+        return _run_inline(invocations, lambda inv: inv.spec.run(ctx, *inv.args))
 
 
 class ColumnarBackend(ExecutionBackend):
@@ -146,10 +192,10 @@ class ColumnarBackend(ExecutionBackend):
         from repro.columnar.engine import run_invocation
 
         state = self._state_for(ctx)
-        return [
-            run_invocation(inv.spec, inv.args, ctx, state)
-            for inv in invocations
-        ]
+        return _run_inline(
+            invocations,
+            lambda inv: run_invocation(inv.spec, inv.args, ctx, state),
+        )
 
     def prime(self, ctx: TaskContext) -> None:
         self._state_for(ctx)

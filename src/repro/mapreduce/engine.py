@@ -37,6 +37,7 @@ from repro.mapreduce.backends import (
 )
 from repro.mapreduce.counters import ExecutionReport, JobMetrics, TaskMetrics
 from repro.mapreduce.jobs import JobGraph, MapReduceJob, Row, TaskContext
+from repro.obs.trace import span
 
 
 @dataclass
@@ -92,8 +93,9 @@ class MapReduceEngine:
         if ctx is None:
             ctx = TaskContext(num_nodes=self.cluster.num_nodes)
         report = ExecutionReport(backend=self.backend.name)
-        for level in graph.levels():
-            level_time = self._run_level(level, ctx, report)
+        for level_index, level in enumerate(graph.levels()):
+            with span("level", index=level_index, jobs=len(level)):
+                level_time = self._run_level(level, ctx, report)
             report.levels.append([job.name for job in level])
             report.response_time += level_time
         return report
@@ -117,7 +119,8 @@ class MapReduceEngine:
             for state in states
             for task in state.job.map_tasks
         ]
-        results = iter(self.backend.run(invocations, ctx))
+        with span("map_phase", tasks=len(invocations)):
+            results = iter(list(self.backend.run(invocations, ctx)))
         for state in states:
             job, metrics = state.job, state.metrics
             for task in job.map_tasks:
@@ -146,7 +149,8 @@ class MapReduceEngine:
                 )
                 owners.append((state, partition))
         if reduce_invocations:
-            reduce_results = self.backend.run(reduce_invocations, ctx)
+            with span("reduce_phase", tasks=len(reduce_invocations)):
+                reduce_results = self.backend.run(reduce_invocations, ctx)
             for (state, partition), (out_rows, task_metrics) in zip(
                 owners, reduce_results
             ):

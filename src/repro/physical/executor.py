@@ -44,6 +44,7 @@ from repro.mapreduce.jobs import (
     TaskContext,
     stable_hash,
 )
+from repro.obs.trace import span
 from repro.partitioning.triple_partitioner import PartitionedStore
 from repro.physical.job_compiler import (
     CompiledPlan,
@@ -464,11 +465,13 @@ class PlanExecutor:
         against the paper's structural invariants (logical, physical and
         job-DAG level) before it is handed out.
         """
-        physical = translate(plan, replicas=self.store.replicas)
-        compiled = compile_plan(physical)
-        from repro.analysis.plan_check import maybe_check
+        with span("prepare") as sp:
+            physical = translate(plan, replicas=self.store.replicas)
+            compiled = compile_plan(physical)
+            sp.set(jobs=len(compiled.jobs))
+            from repro.analysis.plan_check import maybe_check
 
-        maybe_check(plan, physical=physical, compiled=compiled)
+            maybe_check(plan, physical=physical, compiled=compiled)
         return PreparedPlan(plan=plan, physical=physical, compiled=compiled)
 
     def execute_prepared(self, prepared: PreparedPlan) -> ExecutionResult:
@@ -483,7 +486,8 @@ class PlanExecutor:
         graph = JobGraph()
         for spec in compiled.jobs:
             graph.add(self._build_job(spec, hdfs))
-        report = self.engine.execute(graph, ctx)
+        with span("engine", jobs=len(compiled.jobs)):
+            report = self.engine.execute(graph, ctx)
         result_rel = hdfs.read("result")
         rows = set(result_rel.all_rows())
         return ExecutionResult(

@@ -60,6 +60,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings as _warnings
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -84,6 +85,15 @@ from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import DEFAULT_RPC_PIPELINE, make_backend
 from repro.mapreduce.counters import ExecutionReport
 from repro.mapreduce.engine import ClusterConfig
+from repro.obs.trace import (
+    Trace,
+    TraceSink,
+    activate,
+    current_ref,
+    record_remote,
+    span,
+    trace_ctx,
+)
 from repro.partitioning.triple_partitioner import partition_graph
 from repro.physical.executor import ExecutionResult, PlanExecutor, PreparedPlan
 from repro.physical.explain import explain as explain_plan
@@ -279,6 +289,22 @@ class ServiceConfig:
     #: Beyond it, submit/submit_batch/PreparedQuery.execute raise
     #: ServiceOverloaded instead of queueing.  None = unbounded.
     max_inflight: int | None = None
+    #: record a wall-clock span tree per submission (parse/canonicalize/
+    #: optimize/bind/execute, engine levels, and — under the rpc
+    #: transport — per-shard RPC and worker spans) into the service's
+    #: trace sink.  Off by default; the off path costs one contextvar
+    #: read per span site.  :meth:`QueryService.explain_analyze` forces
+    #: tracing for its own query regardless of this flag.
+    tracing: bool = False
+    #: submissions whose wall-clock ``total_s`` meets or exceeds this
+    #: many seconds land in :meth:`QueryService.slow_queries` (a bounded
+    #: ring) with their trace id when tracing was on.  None = disabled.
+    slow_query_s: float | None = None
+    #: trace retention: completed traces kept (oldest evicted first)
+    #: and spans recorded per trace (the root counts; excess spans are
+    #: dropped and tallied on ``Trace.truncated``).
+    trace_max_traces: int = 256
+    trace_span_cap: int = 512
 
 
 @dataclass
@@ -357,6 +383,9 @@ class QueryOutcome:
     template_digest: str = ""
     #: (parameter name, bound constant) pairs, in slot order
     parameters: tuple[tuple[str, str], ...] = ()
+    #: id of this submission's trace in ``QueryService.trace_sink``
+    #: ("" when tracing was off for the submission)
+    trace_id: str = ""
 
     @property
     def cardinality(self) -> int:
@@ -659,6 +688,20 @@ class QueryService:
         self.template_cache = TemplateCache(self.config.template_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
         self.stats = ServiceStats()
+        #: the one metrics registry of the service: ServiceStats keeps
+        #: its counters/histograms here, and render_prometheus() syncs
+        #: transport gauges into it at scrape time.
+        self.registry = self.stats.registry
+        #: bounded retention of completed query traces (tracing config
+        #: knob or explain_analyze); export via export_chrome_trace().
+        self.trace_sink = TraceSink(
+            max_traces=self.config.trace_max_traces,
+            span_cap=self.config.trace_span_cap,
+        )
+        #: recent slow submissions (config.slow_query_s), oldest first.
+        #: Advisory ring: appended per query, read racily by
+        #: slow_queries() — deque append is atomic, never synchronized.
+        self._slow_queries: deque = deque(maxlen=32)
         self._version = 0
         self._store_lock = _ReadWriteLock()
         self._flights_lock = checked(
@@ -934,21 +977,52 @@ class QueryService:
         self._check_open()
         started = time.perf_counter()
         parsed = self._parse(query, name)
+        parsed_at = time.perf_counter()
         self._reject_unbound(parsed)
         self._admit()
         try:
-            return self._submit_parsed(parsed, started)
+            return self._submit_parsed(parsed, started, parsed_at=parsed_at)
         finally:
             self._release()
 
-    def _submit_parsed(self, parsed: BGPQuery, started: float) -> QueryOutcome:
-        """Serve an already-parsed, admitted query."""
+    def _submit_parsed(
+        self,
+        parsed: BGPQuery,
+        started: float,
+        parsed_at: float | None = None,
+        force_trace: bool = False,
+    ) -> QueryOutcome:
+        """Serve an already-parsed, admitted query.
+
+        When tracing is on (config or *force_trace*), a trace rooted at
+        *started* is opened around the whole submission: the root is
+        installed as the active contextvar span, so every stage below —
+        down to RPC frames and shard-worker spans — lands in it, and
+        the root's duration is closed from the authoritative wall-clock
+        total.  Batch pool threads call this too; each call gets its
+        own trace (the contextvar is per-thread/context).
+        """
+        if not (force_trace or self.config.tracing):
+            return self._serve_parsed(parsed, started)
+        ref = self.trace_sink.start_trace(parsed.name or "query", epoch=started)
+        if parsed_at is not None:
+            record_remote(ref.ctx(), "parse", started, parsed_at)
+        try:
+            with activate(ref):
+                return self._serve_parsed(parsed, started)
+        finally:
+            self.trace_sink.finish_trace(
+                ref.trace_id, time.perf_counter() - started
+            )
+
+    def _serve_parsed(self, parsed: BGPQuery, started: float) -> QueryOutcome:
         try:
             t0 = time.perf_counter()
             inst = self._instantiate(parsed)
             canonicalize_s = time.perf_counter() - t0
         except CanonicalizationBudgetExceeded:
             return self._submit_uncacheable(parsed, started)
+        record_remote(trace_ctx(), "canonicalize", t0, time.perf_counter())
         answer, coalesced = self._resolve(inst)
         outcome = self._project(parsed, inst, answer, coalesced, started)
         outcome.timings = replace(outcome.timings, canonicalize_s=canonicalize_s)
@@ -1006,6 +1080,22 @@ class QueryService:
             template_hit=outcome.template_hit,
             coalesced=coalesced,
         )
+        self._note_slow(outcome)
+
+    def _note_slow(self, outcome: QueryOutcome) -> None:
+        limit = self.config.slow_query_s
+        if limit is None or outcome.timings.total_s < limit:
+            return
+        self._slow_queries.append(
+            {
+                "query": outcome.query.name or str(outcome.query),
+                "total_s": outcome.timings.total_s,
+                "execute_s": outcome.timings.execute_s,
+                "rows": len(outcome.rows),
+                "served_by": outcome.provenance["served_by"],
+                "trace_id": outcome.trace_id,
+            }
+        )
 
     def _execute_bound(self, bound: "BoundQuery") -> QueryOutcome:
         """Serve a :class:`BoundQuery` (extraction already paid)."""
@@ -1018,11 +1108,25 @@ class QueryService:
             entry=bound.prepared._entry,
         )
         self._admit()
+        ref = (
+            self.trace_sink.start_trace(
+                bound.query.name or "prepared", epoch=started
+            )
+            if self.config.tracing
+            else None
+        )
         try:
-            answer, coalesced = self._resolve(inst)
+            with activate(ref):
+                answer, coalesced = self._resolve(inst)
+                outcome = self._project(
+                    bound.query, inst, answer, coalesced, started
+                )
         finally:
             self._release()
-        outcome = self._project(bound.query, inst, answer, coalesced, started)
+            if ref is not None:
+                self.trace_sink.finish_trace(
+                    ref.trace_id, time.perf_counter() - started
+                )
         self._record(outcome, coalesced)
         return outcome
 
@@ -1184,27 +1288,157 @@ class QueryService:
         )
 
     def _shard_worker_gauges(self) -> tuple[ShardWorkerGauge, ...]:
-        """Load gauges of the live RPC shard workers (best-effort: a
-        dead worker is absent, a failing probe yields no gauges)."""
+        """Load gauges of the RPC shard workers (best-effort: a shard
+        never spawned or already reaped is absent; a worker whose probe
+        failed mid-flight — dead, mid-respawn — surfaces as a *stale*
+        gauge rather than silently disappearing or raising)."""
         if self.config.shard_transport != "rpc" or not self.config.shards:
             return ()
         try:
-            replies = self.executor.router.worker_gauges()  # type: ignore[union-attr]
+            probes = self.executor.router.worker_gauges()  # type: ignore[union-attr]
         except Exception:
             return ()
-        return tuple(
-            ShardWorkerGauge(
-                shard=reply.shard,
-                inflight=reply.inflight,
-                queue_depth=reply.queue_depth,
-                max_concurrency=reply.pipeline,
-                peak_inflight=reply.peak_inflight,
-                tasks_run=reply.tasks_run,
-                batches=reply.batches,
-                deduped=reply.deduped,
+        gauges = []
+        for shard, reply in probes:
+            if reply is None:
+                gauges.append(
+                    ShardWorkerGauge(
+                        shard=shard,
+                        inflight=0,
+                        queue_depth=0,
+                        max_concurrency=0,
+                        peak_inflight=0,
+                        tasks_run=0,
+                        batches=0,
+                        deduped=0,
+                        stale=True,
+                    )
+                )
+                continue
+            gauges.append(
+                ShardWorkerGauge(
+                    shard=shard,
+                    inflight=reply.inflight,
+                    queue_depth=reply.queue_depth,
+                    max_concurrency=reply.pipeline,
+                    peak_inflight=reply.peak_inflight,
+                    tasks_run=reply.tasks_run,
+                    batches=reply.batches,
+                    deduped=reply.deduped,
+                )
             )
-            for reply in replies
+        return tuple(gauges)
+
+    # -- observability surfaces --------------------------------------------
+
+    def explain_analyze(self, query: BGPQuery | str, name: str = "") -> str:
+        """Run *query* with tracing forced on; render plan + span tree.
+
+        The EXPLAIN section shows what the optimizer chose; the trace
+        section shows where the wall-clock actually went — driver
+        stages (parse/canonicalize/optimize/bind/execute), engine
+        levels, and (under the rpc transport) per-shard RPC spans with
+        the workers' own queue-wait/lock-wait/bind/execute/encode
+        breakdown shipped back on the replies.  The trace stays in
+        ``trace_sink`` for :meth:`export_chrome_trace`.
+        """
+        self._check_open()
+        started = time.perf_counter()
+        parsed = self._parse(query, name)
+        parsed_at = time.perf_counter()
+        self._reject_unbound(parsed)
+        self._admit()
+        try:
+            outcome = self._submit_parsed(
+                parsed, started, parsed_at=parsed_at, force_trace=True
+            )
+        finally:
+            self._release()
+        sections = [self.explain(parsed)]
+        trace = self.trace_sink.get(outcome.trace_id)
+        if trace is not None:
+            sections.append(f"== trace {trace.trace_id} ==\n{trace.render()}")
+        return "\n\n".join(sections)
+
+    def trace(self, outcome: QueryOutcome) -> Trace | None:
+        """The recorded span tree of *outcome* — None when tracing was
+        off for the submission or the sink has since evicted it."""
+        if not outcome.trace_id:
+            return None
+        return self.trace_sink.get(outcome.trace_id)
+
+    def export_chrome_trace(
+        self, path: str, trace_ids: "list[str] | None" = None
+    ) -> int:
+        """Write retained traces (default: all) as Chrome trace-event
+        JSON for chrome://tracing / ui.perfetto.dev; returns the event
+        count written."""
+        return self.trace_sink.export_chrome_trace(path, trace_ids)
+
+    def slow_queries(self) -> list[dict]:
+        """The most recent submissions at or over
+        ``ServiceConfig.slow_query_s`` (bounded ring, oldest first)."""
+        return list(self._slow_queries)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the service's registry.
+
+        Service counters and latency histograms are recorded on the hot
+        path; transport-side gauges (shard worker load, driver wire
+        counters, trace retention) are synced in here, at scrape time,
+        so frames never pay a registry write.
+        """
+        self._sync_transport_metrics()
+        return self.registry.render_prometheus()
+
+    def _sync_transport_metrics(self) -> None:
+        registry = self.registry
+        registry.gauge(
+            "repro_traces_retained", "Completed traces held by the sink."
+        ).set(len(self.trace_sink.trace_ids()))
+        caches = registry.gauge(
+            "repro_cache_entries",
+            "Entries per service cache.",
+            labels=("cache",),
         )
+        caches.labels(cache="plan").set(len(self.plan_cache))
+        caches.labels(cache="template").set(len(self.template_cache))
+        caches.labels(cache="result").set(len(self.result_cache))
+        workers = self._shard_worker_gauges()
+        if not workers:
+            return
+        fields = registry.gauge(
+            "repro_shard_worker",
+            "Point-in-time RPC shard worker load (stale=1: probe failed).",
+            labels=("shard", "field"),
+        )
+        for g in workers:
+            shard = str(g.shard)
+            fields.labels(shard=shard, field="stale").set(1.0 if g.stale else 0.0)
+            if g.stale:
+                continue
+            for name, value in (
+                ("inflight", g.inflight),
+                ("queue_depth", g.queue_depth),
+                ("max_concurrency", g.max_concurrency),
+                ("peak_inflight", g.peak_inflight),
+                ("tasks_run", g.tasks_run),
+                ("batches", g.batches),
+                ("deduped", g.deduped),
+            ):
+                fields.labels(shard=shard, field=name).set(float(value))
+        try:
+            wire = self.executor.router.wire_stats()  # type: ignore[union-attr]
+        except Exception:
+            return
+        link = registry.gauge(
+            "repro_shard_wire",
+            "Driver-side transport counters per shard connection.",
+            labels=("shard", "field"),
+        )
+        for shard, stats in wire:
+            for name, value in stats.items():
+                link.labels(shard=str(shard), field=name).set(float(value))
 
     # -- internals ---------------------------------------------------------
 
@@ -1221,7 +1455,8 @@ class QueryService:
             if leader:
                 flight = flights[key] = _Flight()
         if not leader:
-            flight.done.wait()
+            with span("flight_wait"):
+                flight.done.wait()
             if flight.error is not None:
                 raise flight.error
             return flight.value, True
@@ -1355,6 +1590,14 @@ class QueryService:
             # task specs (the snapshot already lives in the shard pools).
             self.executor.register_template(prepared)
         optimize_s = time.perf_counter() - t0
+        record_remote(
+            trace_ctx(),
+            "optimize",
+            t0,
+            time.perf_counter(),
+            plans=optimizer.plan_count,
+            truncated=optimizer.truncated,
+        )
         return TemplateEntry(
             template=template,
             plan=plan,
@@ -1375,9 +1618,10 @@ class QueryService:
                 inst.template, inst.entry
             )
             t0 = time.perf_counter()
-            prepared = tentry.prepared.bind(
-                inst.template.substitution(inst.values)
-            )
+            with span("bind", template_hit=template_hit):
+                prepared = tentry.prepared.bind(
+                    inst.template.substitution(inst.values)
+                )
             bind_s = time.perf_counter() - t0
             if not template_hit:
                 optimize_s = tentry.optimize_s
@@ -1392,7 +1636,8 @@ class QueryService:
         t0 = time.perf_counter()
         with self._store_lock.read():
             version = self._version
-            result = self.executor.execute_prepared(entry.prepared)
+            with span("execute", plan_hit=plan_hit):
+                result = self.executor.execute_prepared(entry.prepared)
         execute_s = time.perf_counter() - t0
         answer = _Answer(
             attrs=result.attrs,
@@ -1438,6 +1683,7 @@ class QueryService:
         else:
             rows = {tuple(row[i] for i in index) for row in answer.rows}
         total_s = time.perf_counter() - started
+        ref = current_ref()
         return QueryOutcome(
             query=query,
             attrs=tuple(query.distinguished),
@@ -1462,6 +1708,7 @@ class QueryService:
                 (p.name, v)
                 for p, v in zip(inst.template.params, inst.values)
             ),
+            trace_id="" if ref is None else ref.trace_id,
         )
 
     def _submit_uncacheable(
@@ -1471,8 +1718,9 @@ class QueryService:
         self.stats.record_optimizer_run()
         t0 = time.perf_counter()
         try:
-            plan, _ = self.optimize(query)
-            prepared = self.executor.prepare(plan)
+            with span("optimize", cacheable=False):
+                plan, _ = self.optimize(query)
+                prepared = self.executor.prepare(plan)
         except Exception:
             self.stats.record_error()
             raise
@@ -1480,7 +1728,8 @@ class QueryService:
         t0 = time.perf_counter()
         with self._store_lock.read():
             version = self._version
-            result = self.executor.execute_prepared(prepared)
+            with span("execute"):
+                result = self.executor.execute_prepared(prepared)
         execute_s = time.perf_counter() - t0
         timings = QueryTimings(
             optimize_s=optimize_s,
@@ -1488,7 +1737,8 @@ class QueryService:
             total_s=time.perf_counter() - started,
         )
         self.stats.record_query(timings, plan_hit=False, result_hit=False)
-        return QueryOutcome(
+        ref = current_ref()
+        outcome = QueryOutcome(
             query=query,
             attrs=result.attrs,
             rows=set(result.rows),
@@ -1501,4 +1751,7 @@ class QueryService:
             cacheable=False,
             timings=timings,
             graph_version=version,
+            trace_id="" if ref is None else ref.trace_id,
         )
+        self._note_slow(outcome)
+        return outcome

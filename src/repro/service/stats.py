@@ -5,8 +5,15 @@ it into a :class:`ServiceStats` accumulator; :meth:`ServiceStats.snapshot`
 produces an immutable summary (hit rates, latency percentiles,
 throughput) suitable for logging or assertion in benchmarks.
 
-Latency reservoirs are bounded (the most recent ``window`` samples per
-series) so a long-lived service does not grow without bound.
+The accumulator is backed by a :class:`repro.obs.metrics.MetricsRegistry`
+(counters for event totals, fixed-bucket histograms for the latency
+series), so the same numbers are exposed via
+``QueryService.render_prometheus()``.  Percentiles are computed over a
+bounded reservoir of the most recent ``window`` samples per series (a
+long-lived service does not grow without bound); ``count``/``mean``/
+``total`` come from the histograms and are therefore *exact over the
+whole series* — the pre-obs implementation silently computed them over
+the window too, under-reporting totals once a series wrapped.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.analysis.locks import checked
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 def percentile(samples: list[float], p: float) -> float:
@@ -33,7 +41,12 @@ def percentile(samples: list[float], p: float) -> float:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Percentile summary of one latency series, in seconds."""
+    """Summary of one latency series, in seconds.
+
+    ``count``/``mean``/``total`` cover the *entire* series;
+    ``p50``/``p95``/``p99`` are nearest-rank percentiles over the most
+    recent ``windowed`` samples (the bounded reservoir).
+    """
 
     count: int
     p50: float
@@ -41,9 +54,12 @@ class LatencySummary:
     p99: float
     mean: float
     total: float
+    #: how many samples the percentiles were computed over
+    windowed: int = 0
 
     @classmethod
     def of(cls, samples: list[float]) -> "LatencySummary":
+        """Summary of an in-memory series (window == whole series)."""
         if not samples:
             return cls(count=0, p50=0.0, p95=0.0, p99=0.0, mean=0.0, total=0.0)
         total = sum(samples)
@@ -54,6 +70,27 @@ class LatencySummary:
             p99=percentile(samples, 99),
             mean=total / len(samples),
             total=total,
+            windowed=len(samples),
+        )
+
+    @classmethod
+    def of_series(
+        cls, histogram: Histogram, window: list[float]
+    ) -> "LatencySummary":
+        """Exact running totals from *histogram*, percentiles from the
+        recent *window* reservoir."""
+        count = histogram.count
+        if count == 0:
+            return cls(count=0, p50=0.0, p95=0.0, p99=0.0, mean=0.0, total=0.0)
+        total = histogram.sum
+        return cls(
+            count=count,
+            p50=percentile(window, 50),
+            p95=percentile(window, 95),
+            p99=percentile(window, 99),
+            mean=total / count,
+            total=total,
+            windowed=len(window),
         )
 
 
@@ -94,6 +131,9 @@ class ShardWorkerGauge:
     batches: int
     #: duplicate request ids answered from the dedup cache
     deduped: int
+    #: the probe failed (dead/unresponsive worker): the numbers are
+    #: zeros, not a live reading — a snapshot never raises mid-probe
+    stale: bool = False
 
 
 @dataclass(frozen=True)
@@ -174,12 +214,23 @@ class StatsSnapshot:
             ("execute", self.execute),
             ("total", self.total),
         ):
+            window = (
+                f", window={summary.windowed}"
+                if summary.windowed != summary.count
+                else ""
+            )
             lines.append(
                 f"{label:>8} latency: p50={1e3 * summary.p50:.2f}ms "
                 f"p95={1e3 * summary.p95:.2f}ms p99={1e3 * summary.p99:.2f}ms "
-                f"(n={summary.count})"
+                f"(n={summary.count}{window}) "
+                f"mean={1e3 * summary.mean:.2f}ms total={summary.total:.3f}s"
             )
         for gauge in self.shard_workers:
+            if gauge.stale:
+                lines.append(
+                    f"shard {gauge.shard} worker: STALE (probe failed)"
+                )
+                continue
             lines.append(
                 f"shard {gauge.shard} worker: "
                 f"{gauge.inflight}/{gauge.max_concurrency} inflight "
@@ -192,28 +243,41 @@ class StatsSnapshot:
         return "\n".join(lines)
 
 
+#: StatsSnapshot counter field -> ``repro_service_events_total`` label.
+_EVENTS = (
+    "submitted",
+    "errors",
+    "plan_hits",
+    "plan_misses",
+    "template_hits",
+    "optimizer_runs",
+    "result_hits",
+    "result_misses",
+    "coalesced",
+    "mutations",
+    "rejected",
+    "shard_failures",
+)
+
+#: Latency series recorded per query stage.
+_STAGES = ("optimize", "bind", "execute", "total")
+
+
 @dataclass
 class ServiceStats:
-    """Mutable accumulator behind the service front end."""
+    """Mutable accumulator behind the service front end.
+
+    Counters and latency histograms live in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (families
+    ``repro_service_events_total{event=...}`` and
+    ``repro_query_stage_seconds{stage=...}``); the bounded per-stage
+    deques only feed the windowed percentiles.  ``_lock`` serializes
+    writers so one query's multi-counter update is not interleaved.
+    """
 
     window: int = 4096
-    submitted: int = 0
-    errors: int = 0
-    plan_hits: int = 0
-    plan_misses: int = 0
-    template_hits: int = 0
-    optimizer_runs: int = 0
-    result_hits: int = 0
-    result_misses: int = 0
-    coalesced: int = 0
-    mutations: int = 0
-    rejected: int = 0
-    shard_failures: int = 0
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     warnings: list = field(default_factory=list)
-    _optimize: deque = field(default_factory=deque, repr=False)
-    _bind: deque = field(default_factory=deque, repr=False)
-    _execute: deque = field(default_factory=deque, repr=False)
-    _total: deque = field(default_factory=deque, repr=False)
     _lock: threading.Lock = field(
         default_factory=lambda: checked(threading.Lock(), "ServiceStats._lock"),
         repr=False,
@@ -221,8 +285,28 @@ class ServiceStats:
     _started: float = field(default_factory=time.monotonic, repr=False)
 
     def __post_init__(self) -> None:
-        for name in ("_optimize", "_bind", "_execute", "_total"):
-            setattr(self, name, deque(getattr(self, name), maxlen=self.window))
+        events = self.registry.counter(
+            "repro_service_events_total",
+            "Lifetime service event counts by kind.",
+            labels=("event",),
+        )
+        self._events = {name: events.labels(event=name) for name in _EVENTS}
+        stages = self.registry.histogram(
+            "repro_query_stage_seconds",
+            "Per-stage query latency (optimize/bind/execute/total).",
+            labels=("stage",),
+        )
+        self._series = {name: stages.labels(stage=name) for name in _STAGES}
+        self._windows = {
+            name: deque(maxlen=self.window) for name in _STAGES
+        }
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self._events[event].inc(amount)
+
+    def _observe(self, stage: str, value: float) -> None:
+        self._series[stage].observe(value)
+        self._windows[stage].append(value)
 
     def record_query(
         self,
@@ -234,63 +318,63 @@ class ServiceStats:
         coalesced: bool = False,
     ) -> None:
         with self._lock:
-            self.submitted += 1
+            self._count("submitted")
             if coalesced:
-                self.coalesced += 1
+                self._count("coalesced")
             if result_hit:
-                self.result_hits += 1
+                self._count("result_hits")
                 # A result hit never consults the plan cache.
             else:
-                self.result_misses += 1
+                self._count("result_misses")
                 if coalesced:
                     # The submission rode a flight another query started:
                     # it paid for neither optimization nor execution, so
                     # count it as amortized (a hit) and record no samples.
-                    self.plan_hits += 1
+                    self._count("plan_hits")
                 elif plan_hit:
-                    self.plan_hits += 1
-                    self._execute.append(timings.execute_s)
+                    self._count("plan_hits")
+                    self._observe("execute", timings.execute_s)
                 elif template_hit:
                     # New constants bound into a cached template: the
                     # optimizer was skipped, only bind + execute ran.
-                    self.template_hits += 1
-                    self._bind.append(timings.bind_s)
-                    self._execute.append(timings.execute_s)
+                    self._count("template_hits")
+                    self._observe("bind", timings.bind_s)
+                    self._observe("execute", timings.execute_s)
                 else:
-                    self.plan_misses += 1
-                    self._optimize.append(timings.optimize_s)
-                    self._bind.append(timings.bind_s)
-                    self._execute.append(timings.execute_s)
-            self._total.append(timings.total_s)
+                    self._count("plan_misses")
+                    self._observe("optimize", timings.optimize_s)
+                    self._observe("bind", timings.bind_s)
+                    self._observe("execute", timings.execute_s)
+            self._observe("total", timings.total_s)
 
     def record_error(self) -> None:
-        with self._lock:
-            self.errors += 1
+        self._count("errors")
 
     def record_rejection(self, count: int = 1) -> None:
         """Count submissions turned away by admission control."""
-        with self._lock:
-            self.rejected += count
+        self._count("rejected", count)
 
     def record_shard_failure(self) -> None:
         """Count one shard worker failure seen by the RPC transport."""
-        with self._lock:
-            self.shard_failures += 1
+        self._count("shard_failures")
 
     def record_optimizer_run(self) -> None:
         """Count one actual CliqueSquare optimizer invocation."""
-        with self._lock:
-            self.optimizer_runs += 1
+        self._count("optimizer_runs")
 
     def record_mutation(self) -> None:
-        with self._lock:
-            self.mutations += 1
+        self._count("mutations")
 
     def record_warning(self, message: str) -> None:
         """Record an operational warning (deduplicated, kept forever)."""
         with self._lock:
             if message not in self.warnings:
                 self.warnings.append(message)
+
+    def _summary(self, stage: str) -> LatencySummary:
+        return LatencySummary.of_series(
+            self._series[stage], list(self._windows[stage])
+        )
 
     def snapshot(
         self,
@@ -299,26 +383,27 @@ class ServiceStats:
         shard_workers: tuple[ShardWorkerGauge, ...] = (),
     ) -> StatsSnapshot:
         with self._lock:
+            counts = {name: int(c.value) for name, c in self._events.items()}
             return StatsSnapshot(
-                submitted=self.submitted,
-                errors=self.errors,
-                plan_hits=self.plan_hits,
-                plan_misses=self.plan_misses,
-                template_hits=self.template_hits,
+                submitted=counts["submitted"],
+                errors=counts["errors"],
+                plan_hits=counts["plan_hits"],
+                plan_misses=counts["plan_misses"],
+                template_hits=counts["template_hits"],
                 templates_cached=templates_cached,
-                optimizer_runs=self.optimizer_runs,
-                result_hits=self.result_hits,
-                result_misses=self.result_misses,
-                coalesced=self.coalesced,
-                mutations=self.mutations,
-                rejected=self.rejected,
-                shard_failures=self.shard_failures,
+                optimizer_runs=counts["optimizer_runs"],
+                result_hits=counts["result_hits"],
+                result_misses=counts["result_misses"],
+                coalesced=counts["coalesced"],
+                mutations=counts["mutations"],
+                rejected=counts["rejected"],
+                shard_failures=counts["shard_failures"],
                 graph_version=graph_version,
                 uptime_s=time.monotonic() - self._started,
-                optimize=LatencySummary.of(list(self._optimize)),
-                bind=LatencySummary.of(list(self._bind)),
-                execute=LatencySummary.of(list(self._execute)),
-                total=LatencySummary.of(list(self._total)),
+                optimize=self._summary("optimize"),
+                bind=self._summary("bind"),
+                execute=self._summary("execute"),
+                total=self._summary("total"),
                 warnings=tuple(self.warnings),
                 shard_workers=shard_workers,
             )

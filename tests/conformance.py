@@ -19,6 +19,7 @@ pools or localhost sockets skip the cells that need them.
 from __future__ import annotations
 
 import functools
+import os
 import threading
 from dataclasses import dataclass
 
@@ -145,6 +146,12 @@ def make_service(graph, backend: str, deployment: str, **overrides) -> QueryServ
     template caches stay on — binding reuse across surfaces is exactly
     the path being verified.
     """
+    # REPRO_TRACE=1 re-runs the whole matrix with per-query tracing on
+    # (CI's obs-smoke job): answers and reports must stay identical
+    # while every submission records its span tree across the wire.
+    overrides.setdefault(
+        "tracing", os.environ.get("REPRO_TRACE", "") == "1"
+    )
     config = ServiceConfig(
         result_cache_size=0,
         backend=backend,

@@ -70,9 +70,12 @@ def _physical():
 
 
 def _level():
+    # Carries a non-default trace context: the round trip must preserve
+    # the tracing fields, not just the execution payload.
     return ExecuteLevel(
         key="k", binding=(), level=0, phase="map",
         tasks=(("job0", None, 0),),
+        trace_ctx=("trace0", 1),
     )
 
 
@@ -102,13 +105,16 @@ FRAME_EXAMPLES = {
     ),
     "Shutdown": Shutdown,
     "OkReply": lambda: OkReply(value=("k", ())),
-    "ResultsReply": lambda: ResultsReply(results=[[("row",)]]),
+    "ResultsReply": lambda: ResultsReply(
+        results=[[("row",)]],
+        spans=(("bind", -1, 0.0001, 0.002, {"tasks": 2}),),
+    ),
     "BatchReply": lambda: BatchReply(replies=((7, OkReply()),)),
     "ErrorReply": lambda: ErrorReply(
         error=RpcProtocolError("boom"), kind="RpcProtocolError"
     ),
     "Request": lambda: Request(id=3, msg=Stats()),
-    "Reply": lambda: Reply(id=3, payload=OkReply()),
+    "Reply": lambda: Reply(id=3, payload=OkReply(), encode_s=0.0005),
     "ColumnarFrame": lambda: ColumnarFrame(
         payload=b"x", delta_start=0, delta_terms=("t",)
     ),
