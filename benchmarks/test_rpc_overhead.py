@@ -171,6 +171,156 @@ def test_rpc_overhead(record_table):
         )
 
 
+def test_lone_query_coalescing_untaxed(record_table):
+    """A lone query must not pay the coalescing window.
+
+    The coalescer's leader only holds the window open when the router
+    observes more than one active query; with serial traffic every
+    level flushes immediately.  Demonstrated with a deliberately fat
+    window: pre-gate, each of a lone query's levels would sleep the
+    full window as pure latency tax (>= levels x window per query);
+    post-gate, per-query latency matches the window-less multiplexed
+    config.  A traced pass also compares worker-side queue_wait spans:
+    the gate removes driver-side sleeping, it must not push wait into
+    the worker's queue instead.
+    """
+    if not rpc_workers_work():
+        pytest.skip("RPC shard workers unavailable in this environment")
+    graph = lubm.generate(lubm.LUBMConfig(universities=UNIVERSITIES))
+    queries = lubm_queries.all_queries()
+    window_ms = 40.0
+
+    configs = (
+        ("multiplexed", {"rpc_pipeline": DRIVER_THREADS}),
+        (
+            "coalesced",
+            {
+                "rpc_pipeline": DRIVER_THREADS,
+                "coalesce_window_ms": window_ms,
+                "coalesce_max_batch": DRIVER_THREADS,
+            },
+        ),
+    )
+
+    latency: dict[str, dict[str, float]] = {}
+    levels_per_query: dict[str, float] = {}
+    queue_wait: dict[str, float] = {}
+    for label, overrides in configs:
+        service = QueryService(
+            graph,
+            ServiceConfig(
+                shards=SHARDS,
+                shard_transport="rpc",
+                result_cache_size=0,
+                **overrides,
+            ),
+        )
+        per_query: dict[str, float] = {}
+        try:
+            for query in queries:
+                service.submit(query)  # warm
+            router = service.executor.router
+            for query in queries:
+                base = router.level_requests
+                best = float("inf")
+                for _ in range(ROUNDS):
+                    t0 = time.perf_counter()
+                    service.submit(query)
+                    best = min(best, time.perf_counter() - t0)
+                per_query[query.name] = best
+                levels_per_query[query.name] = (
+                    (router.level_requests - base) / ROUNDS
+                )
+        finally:
+            service.close()
+        latency[label] = per_query
+
+        # Traced pass: worker-side queue_wait must stay flat — the gate
+        # removes the driver-side sleep without queueing on the worker.
+        service = QueryService(
+            graph,
+            ServiceConfig(
+                shards=SHARDS,
+                shard_transport="rpc",
+                result_cache_size=0,
+                tracing=True,
+                **overrides,
+            ),
+        )
+        try:
+            for query in queries:
+                service.submit(query)
+            service.trace_sink.clear()
+            for query in queries:
+                service.submit(query)
+            waits = 0.0
+            for trace_id in service.trace_sink.trace_ids():
+                trace = service.trace_sink.get(trace_id)
+                waits += sum(
+                    s.duration_s
+                    for s in trace.spans
+                    if s.name == "queue_wait"
+                )
+            queue_wait[label] = waits
+        finally:
+            service.close()
+
+    window_s = window_ms / 1000.0
+    overheads = sorted(
+        latency["coalesced"][q.name] - latency["multiplexed"][q.name]
+        for q in queries
+    )
+    median_overhead = overheads[len(overheads) // 2]
+    would_be_tax = sum(
+        levels_per_query[q.name] * window_s for q in queries
+    )
+    total_overhead = sum(overheads)
+
+    lines = [
+        f"Lone-query coalescing tax — LUBM({UNIVERSITIES} universities), "
+        f"shards={SHARDS}, serial submissions, best of {ROUNDS}, "
+        f"coalesce window {window_ms:.0f} ms",
+        f"{'query':>6} {'levels':>7} {'multiplexed ms':>15} "
+        f"{'coalesced ms':>13} {'overhead ms':>12}",
+    ]
+    for query in queries:
+        multiplexed_ms = 1e3 * latency["multiplexed"][query.name]
+        coalesced_ms = 1e3 * latency["coalesced"][query.name]
+        lines.append(
+            f"{query.name:>6} {levels_per_query[query.name]:>7.0f} "
+            f"{multiplexed_ms:>15.2f} {coalesced_ms:>13.2f} "
+            f"{coalesced_ms - multiplexed_ms:>12.2f}"
+        )
+    lines.append(
+        f"median per-query overhead: {1e3 * median_overhead:.2f} ms "
+        f"(gate < {window_ms / 2:.0f} ms: an ungated lone query pays "
+        f">= one full window per level)"
+    )
+    lines.append(
+        f"workload overhead {1e3 * total_overhead:.1f} ms vs "
+        f"{1e3 * would_be_tax:.0f} ms the ungated windows would cost"
+    )
+    lines.append(
+        "worker queue_wait (traced pass): "
+        f"multiplexed {1e3 * queue_wait['multiplexed']:.2f} ms, "
+        f"coalesced {1e3 * queue_wait['coalesced']:.2f} ms"
+    )
+    record_table("rpc_lone_query_coalescing", "\n".join(lines))
+
+    # Physically about not sleeping: a 40 ms sleep per level cannot
+    # hide in best-of-N scheduling noise, so this gate is unconditional.
+    assert median_overhead < window_s / 2, (
+        f"lone queries pay {1e3 * median_overhead:.1f} ms median overhead "
+        f"under a {window_ms:.0f} ms coalescing window: the lone-query "
+        "gate is not working"
+    )
+    assert total_overhead < would_be_tax / 2
+    # The saved window must not reappear as worker-side queueing.
+    assert queue_wait["coalesced"] < queue_wait["multiplexed"] + (
+        window_s * len(queries) / 2
+    )
+
+
 def test_rpc_concurrent_throughput(record_table):
     """The concurrency axis: 8 driver threads submit a rotated mixed
     LUBM workload against the same rpc deployment under three transport

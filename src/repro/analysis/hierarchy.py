@@ -37,7 +37,9 @@ LOCK_RANKS: dict[str, int] = {
     "rwlock": 20,  # RPC worker snapshot RW lock
     "_bound_lock": 20,  # worker template/bound-spec state
     # -- transport --------------------------------------------------------
-    "_shard_locks": 30,  # per-shard client slot (respawn/prime)
+    "_shard_locks": 30,  # per-shard client slot (respawn/prime; a live
+    #   rebalance walks these shard by shard for prime/delta/flip, under
+    #   the service's _store_lock write side — same tiers, no new ranks)
     "_close_lock": 30,  # client connection swap
     "_cond": 32,  # coalescer leader/pending wait
     "_serial_lock": 34,  # unpipelined request serialization

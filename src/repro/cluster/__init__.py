@@ -2,14 +2,23 @@
 
 The distribution layer behind the query service: a
 :class:`~repro.cluster.sharded_store.ShardedStore` hash-partitions the
-§5.1 replicated layout across N shard workers (logical node ``n`` lives
-on shard ``n % N``, so every co-location guarantee the planner relies on
-holds shard-locally), a :class:`~repro.cluster.router.ShardRouter` ships
-task specs to shards and runs the cross-shard exchange between map and
-reduce phases, and per-shard catalog statistics aggregate into the exact
-global catalog the cost model consumes.  Enable it with
-``ServiceConfig(shards=N)`` — answers are identical for any shard count
-and any execution backend.
+§5.1 replicated layout across N shard workers (logical nodes hash onto
+a fixed ring of slots and a versioned
+:class:`~repro.cluster.slots.SlotTable` maps slots to shards — the
+version-0 table reproduces the classic ``n % N`` layout, so every
+co-location guarantee the planner relies on holds shard-locally), a
+:class:`~repro.cluster.router.ShardRouter` ships task specs to shards
+and runs the cross-shard exchange between map and reduce phases, and
+per-shard catalog statistics aggregate into the exact global catalog
+the cost model consumes.  Enable it with ``ServiceConfig(shards=N)`` —
+answers are identical for any shard count and any execution backend.
+
+Because ownership is a movable table rather than a frozen modulus, the
+topology is elastic: :meth:`~repro.cluster.router.ShardedPlanExecutor
+.rebalance` grows, shrinks or deskews the shard fleet by moving slot
+ownership, shipping only the moved slots' snapshot slices (over RPC,
+as :class:`~repro.cluster.rpc.PrimeSlots` deltas) and flipping the
+table version — answers are invariant at every epoch.
 
 Two shard transports share that router logic
 (``ServiceConfig(shard_transport=...)``):
@@ -24,19 +33,35 @@ Two shard transports share that router logic
   failure raises a typed :class:`~repro.cluster.rpc.ShardUnavailable`.
 """
 
-from repro.cluster.router import ShardedPlanExecutor, ShardRouter, ShardRunSummary
+from repro.cluster.router import (
+    RebalanceReport,
+    ShardedPlanExecutor,
+    ShardRouter,
+    ShardRunSummary,
+)
 from repro.cluster.rpc import (
     RpcShardRouter,
     ShardUnavailable,
     ShardWorkerClient,
+    StaleEpoch,
 )
 from repro.cluster.sharded_store import (
     ShardedSnapshot,
     ShardedStore,
     shard_graph,
 )
+from repro.cluster.slots import (
+    DEFAULT_SLOTS,
+    Move,
+    SlotTable,
+    plan_resize,
+    plan_skew,
+)
 
 __all__ = [
+    "DEFAULT_SLOTS",
+    "Move",
+    "RebalanceReport",
     "RpcShardRouter",
     "ShardRouter",
     "ShardRunSummary",
@@ -45,5 +70,9 @@ __all__ = [
     "ShardedPlanExecutor",
     "ShardedSnapshot",
     "ShardedStore",
+    "SlotTable",
+    "StaleEpoch",
+    "plan_resize",
+    "plan_skew",
     "shard_graph",
 ]

@@ -67,6 +67,7 @@ from repro.physical.translate import translate
 from repro.core.logical import LogicalPlan
 
 from repro.cluster.sharded_store import ShardedSnapshot, ShardedStore
+from repro.cluster.slots import Move, SlotTable, plan_skew
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,33 @@ class ShardRunSummary:
     #: under cross-query coalescing a frame may carry several queries'
     #: levels, so a query's frame count can undershoot its level count)
     frames_shipped: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one slot-table rebalance did (see
+    :meth:`ShardedPlanExecutor.rebalance`)."""
+
+    #: slot-table version before / after (after = before + 1; a rolled
+    #: back attempt never produces a report — it raises)
+    old_epoch: int
+    new_epoch: int
+    #: shard count before / after
+    old_shards: int
+    new_shards: int
+    #: the applied ``(slot, src, dst)`` plan
+    moves: tuple[Move, ...]
+    #: logical nodes whose data actually moved, ascending
+    moved_nodes: tuple[int, ...]
+    #: migration bytes shipped per shard (RPC transport only; the
+    #: elasticity claim is that this stays well under a full re-prime)
+    bytes_shipped: tuple[int, ...] | None
+    #: wall-clock seconds for the whole migration
+    duration_s: float
+
+    @property
+    def slots_moved(self) -> int:
+        return len(self.moves)
 
 
 class _ShardJobState:
@@ -250,11 +278,12 @@ class ShardRouter:
         ]
         tasks = [0] * num_shards
         rows = [0] * num_shards
+        table = snapshot.table
         for level_index, level in enumerate(graph.levels()):
             with span("level", index=level_index, jobs=len(level)):
                 self._run_level(
                     level, spec_of, ctxs, reports, driver_hdfs, shard_hdfs,
-                    tasks, rows, level_index, exec_ctx,
+                    tasks, rows, level_index, exec_ctx, table,
                 )
         with span("merge", shards=num_shards):
             merged = reports[0]
@@ -313,7 +342,11 @@ class ShardRouter:
         the invocations directly and ignores them; the RPC transport
         ships the descriptors (plus exchange rows) instead of the specs.
         """
-        active = [s for s in range(self.num_shards) if per_shard[s]]
+        # Sized by the level's own routing table, not self.num_shards: a
+        # concurrent rebalance may have resized the fleet after this
+        # level was grouped, and the stale-epoch protocol (not this
+        # loop) is what reconciles that.
+        active = [s for s in range(len(per_shard)) if per_shard[s]]
         # Captured on the query thread: dispatch-pool threads never saw
         # this query's contextvar, so per-shard spans attach explicitly.
         tctx = trace_ctx()
@@ -348,9 +381,11 @@ class ShardRouter:
         rows: list[int],
         level_index: int,
         exec_ctx: object | None,
+        table: SlotTable,
     ) -> None:
         params = self.params
         num_nodes, num_shards = self.num_nodes, self.num_shards
+        shard_of_node = table.shard_of_node
         states = [
             _ShardJobState(job, num_nodes, num_shards, params.job_overhead)
             for job in level
@@ -364,7 +399,7 @@ class ShardRouter:
         per_shard_pos: list[list[int]] = [[] for _ in range(num_shards)]
         for state in states:
             for task in state.job.map_tasks:
-                shard = task.node % num_shards
+                shard = shard_of_node(task.node)
                 per_shard_inv[shard].append(TaskInvocation(task.spec))
                 per_shard_meta[shard].append(
                     (state.job.name, getattr(task.spec, "tag", None), task.node)
@@ -380,7 +415,7 @@ class ShardRouter:
                 results[pos] = result
         for (state, task), (emits, direct, task_metrics) in zip(entries, results):
             node = task.node
-            shard = node % num_shards
+            shard = shard_of_node(node)
             work = task_metrics.time(params)
             state.node_work[node] += work
             state.shard_metrics[shard].total_work += work
@@ -394,7 +429,7 @@ class ShardRouter:
                     (
                         work
                         for node, work in state.node_work.items()
-                        if node % num_shards == shard
+                        if shard_of_node(node) == shard
                     ),
                     default=0.0,
                 )
@@ -416,7 +451,7 @@ class ShardRouter:
                     tag: rows_
                     for tag, rows_ in state.shuffle.get(partition, {}).items()
                 }
-                shard = (partition % num_nodes) % num_shards
+                shard = shard_of_node(partition % num_nodes)
                 per_shard_rinv[shard].append(
                     TaskInvocation(job.reduce_spec, (partition, grouped))
                 )
@@ -436,7 +471,7 @@ class ShardRouter:
                 rentries, rresults
             ):
                 node = partition % num_nodes
-                shard = node % num_shards
+                shard = shard_of_node(node)
                 work = task_metrics.time(params)
                 state.reduce_work[node] += work
                 metrics = state.shard_metrics[shard]
@@ -451,7 +486,7 @@ class ShardRouter:
                         (
                             work
                             for node, work in state.reduce_work.items()
-                            if node % num_shards == shard
+                            if shard_of_node(node) == shard
                         ),
                         default=0.0,
                     )
@@ -474,7 +509,7 @@ class ShardRouter:
                     DistributedRelation(
                         attrs=attrs,
                         partitions=[
-                            part if node % num_shards == shard else []
+                            part if shard_of_node(node) == shard else []
                             for node, part in enumerate(state.outputs_per_node)
                         ],
                     ),
@@ -485,7 +520,7 @@ class ShardRouter:
                 metrics.output_tuples = sum(
                     len(state.outputs_per_node[node])
                     for node in range(num_nodes)
-                    if node % num_shards == shard
+                    if shard_of_node(node) == shard
                 )
                 rows[shard] += metrics.output_tuples
                 reports[shard].jobs.append(metrics)
@@ -553,6 +588,12 @@ class ShardedPlanExecutor:
                 "expected 'inproc' or 'rpc'"
             )
         self.transport = transport
+        # Kept for topology changes: an in-process rebalance rebuilds
+        # the router (and per-shard backends) from the same spec.
+        self._backend_spec = backend
+        self._backend_workers = backend_workers
+        self._on_fallback = on_fallback
+        self.backends: list[ExecutionBackend] = []
         if transport == "rpc":
             from repro.cluster.rpc import RpcShardRouter
 
@@ -564,7 +605,6 @@ class ShardedPlanExecutor:
             workers = split_workers(
                 backend_workers, store.num_shards, backend or "serial"
             )
-            self.backends = []
             extra = {} if max_frame_bytes is None else {
                 "max_frame_bytes": max_frame_bytes
             }
@@ -583,6 +623,13 @@ class ShardedPlanExecutor:
                 **extra,
             )
             return
+        self._build_inproc_router()
+
+    def _build_inproc_router(self) -> None:
+        """(Re)build the in-process router + per-shard backends for the
+        store's *current* shard count, from the saved backend spec."""
+        store = self.store
+        backend = self._backend_spec
         if isinstance(backend, ExecutionBackend):
             if store.num_shards > 1 and isinstance(backend, ProcessBackend):
                 raise ValueError(
@@ -590,12 +637,13 @@ class ShardedPlanExecutor:
                     "(its pool is keyed to one snapshot); pass "
                     "backend='process' to give each shard its own pool"
                 )
-            self.backends: list[ExecutionBackend] = [backend] * store.num_shards
+            self.backends = [backend] * store.num_shards
             parallel = not isinstance(backend, SerialBackend)
         else:
             workers = split_workers(
-                backend_workers, store.num_shards, backend or "serial"
+                self._backend_workers, store.num_shards, backend or "serial"
             )
+            on_fallback = self._on_fallback
             self.backends = [
                 make_backend(
                     backend,
@@ -616,7 +664,7 @@ class ShardedPlanExecutor:
         self.router = ShardRouter(
             num_nodes=store.num_nodes,
             num_shards=store.num_shards,
-            params=params,
+            params=self.params,
             backends=self.backends,
             parallel_shards=parallel,
         )
@@ -655,6 +703,108 @@ class ShardedPlanExecutor:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+    # -- topology -------------------------------------------------------------
+
+    def rebalance(
+        self,
+        target_shards: int | None = None,
+        moves: Sequence[Move] | None = None,
+    ) -> RebalanceReport:
+        """Move slot ownership between shards — grow, shrink, or shed skew.
+
+        Pass *target_shards* to resize (the minimal plan is computed
+        with :func:`~repro.cluster.slots.plan_resize`), or an explicit
+        *moves* plan (e.g. from :func:`~repro.cluster.slots.plan_skew`).
+        Answers are invariant across the change: slot moves relocate
+        whole nodes, never re-place data, so ``shards=4`` before and
+        ``shards=5`` after produce byte-identical results.
+
+        RPC transport: a live migration — only the moved slots' snapshot
+        slices cross the wire (:class:`~repro.cluster.rpc.PrimeSlots`),
+        the epoch flips via :class:`~repro.cluster.rpc.TableUpdate`, and
+        a failure rolls the store back, leaving workers to reconcile
+        lazily.  The caller must quiesce queries for the duration (the
+        query service's store write lock does).  In-process: the store
+        is rebalanced and the router + per-shard backends are rebuilt
+        and re-primed for the new shard count.
+        """
+        store = self.store
+        old_table = store.table
+        if moves is None:
+            if target_shards is None:
+                raise ValueError(
+                    "rebalance needs target_shards or an explicit moves plan"
+                )
+            moves = store.plan_resize_to(target_shards)
+        else:
+            moves = tuple(moves)
+        new_count = (
+            old_table.num_shards if target_shards is None else target_shards
+        )
+        start = time.perf_counter()
+        if not moves and new_count == old_table.num_shards:
+            return RebalanceReport(
+                old_epoch=old_table.version,
+                new_epoch=old_table.version,
+                old_shards=old_table.num_shards,
+                new_shards=old_table.num_shards,
+                moves=(),
+                moved_nodes=(),
+                bytes_shipped=() if self.transport == "rpc" else None,
+                duration_s=time.perf_counter() - start,
+            )
+        moved_nodes = tuple(
+            sorted(
+                {
+                    node
+                    for slot, _src, _dst in moves
+                    for node in store.nodes_of_slot(slot)
+                }
+            )
+        )
+        if self.transport == "rpc":
+            bytes_shipped = self.router.migrate(  # type: ignore[attr-defined]
+                store, moves, new_count
+            )
+        else:
+            store.apply_rebalance(moves, new_count)
+            old_router, old_backends = self.router, self.backends
+            shared = isinstance(self._backend_spec, ExecutionBackend)
+            self._build_inproc_router()
+            old_router.close()
+            if not shared:
+                for backend in old_backends:
+                    backend.close()
+            self.prime()
+            bytes_shipped = None
+        new_table = store.table
+        return RebalanceReport(
+            old_epoch=old_table.version,
+            new_epoch=new_table.version,
+            old_shards=old_table.num_shards,
+            new_shards=new_table.num_shards,
+            moves=tuple(moves),
+            moved_nodes=moved_nodes,
+            bytes_shipped=bytes_shipped,
+            duration_s=time.perf_counter() - start,
+        )
+
+    def suggest_rebalance(
+        self, load: dict[int, float] | None = None, max_moves: int = 1
+    ) -> tuple[Move, ...]:
+        """A small skew-shedding plan from observed per-shard load.
+
+        *load* maps shard → any monotone load signal (the service feeds
+        worker gauges' ``tasks_run``); defaults to stored triples per
+        shard.  Returns ``()`` when the topology is already balanced.
+        """
+        if load is None:
+            load = {
+                shard: float(count)
+                for shard, count in enumerate(self.store.triples_per_shard())
+            }
+        return plan_skew(self.store.table, load, max_moves=max_moves)
 
     # -- public API -----------------------------------------------------------
 

@@ -65,7 +65,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from multiprocessing.connection import Client, Listener
 
 from repro.analysis.locks import (
@@ -75,6 +75,7 @@ from repro.analysis.locks import (
     witness_name_if_enabled,
 )
 from repro.cluster.router import ShardRouter
+from repro.cluster.slots import SlotTable, merge_slots
 from repro.cost.params import DEFAULT_PARAMS, CostParams
 from repro.mapreduce.backends import (
     BACKEND_NAMES,
@@ -94,6 +95,7 @@ from repro.obs.trace import (
     SpanAccumulator,
     attach_worker_spans,
     record_remote,
+    span,
     trace_ctx,
 )
 from repro.partitioning.triple_partitioner import StoreSnapshot
@@ -155,6 +157,29 @@ class WorkerSpawnError(RpcError):
     """A shard worker process could not be started or contacted."""
 
 
+class StaleEpoch(RpcError):
+    """An execute frame was stamped with a topology epoch the worker is
+    not at: the slot table moved underneath the query.  The driver
+    handles it by re-routing the frame's tasks against the current
+    table (:meth:`RpcShardRouter._reroute_level`), so a query that
+    started before a rebalance still answers correctly after it.
+    """
+
+    def __init__(self, shard: int, frame_epoch: int, worker_epoch: int) -> None:
+        super().__init__(
+            f"shard {shard} is at topology epoch {worker_epoch}, "
+            f"frame stamped {frame_epoch}"
+        )
+        self.shard = shard
+        self.frame_epoch = frame_epoch
+        self.worker_epoch = worker_epoch
+
+    def __reduce__(self):
+        # Multi-argument constructor breaks default exception pickling;
+        # errors in this module must survive a pickled hop.
+        return (StaleEpoch, (self.shard, self.frame_epoch, self.worker_epoch))
+
+
 class ShardUnavailable(RuntimeError):
     """A shard worker failed, was respawned once, and failed again.
 
@@ -209,10 +234,54 @@ class Prime:
     see :mod:`repro.columnar.wire`).  Both ends seed their wire
     dictionaries from this very snapshot, so priming is also the
     synchronization point of the columnar protocol.
+
+    ``epoch`` stamps the slot-table version this snapshot was sliced
+    under; the worker adopts it as its topology epoch.
     """
 
     snapshot: StoreSnapshot
     wire: str = "pickle"
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class PrimeSlots:
+    """Ship a migration delta: only the moved slots' snapshot slice.
+
+    ``adds`` maps incoming node → its partition file map (sliced from
+    the destination shard's post-move snapshot driver-side); ``drops``
+    lists outgoing nodes this shard no longer owns.  The worker merges
+    the delta into its resident snapshot (:func:`repro.cluster.slots
+    .merge_slots`) and re-primes its backend — a full :class:`Prime`
+    of unmoved data never crosses the wire.  Idempotent: a worker whose
+    resident token already equals ``token`` acknowledges without
+    re-merging, so the crash-retry path cannot double-apply a delta.
+    The topology epoch flips separately (:class:`TableUpdate`), after
+    every shard holds its migrated data.
+    """
+
+    adds: dict[int, dict[str, tuple]]
+    drops: tuple[int, ...]
+    token: tuple
+    wire: str = "pickle"
+
+
+@dataclass(frozen=True)
+class TableUpdate:
+    """Flip the worker's topology epoch (the slot-table version).
+
+    Sent to every surviving shard once a migration's data movement is
+    complete; from then on the worker rejects execute frames stamped
+    with another epoch (:class:`StaleEpoch`) so a rebalance can never
+    silently serve a level against the wrong ownership map.  Idempotent
+    and monotone: an epoch at or below the worker's current one is
+    acknowledged without effect, so duplicate delivery (crash-retry) is
+    harmless.  ``num_shards`` > 0 also updates the worker's view of the
+    topology width.
+    """
+
+    epoch: int
+    num_shards: int = 0
 
 
 @dataclass(frozen=True)
@@ -259,6 +328,11 @@ class ExecuteLevel:
     tracing context (:func:`repro.obs.trace.trace_ctx`); None — the
     default, and the wire cost when tracing is off — disables all
     worker-side span accumulation for the frame.
+
+    ``epoch`` stamps the slot-table version the driver routed this
+    level under; a worker at another epoch rejects the frame with
+    :class:`StaleEpoch` and the driver re-routes against the current
+    table, so a concurrent rebalance can never misplace a level.
     """
 
     key: str
@@ -268,6 +342,7 @@ class ExecuteLevel:
     tasks: tuple
     inputs: dict[str, DistributedRelation] = field(default_factory=dict)
     trace_ctx: tuple | None = None
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -389,6 +464,8 @@ MESSAGE_TYPES = (
     Hello,
     HelloReply,
     Prime,
+    PrimeSlots,
+    TableUpdate,
     InvalidateSnapshot,
     RegisterTemplate,
     BoundSpecs,
@@ -414,6 +491,8 @@ MESSAGE_TYPES = (
 WORKER_HANDLED = (
     Hello,
     Prime,
+    PrimeSlots,
+    TableUpdate,
     InvalidateSnapshot,
     RegisterTemplate,
     BoundSpecs,
@@ -573,6 +652,10 @@ class _WorkerState:
         self.snapshot: StoreSnapshot | None = None
         #: columnar wire codec of this connection; None = pickle wire
         self.wire: WireCodec | None = None
+        #: topology epoch (slot-table version) — resident-state like
+        #: snapshot/wire: flipped only under rwlock.write() (Prime /
+        #: TableUpdate), read per execute frame under rwlock.read()
+        self.epoch = 0
         self.rwlock = _StateRWLock()
         self._bound_lock = checked(threading.Lock(), "_WorkerState._bound_lock")
         self._stats_lock = checked(threading.Lock(), "_WorkerState._stats_lock")
@@ -683,6 +766,8 @@ class _WorkerState:
     def execute_level(
         self, msg: ExecuteLevel, acc: SpanAccumulator | None = None
     ) -> ResultsReply:
+        if msg.epoch != self.epoch:
+            raise StaleEpoch(self.shard, msg.epoch, self.epoch)
         if acc is None:
             return self._execute_level(msg)
         with acc.timed("bind"):
@@ -790,7 +875,29 @@ def _dispatch(state: _WorkerState, msg: object):
             snapshot_token=state.token,
         )
     if isinstance(msg, Prime):
-        return OkReply(state.install_snapshot(msg.snapshot, msg.wire))
+        token = state.install_snapshot(msg.snapshot, msg.wire)
+        state.epoch = msg.epoch
+        return OkReply(token)
+    if isinstance(msg, PrimeSlots):
+        if state.snapshot is None:
+            raise WorkerStateError(
+                f"shard {state.shard} has no resident snapshot to merge "
+                "a slot delta into"
+            )
+        if state.token == msg.token:
+            # Duplicate delivery (crash-retry): already merged.
+            return OkReply(msg.token)
+        merged = merge_slots(state.snapshot, msg.adds, msg.drops, msg.token)
+        return OkReply(state.install_snapshot(merged, msg.wire))
+    if isinstance(msg, TableUpdate):
+        # >= not >: a freshly-spawned shard is Primed already *at* the
+        # new epoch and still needs the broadcast's num_shards; equal-
+        # epoch re-delivery is a no-op either way (idempotent).
+        if msg.epoch >= state.epoch:
+            state.epoch = msg.epoch
+            if msg.num_shards:
+                state.num_shards = msg.num_shards
+        return OkReply(state.epoch)
     if isinstance(msg, InvalidateSnapshot):
         state.snapshot = None
         return OkReply(None)
@@ -1118,7 +1225,14 @@ def _worker_main(
                     run_batch(rid, msg, received)
                     continue
                 if isinstance(
-                    msg, (Prime, InvalidateSnapshot, RegisterTemplate)
+                    msg,
+                    (
+                        Prime,
+                        PrimeSlots,
+                        TableUpdate,
+                        InvalidateSnapshot,
+                        RegisterTemplate,
+                    ),
                 ):
                     # Mutators wait out in-flight levels, exclusively.
                     with state.rwlock.write():
@@ -1235,6 +1349,9 @@ class ShardWorkerClient:
         self.codec: WireCodec | None = None
         #: snapshot token last primed onto this worker (driver-side view)
         self.primed_token: tuple | None = None
+        #: topology epoch last stamped onto this worker (via Prime or
+        #: TableUpdate); -1 = never synced
+        self.primed_epoch = -1
         #: worker warnings already relayed to the router's on_warning
         self.warnings_forwarded = 0
         self._waiters: dict[int, _Waiter] = {}  # guarded-by: _waiters_lock
@@ -1510,12 +1627,20 @@ class _RpcExecution:
     binding: tuple[tuple[str, str], ...]
     bytes: list[int]
     frames: list[int]
+    #: slot-table version this query was routed under, stamped on its
+    #: ExecuteLevel frames (a worker at another epoch rejects them)
+    epoch: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
     def add(self, shard: int, n: int, frames: int = 1) -> None:
         with self._lock:
+            while len(self.bytes) <= shard:
+                # A mid-query rebalance can re-route levels to shards
+                # that did not exist when this query started counting.
+                self.bytes.append(0)
+                self.frames.append(0)
             self.bytes[shard] += n
             self.frames[shard] += frames
 
@@ -1616,7 +1741,11 @@ class _LevelCoalescer:
                 batch = None
             else:
                 self._leader = True
-                if self.window > 0:
+                # Holding the window open only pays when another query
+                # is actually in flight; a lone query's levels would
+                # just eat the full window as pure latency tax, so the
+                # leader checks router-observed concurrency first.
+                if self.window > 0 and self.router._active_queries() > 1:
                     deadline = time.monotonic() + self.window
                     while len(self._pending) < self.max_batch:
                         remaining = deadline - time.monotonic()
@@ -1813,6 +1942,15 @@ class RpcShardRouter(ShardRouter):
         )
         self._templates: dict[str, PhysicalPlan] = {}  # guarded-by: _registry_lock
         self._last_snapshot = None
+        #: the slot table the fleet was last synchronized to (set by
+        #: ensure_workers / migrate); stale-epoch re-routing consults it
+        self._table: SlotTable | None = None
+        #: the caller's parallelism request, re-applied when a
+        #: rebalance changes the shard count (1 shard forces serial)
+        self._parallel_requested = parallel_shards
+        #: queries currently inside execute_prepared — the coalescer
+        #: only holds its window open when this exceeds one
+        self.active_queries = 0  # guarded-by: _counter_lock
         self._coalescers = (
             [_LevelCoalescer(self, shard) for shard in range(num_shards)]
             if coalesce_max_batch > 1
@@ -1845,6 +1983,10 @@ class RpcShardRouter(ShardRouter):
         with self._counter_lock:
             self.level_frames += n
 
+    def _active_queries(self) -> int:
+        with self._counter_lock:
+            return self.active_queries
+
     def _next_sub_id(self) -> int:
         with self._counter_lock:
             return next(self._sub_ids)
@@ -1861,8 +2003,13 @@ class RpcShardRouter(ShardRouter):
 
         A worker is primed only when its resident snapshot token differs
         from its shard's current token — after a mutation, only the
-        shards the batch actually touched receive a new snapshot.
+        shards the batch actually touched receive a new snapshot.  The
+        snapshot's slot-table version rides on every ``Prime``; a worker
+        whose data is current but whose epoch lags (e.g. after a rolled
+        back migration) is re-synchronized with a cheap
+        :class:`TableUpdate` instead of a full re-prime.
         """
+        epoch = snapshot.table.version
         for shard in range(self.num_shards):
             with self._shard_locks[shard]:
                 client = self._clients[shard]
@@ -1882,11 +2029,22 @@ class RpcShardRouter(ShardRouter):
                 shard_snapshot = snapshot.shards[shard]
                 if client.primed_token != shard_snapshot.token:
                     self._shard_call(
-                        shard, Prime(shard_snapshot, wire=self.wire_format)
+                        shard,
+                        Prime(
+                            shard_snapshot, wire=self.wire_format, epoch=epoch
+                        ),
                     )
                     client.primed_token = shard_snapshot.token
+                    client.primed_epoch = epoch
                     self._forward_warnings(shard, client)
+                elif client.primed_epoch != epoch:
+                    self._shard_call(
+                        shard,
+                        TableUpdate(epoch=epoch, num_shards=self.num_shards),
+                    )
+                    client.primed_epoch = epoch
         self._last_snapshot = snapshot
+        self._table = snapshot.table
 
     def _forward_warnings(self, shard: int, client: ShardWorkerClient) -> None:
         """Relay a worker's operational warnings (a prime may have
@@ -1904,6 +2062,223 @@ class RpcShardRouter(ShardRouter):
             except Exception:
                 pass
         client.warnings_forwarded = len(stats.warnings)
+
+    # -- live rebalancing ----------------------------------------------------
+
+    def _grow_to(self, count: int) -> None:
+        """Extend the per-shard structures (locks, client slots, serial
+        placeholder backends, coalescers) to *count* entries.  The lists
+        only ever grow — a shrink leaves trailing entries in place so a
+        query racing the flip can still index its (stale) shard and get
+        the typed :class:`StaleEpoch` answer instead of an IndexError.
+        """
+        while len(self._shard_locks) < count:
+            self._shard_locks.append(
+                checked(threading.RLock(), "RpcShardRouter._shard_locks")
+            )
+        while len(self._clients) < count:  # lint: disable=LOCK001 — grow-only append; migrations serialize on the store write lock
+            self._clients.append(None)  # lint: disable=LOCK001 — slot is None until primed under its shard lock
+        while len(self.backends) < count:
+            self.backends.append(SerialBackend())
+        if self._coalescers is not None:
+            while len(self._coalescers) < count:
+                self._coalescers.append(
+                    _LevelCoalescer(self, len(self._coalescers))
+                )
+
+    def _set_topology(self, count: int, table, snapshot) -> None:
+        """Flip the driver's view of the fleet to *count* shards at
+        *table*'s epoch and retire the (now mis-sized) dispatch pool."""
+        self.num_shards = count
+        self.parallel_shards = self._parallel_requested and count > 1
+        self._table = table
+        self._last_snapshot = snapshot
+        with self._lock:
+            old_pool, self._pool = self._pool, None
+        if old_pool is not None:
+            # wait=False: a rebalance triggered from a dispatch-pool
+            # thread (stale-epoch re-route) must not join its own pool.
+            old_pool.shutdown(wait=False)
+
+    def _retire_clients(self, first: int) -> None:
+        """Close every client at shard index >= *first*."""
+        retired: list[ShardWorkerClient] = []
+        for shard in range(first, len(self._clients)):  # lint: disable=LOCK001 — len() only; the list never shrinks
+            with self._shard_locks[shard]:
+                client = self._clients[shard]
+                self._clients[shard] = None  # lint: disable=LOCK001 — this shard's lock is held
+            if client is not None:
+                retired.append(client)
+        for client in retired:
+            client.close()
+
+    def migrate(self, store, moves, new_num_shards=None) -> tuple[int, ...]:
+        """Execute a slot-migration plan against the live worker fleet.
+
+        Returns bytes shipped per (surviving or new) shard — the proof
+        that a migration moves only the reassigned slots' data, not a
+        full re-prime.  The sequence:
+
+        1. synchronize the fleet at the current epoch (spawns lazily),
+        2. apply the plan to *store* (epoch bumps to ``v+1``),
+        3. spawn + fully prime new shards at ``v+1`` (their snapshot
+           slice holds exactly the moved-in nodes),
+        4. ship surviving shards their delta as :class:`PrimeSlots`
+           (data only — they stay at ``v`` and keep answering),
+        5. flip every worker to ``v+1`` with :class:`TableUpdate`,
+        6. retire removed shards' workers and resize the driver.
+
+        On any failure the plan is inverted on the store (epochs stay
+        monotone), the driver resizes back, and affected workers are
+        lazily reconciled by the next :meth:`ensure_workers` — queries
+        keep answering against the restored table.  Transport failures
+        surface as typed :class:`ShardUnavailable`.
+
+        Callers must quiesce queries across steps 2–5 (the service's
+        store write lock does exactly that): between a survivor's delta
+        in step 4 and the flip in step 5, old-epoch frames naming its
+        moved-out nodes would scan maps it already dropped, and on the
+        columnar wire the codec reseed must not straddle an in-flight
+        frame.  Queries that *start* against the old table and arrive
+        after the flip are safe without quiescence: the worker rejects
+        them typed (:class:`StaleEpoch`) and the driver re-routes.
+        """
+        self.ensure_workers(store.snapshot())
+        old_table = self._table
+        old_count = self.num_shards
+        moves = tuple(moves)
+        target = old_table.num_shards if new_num_shards is None else new_num_shards
+        if not moves and target == old_count:
+            return ()
+        # Node movement per shard, against the pre-move ring (the ring
+        # width itself never changes, only slot ownership).
+        moved_in: dict[int, list[int]] = {}
+        moved_out: dict[int, list[int]] = {}
+        for slot, src, dst in moves:
+            for node in store.nodes_of_slot(slot):
+                moved_in.setdefault(dst, []).append(node)
+                moved_out.setdefault(src, []).append(node)
+        new_table = store.apply_rebalance(moves, target)
+        snapshot = store.snapshot()
+        new_count = new_table.num_shards
+        self._grow_to(max(old_count, new_count))
+        shipped = [0] * max(old_count, new_count)
+
+        def note(shard: int):
+            def on_bytes(n: int) -> None:
+                shipped[shard] += n
+
+            return on_bytes
+
+        failed_shard = [None]
+        try:
+            # New shards: spawn and prime their slice at the new epoch.
+            # The slice holds exactly the moved-in nodes' files (every
+            # other node's map is empty), so a "full" prime here *is*
+            # the migration delta.
+            for shard in range(old_count, new_count):
+                failed_shard[0] = shard
+                shard_snapshot = snapshot.shards[shard]
+                with span("rebalance:prime", shard=shard):
+                    with self._shard_locks[shard]:
+                        client = self._clients[shard]
+                        if client is None or not client.alive():
+                            client = self._start_worker(shard)
+                        client.request(
+                            Prime(
+                                shard_snapshot,
+                                wire=self.wire_format,
+                                epoch=new_table.version,
+                            ),
+                            note(shard),
+                        )
+                        client.primed_token = shard_snapshot.token
+                        client.primed_epoch = new_table.version
+            # Surviving shards with movement: ship only the delta.
+            for shard in range(min(old_count, new_count)):
+                adds_nodes = sorted(moved_in.get(shard, ()))
+                drops = tuple(sorted(moved_out.get(shard, ())))
+                if not adds_nodes and not drops:
+                    continue
+                failed_shard[0] = shard
+                shard_snapshot = snapshot.shards[shard]
+                adds = {
+                    node: shard_snapshot.files[node] for node in adds_nodes
+                }
+                with span(
+                    "rebalance:delta",
+                    shard=shard,
+                    adds=len(adds_nodes),
+                    drops=len(drops),
+                ):
+                    with self._shard_locks[shard]:
+                        self._shard_call(
+                            shard,
+                            PrimeSlots(
+                                adds=adds,
+                                drops=drops,
+                                token=shard_snapshot.token,
+                                wire=self.wire_format,
+                            ),
+                            note(shard),
+                        )
+                        client = self._clients[shard]
+                        # Reseed the driver's codec end from the same
+                        # post-move snapshot the worker just merged to:
+                        # identical content and iteration order on both
+                        # sides means identical term-id assignments.
+                        if client is not None:
+                            client.codec = (
+                                WireCodec(shard_snapshot)
+                                if self.wire_format == "columnar"
+                                else None
+                            )
+                            client.primed_token = shard_snapshot.token
+            # Flip every surviving worker to the new epoch (monotone and
+            # idempotent worker-side, so a respawn-retry is harmless).
+            with span("rebalance:flip", epoch=new_table.version):
+                for shard in range(new_count):
+                    failed_shard[0] = shard
+                    with self._shard_locks[shard]:
+                        client = self._clients[shard]
+                        if client is not None and client.alive():
+                            self._shard_call(
+                                shard,
+                                TableUpdate(
+                                    epoch=new_table.version,
+                                    num_shards=new_count,
+                                ),
+                            )
+                            client.primed_epoch = new_table.version
+        except BaseException as exc:
+            self._rollback_migration(store, moves, old_count)
+            if isinstance(exc, ShardUnavailable):
+                raise
+            if isinstance(exc, _TRANSPORT_ERRORS):
+                shard = failed_shard[0] if failed_shard[0] is not None else -1
+                self._record_failure(shard, f"migration failed: {exc!r}")
+                raise ShardUnavailable(
+                    shard, f"migration failed: {exc!r}"
+                ) from exc
+            raise
+        if new_count < old_count:
+            self._retire_clients(new_count)
+        self._set_topology(new_count, new_table, snapshot)
+        return tuple(shipped[:new_count])
+
+    def _rollback_migration(self, store, moves, old_count: int) -> None:
+        """Undo a half-applied migration: invert the plan on the store
+        (the epoch keeps climbing — versions never reuse), resize the
+        driver back, and drop any clients the grow spawned.  Workers the
+        failed attempt already touched are *not* chased here; their
+        primed token/epoch records are accurate, so the next
+        :meth:`ensure_workers` re-primes or re-stamps exactly the stale
+        ones while queries keep answering."""
+        inverse = tuple((slot, dst, src) for slot, src, dst in moves)
+        store.apply_rebalance(inverse, old_count)
+        snapshot = store.snapshot()
+        self._retire_clients(old_count)
+        self._set_topology(old_count, snapshot.table, snapshot)
 
     def _start_worker(self, shard: int) -> ShardWorkerClient:
         """Spawn shard *shard*'s server, handshake, re-register templates.
@@ -2003,7 +2378,9 @@ class RpcShardRouter(ShardRouter):
                 client.primed_token = None
 
     def close(self) -> None:
-        for shard in range(self.num_shards):
+        # len(self._clients) can exceed num_shards after a shrink (the
+        # per-shard lists only grow); retire every slot either way.
+        for shard in range(len(self._clients)):  # lint: disable=LOCK001 — len() only; the list never shrinks
             with self._shard_locks[shard]:
                 client = self._clients[shard]
                 self._clients[shard] = None
@@ -2036,8 +2413,12 @@ class RpcShardRouter(ShardRouter):
             client = self._start_worker(shard)
             if self._last_snapshot is not None:
                 shard_snapshot = self._last_snapshot.shards[shard]
-                client.request(Prime(shard_snapshot, wire=self.wire_format))
+                epoch = self._last_snapshot.table.version
+                client.request(
+                    Prime(shard_snapshot, wire=self.wire_format, epoch=epoch)
+                )
                 client.primed_token = shard_snapshot.token
+                client.primed_epoch = epoch
                 self._forward_warnings(shard, client)
             return client
         except Exception as exc:
@@ -2186,8 +2567,15 @@ class RpcShardRouter(ShardRouter):
             binding=binding,
             bytes=[0] * self.num_shards,
             frames=[0] * self.num_shards,
+            epoch=snapshot.table.version,
         )
-        return self.execute(prepared.compiled, snapshot, exec_ctx)
+        with self._counter_lock:
+            self.active_queries += 1
+        try:
+            return self.execute(prepared.compiled, snapshot, exec_ctx)
+        finally:
+            with self._counter_lock:
+                self.active_queries -= 1
 
     # -- the dispatch hop ----------------------------------------------------
 
@@ -2243,8 +2631,48 @@ class RpcShardRouter(ShardRouter):
         self._note_frames(1)
         return self._call_with_registration(shard, msg, exec_ctx)
 
+    def _reroute_level(self, msg: ExecuteLevel, exec_ctx):
+        """Resend a stale-stamped level's tasks under the current table.
+
+        A worker rejected *msg* because a rebalance flipped the slot
+        table after this query was routed.  The tasks themselves are
+        placement-level facts — node assignments never change, only
+        which shard *hosts* a node — so they are regrouped by the
+        current table and resent, stamped with its epoch.  The map
+        phase's ``inputs`` travel unchanged to every target: they are
+        keyed by node-sliced file name, and a superset is harmless.
+        Results are reassembled in the original task order, keeping the
+        deterministic merge upstream byte-identical.
+        """
+        table = self._table
+        if table is None:
+            raise RpcError("no slot table to re-route against")
+        groups: dict[int, list[int]] = {}
+        for index, task in enumerate(msg.tasks):
+            node = task[2] if msg.phase == "map" else task[1] % self.num_nodes
+            groups.setdefault(table.shard_of_node(node), []).append(index)
+        results: list = [None] * len(msg.tasks)
+        for shard in sorted(groups):
+            indices = groups[shard]
+            sub = dataclass_replace(
+                msg,
+                tasks=tuple(msg.tasks[i] for i in indices),
+                epoch=table.version,
+            )
+            with self._counter_lock:
+                self.level_requests += 1
+            self._note_frames(1)
+            reply = self._call_with_registration(shard, sub, exec_ctx)
+            for i, result in zip(indices, reply.results):
+                results[i] = result
+        return ResultsReply(results=results)
+
     def _run_shards(self, per_shard, metas, ctxs, phase, level_index, exec_ctx):
-        active = [s for s in range(self.num_shards) if per_shard[s]]
+        # Sized by the level's own routing table, not self.num_shards: a
+        # concurrent rebalance may have resized the fleet after this
+        # level was grouped, and the stale-epoch protocol reconciles
+        # that, not this loop.
+        active = [s for s in range(len(per_shard)) if per_shard[s]]
         # Captured on the query thread: the dispatch-pool threads the
         # per-shard closures run on never saw this query's contextvar.
         tctx = trace_ctx()
@@ -2272,19 +2700,23 @@ class RpcShardRouter(ShardRouter):
                         metas[shard], per_shard[shard]
                     )
                 )
-            reply = self._level_call(
-                shard,
-                ExecuteLevel(
-                    key=exec_ctx.key,
-                    binding=exec_ctx.binding,
-                    level=level_index,
-                    phase=phase,
-                    tasks=tasks,
-                    inputs=inputs,
-                    trace_ctx=tctx,
-                ),
-                exec_ctx,
+            msg = ExecuteLevel(
+                key=exec_ctx.key,
+                binding=exec_ctx.binding,
+                level=level_index,
+                phase=phase,
+                tasks=tasks,
+                inputs=inputs,
+                trace_ctx=tctx,
+                epoch=exec_ctx.epoch,
             )
+            try:
+                reply = self._level_call(shard, msg, exec_ctx)
+            except StaleEpoch:
+                # The topology moved under this query (a rebalance
+                # flipped the slot table after it was routed): regroup
+                # the same tasks by the current table and resend.
+                reply = self._reroute_level(msg, exec_ctx)
             if len(reply.results) != len(per_shard[shard]):
                 raise RpcProtocolError(
                     f"shard {shard} returned {len(reply.results)} results "
@@ -2315,6 +2747,7 @@ __all__ = [
     "MESSAGE_TYPES",
     "OkReply",
     "Prime",
+    "PrimeSlots",
     "RegisterTemplate",
     "Reply",
     "Request",
@@ -2325,8 +2758,10 @@ __all__ = [
     "ShardUnavailable",
     "ShardWorkerClient",
     "Shutdown",
+    "StaleEpoch",
     "Stats",
     "StatsReply",
+    "TableUpdate",
     "TemplateNotRegistered",
     "WorkerSpawnError",
     "WorkerStateError",

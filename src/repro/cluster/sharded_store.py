@@ -4,9 +4,15 @@ CliqueSquare's storage layout (``repro.partitioning``) places each
 triple three times — by the hash of its subject, property and object
 value — onto ``num_nodes`` logical nodes.  The sharded store keeps that
 placement *bit-for-bit identical* and adds one level underneath: logical
-node ``n`` is owned by shard ``n % num_shards``, and each shard holds an
+nodes hash onto slots and a versioned :class:`~repro.cluster.slots
+.SlotTable` maps slots to shards (the version-0 table reproduces the
+historical ``n % num_shards`` layout exactly), and each shard holds an
 independent :class:`~repro.partitioning.triple_partitioner
 .PartitionedStore` containing exactly its nodes' partition files.
+Because ownership is a table, not arithmetic, shards can be added and
+removed at runtime: :meth:`ShardedStore.apply_rebalance` moves only the
+affected slots' node file maps between shard-local stores and installs
+the bumped table.
 
 Because the node placement is unchanged, every co-location guarantee the
 planner relies on (first-level joins are processed without
@@ -33,6 +39,13 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.cluster.slots import (
+    DEFAULT_SLOTS,
+    Move,
+    SlotTable,
+    initial_table,
+    plan_resize,
+)
 from repro.cost.cardinality import CatalogStatistics, PropertyStats
 from repro.partitioning.layout import PLACEMENTS, parse_file_name
 from repro.partitioning.triple_partitioner import (
@@ -61,9 +74,10 @@ class ShardedSnapshot:
     num_shards: int
     shards: tuple[StoreSnapshot, ...]
     token: tuple
+    table: SlotTable
 
     def shard_of_node(self, node: int) -> int:
-        return node % self.num_shards
+        return self.table.shard_of_node(node)
 
     def scan(
         self,
@@ -73,7 +87,7 @@ class ShardedSnapshot:
         type_object: str | None = None,
     ) -> list[Triple]:
         """Scan one node's partition on the shard that owns the node."""
-        return self.shards[node % self.num_shards].scan(
+        return self.shards[self.table.shard_of_node(node)].scan(
             node, placement, prop, type_object
         )
 
@@ -96,15 +110,17 @@ class ShardedStore:
         num_nodes: int,
         num_shards: int,
         replicas: tuple[str, ...] = PLACEMENTS,
+        slots: int = DEFAULT_SLOTS,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"need at least one shard, got {num_shards}")
         if num_nodes < 1:
             raise ValueError(f"need at least one node, got {num_nodes}")
         if num_shards > num_nodes:
-            # Ownership is node-granular (shard = node % num_shards), so
-            # extra shards could never own a node: they would only hold
-            # idle worker pools and skew worker-budget splitting.
+            # Ownership is node-granular (a shard owns whole nodes via
+            # the slot table), so extra shards could never own a node:
+            # they would only hold idle worker pools and skew
+            # worker-budget splitting.
             raise ValueError(
                 f"cannot spread {num_nodes} nodes over {num_shards} shards; "
                 "use at most one shard per node"
@@ -120,6 +136,9 @@ class ShardedStore:
         self.num_nodes = num_nodes
         self.num_shards = num_shards
         self.replicas = tuple(replicas)
+        # The initial table reproduces the historical n % num_shards
+        # layout exactly (slots >= num_nodes, see initial_table).
+        self.table = initial_table(num_shards, num_nodes, slots)
         self.stores = [
             PartitionedStore(num_nodes=num_nodes) for _ in range(num_shards)
         ]
@@ -138,18 +157,19 @@ class ShardedStore:
 
     def shard_of_node(self, node: int) -> int:
         """The shard owning logical node *node*."""
-        return node % self.num_shards
+        return self.table.shard_of_node(node)
 
     @property
     def node_shards(self) -> tuple[int, ...]:
         """Shard owner per logical node (``node_shards[n]`` owns n)."""
-        return tuple(n % self.num_shards for n in range(self.num_nodes))
+        table = self.table
+        return tuple(
+            table.shard_of_node(n) for n in range(self.num_nodes)
+        )
 
     def nodes_of_shard(self, shard: int) -> tuple[int, ...]:
         """The logical nodes shard *shard* owns."""
-        return tuple(
-            n for n in range(self.num_nodes) if n % self.num_shards == shard
-        )
+        return tuple(self.table.nodes_of_shard(shard, self.num_nodes))
 
     def node_of(self, value: str) -> int:
         """The node holding *value*'s co-location group (any placement)."""
@@ -167,7 +187,7 @@ class ShardedStore:
         with self._lock:
             for placement, value in zip(PLACEMENTS, (s, p, o)):
                 node = place(value, self.num_nodes)
-                shard = node % self.num_shards
+                shard = self.table.shard_of_node(node)
                 self.stores[shard].add_placement(placement, triple)
                 self._stats_cache[shard] = None
             self.version += 1
@@ -188,13 +208,71 @@ class ShardedStore:
         only shards actually touched by the last mutation batch pay the
         copy (and only their worker pools rebuild).
         """
-        shards = tuple(store.snapshot() for store in self.stores)
-        return ShardedSnapshot(
-            num_nodes=self.num_nodes,
-            num_shards=self.num_shards,
-            shards=shards,
-            token=(self.uid, tuple(s.token for s in shards)),
-        )
+        with self._lock:
+            shards = tuple(store.snapshot() for store in self.stores)
+            return ShardedSnapshot(
+                num_nodes=self.num_nodes,
+                num_shards=self.num_shards,
+                shards=shards,
+                token=(self.uid, tuple(s.token for s in shards)),
+                table=self.table,
+            )
+
+    # -- rebalancing (slot moves) ------------------------------------------
+
+    def nodes_of_slot(self, slot: int) -> tuple[int, ...]:
+        """The logical nodes hashing onto *slot* (empty beyond the ring)."""
+        return tuple(range(slot, self.num_nodes, self.table.slots))
+
+    def plan_resize_to(self, target_shards: int) -> tuple[Move, ...]:
+        """A minimal plan resizing the topology to *target_shards*."""
+        if target_shards > self.num_nodes:
+            raise ValueError(
+                f"cannot spread {self.num_nodes} nodes over "
+                f"{target_shards} shards; use at most one shard per node"
+            )
+        with self._lock:
+            return plan_resize(self.table, target_shards)
+
+    def apply_rebalance(
+        self, moves: Sequence[Move], new_num_shards: int | None = None
+    ) -> SlotTable:
+        """Move the planned slots' node file maps and install the new table.
+
+        Grows the shard-local store list before moving slots in and
+        shrinks it after moving slots out; a shrink plan must have
+        drained the removed shards (``plan_resize`` always does).  Only
+        the source and destination shards' snapshots and statistics
+        caches are invalidated — untouched shards keep their memoized
+        snapshots, so their workers are never re-primed.
+        """
+        with self._lock:
+            new_table = self.table.apply(moves, new_num_shards)
+            new_count = new_table.num_shards
+            while len(self.stores) < new_count:
+                self.stores.append(PartitionedStore(num_nodes=self.num_nodes))
+                self._stats_cache.append(None)
+            slots = self.table.slots
+            for slot, src, dst in moves:
+                for node in range(slot, self.num_nodes, slots):
+                    files = self.stores[src].evict_node(node)
+                    self.stores[dst].install_node(node, files)
+                self._stats_cache[src] = None
+                self._stats_cache[dst] = None
+            if new_count < len(self.stores):
+                for shard in range(new_count, len(self.stores)):
+                    leftover = self.stores[shard].total_stored()
+                    if leftover:
+                        raise ValueError(
+                            f"removed shard {shard} still holds "
+                            f"{leftover} triples: incomplete plan"
+                        )
+                del self.stores[new_count:]
+                del self._stats_cache[new_count:]
+            self.table = new_table
+            self.num_shards = new_count
+            self.version += 1
+            return new_table
 
     # -- scanning ----------------------------------------------------------
 
@@ -206,12 +284,12 @@ class ShardedStore:
         type_object: str | None = None,
     ) -> list[Triple]:
         """Triples of one node's partition (served by its owning shard)."""
-        return self.stores[node % self.num_shards].scan(
+        return self.stores[self.table.shard_of_node(node)].scan(
             node, placement, prop, type_object
         )
 
     def file_names(self, node: int) -> list[str]:
-        return self.stores[node % self.num_shards].file_names(node)
+        return self.stores[self.table.shard_of_node(node)].file_names(node)
 
     # -- invariants / telemetry --------------------------------------------
 
@@ -295,9 +373,14 @@ def _catalog_of(store: PartitionedStore) -> CatalogStatistics:
 
 
 def shard_graph(
-    graph: RDFGraph | Sequence[Triple], num_nodes: int, num_shards: int
+    graph: RDFGraph | Sequence[Triple],
+    num_nodes: int,
+    num_shards: int,
+    slots: int = DEFAULT_SLOTS,
 ) -> ShardedStore:
     """Partition a graph across *num_shards* shard workers."""
-    store = ShardedStore(num_nodes=num_nodes, num_shards=num_shards)
+    store = ShardedStore(
+        num_nodes=num_nodes, num_shards=num_shards, slots=slots
+    )
     store.add_all(graph)
     return store

@@ -1,0 +1,262 @@
+"""Slot-table shard ownership — the movable node→shard map.
+
+The seed cluster froze ownership at construction: node ``n`` belonged
+to shard ``n % num_shards`` forever, so the topology could never grow,
+shrink, or shed skew.  This module replaces that modulus with a level
+of indirection: logical nodes hash onto a fixed ring of **slots**
+(``slot_of_node = node % slots``), and a versioned, immutable
+:class:`SlotTable` maps each slot to its owning shard.  Moving data
+between shards is then "reassign some slots and ship those slots'
+snapshot slices" — the placement itself (§5.1 co-location) never
+changes, so answers are identical at every table version.
+
+The table is consulted everywhere the modulus used to be: map-level
+locality, shuffle exchange routing, per-shard catalog merge and
+``Prime`` slicing.  Construction keeps ``slots >= num_nodes`` so the
+initial table reproduces the seed ``n % N`` layout exactly (slot ``n``
+*is* node ``n`` for every real node).
+
+Rebalance plans are tuples of ``(slot, src, dst)`` moves.  They are
+data, not actions: :func:`plan_resize` and :func:`plan_skew` produce
+them, :meth:`SlotTable.apply` validates and applies them, and the
+router/store layers turn them into migration traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.partitioning.triple_partitioner import StoreSnapshot
+
+#: Default ring size.  Any real deployment's ``num_nodes`` caps it from
+#: below (see :func:`initial_table`), so 64 only matters for clusters
+#: with fewer than 64 logical nodes — where it still leaves room to
+#: split ownership far finer than the shard count.
+DEFAULT_SLOTS = 64
+
+#: One slot reassignment: ``(slot, src_shard, dst_shard)``.
+Move = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SlotTable:
+    """Immutable slots→shards ownership map at one version.
+
+    ``owners[s]`` is the shard owning slot ``s``; ``version`` is the
+    topology epoch — every applied plan bumps it by exactly one, and
+    the RPC protocol rejects frames stamped with another epoch.
+    """
+
+    num_shards: int
+    owners: tuple[int, ...]
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if not self.owners:
+            raise ValueError("a slot table needs at least one slot")
+        bad = [s for s in self.owners if not 0 <= s < self.num_shards]
+        if bad:
+            raise ValueError(
+                f"slot owners {sorted(set(bad))} outside "
+                f"[0, {self.num_shards})"
+            )
+
+    @property
+    def slots(self) -> int:
+        return len(self.owners)
+
+    # -- lookups (the old modulus sites) ----------------------------------
+
+    def slot_of_node(self, node: int) -> int:
+        return node % len(self.owners)
+
+    def shard_of_node(self, node: int) -> int:
+        return self.owners[node % len(self.owners)]
+
+    def nodes_of_shard(self, shard: int, num_nodes: int) -> list[int]:
+        """All logical nodes the table assigns to *shard*."""
+        owners = self.owners
+        slots = len(owners)
+        return [n for n in range(num_nodes) if owners[n % slots] == shard]
+
+    def slots_of_shard(self, shard: int) -> tuple[int, ...]:
+        return tuple(
+            s for s, owner in enumerate(self.owners) if owner == shard
+        )
+
+    def counts(self) -> list[int]:
+        """Slots owned per shard (length ``num_shards``)."""
+        out = [0] * self.num_shards
+        for owner in self.owners:
+            out[owner] += 1
+        return out
+
+    # -- transitions ------------------------------------------------------
+
+    def apply(self, moves: Sequence[Move], num_shards: int | None = None) -> "SlotTable":
+        """The table after *moves*, one version later.
+
+        Every move's source must match current ownership — applying a
+        plan computed against another version is a programming error
+        and raises rather than silently corrupting the map.  Passing
+        *num_shards* resizes the shard count in the same step (grow
+        before moving slots in, shrink after moving slots out).
+        """
+        new_count = self.num_shards if num_shards is None else num_shards
+        owners = list(self.owners)
+        seen: set[int] = set()
+        for slot, src, dst in moves:
+            if not 0 <= slot < len(owners):
+                raise ValueError(f"slot {slot} outside [0, {len(owners)})")
+            if slot in seen:
+                raise ValueError(f"slot {slot} moved twice in one plan")
+            seen.add(slot)
+            if owners[slot] != src:
+                raise ValueError(
+                    f"slot {slot} is owned by shard {owners[slot]}, "
+                    f"not {src}: stale plan"
+                )
+            owners[slot] = dst
+        return SlotTable(
+            num_shards=new_count,
+            owners=tuple(owners),
+            version=self.version + 1,
+        )
+
+    def inverse(self, moves: Sequence[Move]) -> tuple[Move, ...]:
+        """The plan undoing *moves* (for rollback after a failed flip)."""
+        return tuple((slot, dst, src) for slot, src, dst in moves)
+
+
+def initial_table(num_shards: int, num_nodes: int, slots: int = DEFAULT_SLOTS) -> SlotTable:
+    """The version-0 table reproducing the seed ``n % num_shards`` layout.
+
+    The ring is widened to ``max(slots, num_nodes)`` so every real node
+    occupies its own slot (``slot_of_node(n) == n``), which makes
+    ``owners[s] = s % num_shards`` assign node ``n`` to shard
+    ``n % num_shards`` — byte-identical to the pre-slot-table layout.
+    """
+    if slots < 1:
+        raise ValueError("slots must be >= 1")
+    width = max(slots, num_nodes)
+    return SlotTable(
+        num_shards=num_shards,
+        owners=tuple(s % num_shards for s in range(width)),
+    )
+
+
+def plan_resize(table: SlotTable, new_num_shards: int) -> tuple[Move, ...]:
+    """A minimal, deterministic plan resizing the topology.
+
+    Donors are the slots that *must* move: everything owned by a
+    removed shard, plus the highest-numbered slots shed by shards above
+    their new target share.  Each donor goes to the lowest-id shard
+    still under target, so growing by one moves ~``slots/new_N`` slots
+    and shrinking by one moves exactly the departing shard's slots —
+    the minimal-movement bound the property tests assert.
+    """
+    if new_num_shards < 1:
+        raise ValueError("new_num_shards must be >= 1")
+    if new_num_shards > len(table.owners):
+        raise ValueError(
+            f"cannot spread {len(table.owners)} slots over "
+            f"{new_num_shards} shards: at most one shard per slot"
+        )
+    slots = len(table.owners)
+    base, extra = divmod(slots, new_num_shards)
+    target = [base + (1 if s < extra else 0) for s in range(new_num_shards)]
+    counts = [0] * new_num_shards
+    for owner in table.owners:
+        if owner < new_num_shards:
+            counts[owner] += 1
+    donors: list[tuple[int, int]] = []  # (slot, src)
+    # Removed shards donate everything they own.
+    for slot, owner in enumerate(table.owners):
+        if owner >= new_num_shards:
+            donors.append((slot, owner))
+    # Overloaded surviving shards shed their highest-numbered slots.
+    excess = {
+        s: counts[s] - target[s]
+        for s in range(new_num_shards)
+        if counts[s] > target[s]
+    }
+    for slot in range(slots - 1, -1, -1):
+        owner = table.owners[slot]
+        if excess.get(owner, 0) > 0:
+            donors.append((slot, owner))
+            excess[owner] -= 1
+    donors.sort()
+    moves: list[Move] = []
+    dst = 0
+    for slot, src in donors:
+        while counts[dst] >= target[dst]:
+            dst += 1
+        counts[dst] += 1
+        moves.append((slot, src, dst))
+    return tuple(moves)
+
+
+def plan_skew(
+    table: SlotTable, load: Mapping[int, float], max_moves: int = 1
+) -> tuple[Move, ...]:
+    """A small plan shifting slots from the busiest shard to the idlest.
+
+    *load* maps shard → observed load (tasks run, queue depth — any
+    monotone signal).  The plan moves up to *max_moves* of the busiest
+    shard's highest-numbered slots to the least-loaded shard, provided
+    the imbalance is real (busiest strictly above idlest) and the donor
+    keeps at least one slot.  Deterministic: ties break on shard id.
+    """
+    if table.num_shards < 2:
+        return ()
+    scores = [float(load.get(s, 0.0)) for s in range(table.num_shards)]
+    busiest = max(range(table.num_shards), key=lambda s: (scores[s], -s))
+    idlest = min(range(table.num_shards), key=lambda s: (scores[s], s))
+    if busiest == idlest or scores[busiest] <= scores[idlest]:
+        return ()
+    owned = sorted(table.slots_of_shard(busiest), reverse=True)
+    movable = owned[: max(0, min(max_moves, len(owned) - 1))]
+    return tuple((slot, busiest, idlest) for slot in sorted(movable))
+
+
+def merge_slots(
+    old: StoreSnapshot,
+    adds: Mapping[int, Mapping[str, tuple]],
+    drops: Sequence[int],
+    token: tuple[int, int],
+) -> StoreSnapshot:
+    """A shard snapshot after a migration delta, deterministically.
+
+    *adds* maps incoming node → its file map; *drops* lists outgoing
+    nodes whose files this shard no longer owns.  Both the driver and
+    the worker apply the same delta to equal snapshots (the worker's
+    resident copy is a pickle of the driver's), iterating ``adds`` in
+    sorted order, so the two ends converge on identical file maps — a
+    requirement for the columnar wire codec, which seeds term ids from
+    snapshot iteration order on both sides.
+    """
+    files = [dict(node_files) for node_files in old.files]
+    for node in drops:
+        files[node] = {}
+    for node, node_files in sorted(adds.items()):
+        files[node] = {name: tuple(ts) for name, ts in node_files.items()}
+    return StoreSnapshot(
+        num_nodes=old.num_nodes,
+        replicas=old.replicas,
+        files=tuple(files),
+        token=token,
+    )
+
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "Move",
+    "SlotTable",
+    "initial_table",
+    "merge_slots",
+    "plan_resize",
+    "plan_skew",
+]

@@ -10,6 +10,13 @@ tracing on, serves a few LUBM queries, and writes:
 * ``explain_analyze.txt`` — the rendered plan + span tree of one
   sharded query.
 
+The workload includes a live rebalance (grow to 3 shards, shrink back
+to 2) between query batches, so ``trace.json`` carries the migration
+timeline — ``rebalance:drain`` / ``rebalance:migrate`` with the
+per-shard ``rebalance:prime`` / ``rebalance:delta`` / ``rebalance:flip``
+phases nested under it — next to the queries running before and after
+the topology moved.
+
 CI's obs-smoke job uploads the directory as a build artifact; the
 module doubles as a quick local look at what the tracing layer emits.
 The rpc transport is used when the environment can spawn shard worker
@@ -58,8 +65,13 @@ def main(argv: list[str] | None = None) -> int:
     out.mkdir(parents=True, exist_ok=True)
     graph = lubm.generate(lubm.LUBMConfig(universities=4))
     names = [n for n in args.queries.split(",") if n]
+    # num_nodes == slots: every slot on the ring holds a real node, so
+    # the demo rebalance genuinely ships data (survivor deltas included)
+    # instead of reassigning empty high slots of the default 64-ring.
     config = ServiceConfig(
         shards=2,
+        num_nodes=8,
+        slots=8,
         shard_transport=transport,
         tracing=True,
         slow_query_s=0.0,
@@ -73,6 +85,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"{1e3 * outcome.timings.total_s:.2f} ms, "
                 f"trace {outcome.trace_id}"
             )
+        # A live migration between batches: the traced grow/shrink puts
+        # the rebalance timeline (drain, prime, delta, flip spans) into
+        # trace.json, and re-serving the workload afterwards shows
+        # queries running against the flipped table.
+        for target in (3, 2):
+            report = service.rebalance(target_shards=target)
+            print(
+                f"rebalance -> {report.new_shards} shards: "
+                f"epoch {report.old_epoch}->{report.new_epoch}, "
+                f"{report.slots_moved} slots, "
+                f"{1e3 * report.duration_s:.2f} ms"
+            )
+        for name in names:
+            service.submit(lubm_queries.query(name))
         analyzed = service.explain_analyze(
             lubm_queries.query(names[-1]), name=names[-1]
         )

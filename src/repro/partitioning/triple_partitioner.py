@@ -184,6 +184,22 @@ class PartitionedStore:
         self._snapshot = None
         return node
 
+    # -- migration (slot rebalancing, repro.cluster.slots) -------------------
+
+    def install_node(self, node: int, files: dict[str, Sequence[Triple]]) -> None:
+        """Replace one node's file map wholesale (slot moved in)."""
+        self.files[node] = {name: list(ts) for name, ts in files.items()}
+        self.version += 1
+        self._snapshot = None
+
+    def evict_node(self, node: int) -> dict[str, list[Triple]]:
+        """Drop and return one node's file map (slot moved out)."""
+        evicted = self.files[node]
+        self.files[node] = {}
+        self.version += 1
+        self._snapshot = None
+        return evicted
+
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> StoreSnapshot:

@@ -61,6 +61,7 @@ import threading
 import time
 import warnings as _warnings
 from collections import deque
+from typing import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -249,6 +250,13 @@ class ServiceConfig:
     #: shard count.  With backend="process" every shard gets a worker
     #: pool of its own (backend_workers is split across shards).
     shards: int = 0
+    #: width of the slot ring behind the sharded store's node→shard map
+    #: (repro.cluster.slots).  Nodes hash onto ``max(slots, num_nodes)``
+    #: slots and a versioned SlotTable maps slots to shards, so
+    #: :meth:`QueryService.rebalance` can grow/shrink/deskew the
+    #: topology by moving slot ownership — answers are invariant across
+    #: every table version.  Ignored unless ``shards >= 1``.
+    slots: int = 64
     #: how the shard workers are reached (requires ``shards >= 1``):
     #: "inproc" calls per-shard execution backends in-process; "rpc"
     #: runs each shard as a long-lived server process behind
@@ -643,12 +651,17 @@ class QueryService:
                 "coalesce_max_batch must be >= 1, "
                 f"got {self.config.coalesce_max_batch}"
             )
+        if self.config.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.config.slots}")
         if self.config.shards:
             # Sharded deployment: N shard workers each hold one slice of
             # the §5.1 layout; the global catalog is aggregated from the
             # shards' placement-disjoint local statistics.
             self.store = shard_graph(
-                graph, self.config.num_nodes, self.config.shards
+                graph,
+                self.config.num_nodes,
+                self.config.shards,
+                slots=self.config.slots,
             )
             self.catalog = self.store.aggregate_statistics()
             self.backend = None
@@ -965,6 +978,101 @@ class QueryService:
                     # are per shard).
                     self.executor.prime()
         return added
+
+    # -- topology ----------------------------------------------------------
+
+    def rebalance(
+        self,
+        target_shards: int | None = None,
+        moves: "Sequence[tuple[int, int, int]] | None" = None,
+    ):
+        """Move shard ownership live: grow, shrink, or shed skew.
+
+        Requires a sharded deployment.  Pass *target_shards* for a
+        minimal resize plan, or explicit ``(slot, src, dst)`` *moves*
+        (e.g. from :meth:`suggest_rebalance`).  The migration runs
+        under the store's **write lock**: in-flight queries against the
+        old epoch drain first, queries submitted meanwhile block, and
+        both resume against the flipped table — answers are identical
+        before, during and after.  Over the RPC transport only the
+        moved slots' snapshot slices cross the wire; a mid-migration
+        failure rolls the store back and raises typed, leaving the old
+        topology serving.  Returns a
+        :class:`~repro.cluster.router.RebalanceReport`.
+        """
+        self._check_open()
+        if not isinstance(self.executor, ShardedPlanExecutor):
+            raise ValueError(
+                "rebalance requires a sharded deployment "
+                "(ServiceConfig(shards=N))"
+            )
+        started = time.perf_counter()
+        if not self.config.tracing:
+            report = self._rebalance_locked(target_shards, moves)
+        else:
+            ref = self.trace_sink.start_trace("rebalance", epoch=started)
+            try:
+                with activate(ref):
+                    report = self._rebalance_locked(target_shards, moves)
+            finally:
+                self.trace_sink.finish_trace(
+                    ref.trace_id, time.perf_counter() - started
+                )
+        phases = {
+            "plan": report.slots_moved,
+            "prime": sum(
+                1
+                for _slot, _src, dst in report.moves
+                if dst >= report.old_shards
+            ),
+            "delta": sum(
+                1
+                for _slot, _src, dst in report.moves
+                if dst < report.old_shards
+            ),
+            "flip": report.slots_moved if report.new_epoch > report.old_epoch else 0,
+        }
+        self.stats.record_rebalance(phases)
+        return report
+
+    def _rebalance_locked(self, target_shards, moves):
+        # Acquiring the write lock *is* the drain: it blocks until
+        # every in-flight query (a reader) finishes and holds new ones
+        # out until the table has flipped.
+        with span("rebalance:drain"):
+            lock = self._store_lock.write()
+            lock.__enter__()
+        try:
+            with span(
+                "rebalance:migrate",
+                target_shards=target_shards if target_shards is not None else -1,
+            ):
+                return self.executor.rebalance(target_shards, moves)
+        finally:
+            lock.__exit__(None, None, None)
+
+    def suggest_rebalance(self, max_moves: int = 1):
+        """A skew-shedding plan from live worker load, or ``()``.
+
+        Feeds the RPC shard workers' ``tasks_run`` gauges (PR 9
+        telemetry) into :func:`~repro.cluster.slots.plan_skew`; without
+        live gauges (inproc transport, cold fleet) it falls back to
+        stored triples per shard.  The plan is advice — pass it to
+        :meth:`rebalance` to act on it.
+        """
+        self._check_open()
+        if not isinstance(self.executor, ShardedPlanExecutor):
+            raise ValueError(
+                "suggest_rebalance requires a sharded deployment "
+                "(ServiceConfig(shards=N))"
+            )
+        load: dict[int, float] = {}
+        for gauge in self._shard_worker_gauges():
+            if not gauge.stale:
+                load[gauge.shard] = float(gauge.tasks_run)
+        return self.executor.suggest_rebalance(
+            load=load or None, max_moves=max_moves
+        )
 
     # -- serving -----------------------------------------------------------
 

@@ -177,6 +177,8 @@ class StatsSnapshot:
     #: point-in-time load gauges of the live RPC shard workers
     #: (empty for non-RPC deployments or when no worker is up)
     shard_workers: tuple[ShardWorkerGauge, ...] = ()
+    #: completed slot-table rebalances (grow, shrink or skew-shedding)
+    rebalances: int = 0
 
     @property
     def plan_hit_rate(self) -> float:
@@ -198,7 +200,8 @@ class StatsSnapshot:
             f"queries: {self.submitted} ({self.errors} errors, "
             f"{self.coalesced} coalesced, {self.rejected} rejected), "
             f"mutations: {self.mutations} (graph v{self.graph_version}), "
-            f"shard failures: {self.shard_failures}",
+            f"shard failures: {self.shard_failures}, "
+            f"rebalances: {self.rebalances}",
             f"plan cache:   {self.plan_hits} full hits, "
             f"{self.template_hits} template hits, "
             f"{self.plan_misses} cold submissions "
@@ -257,6 +260,7 @@ _EVENTS = (
     "mutations",
     "rejected",
     "shard_failures",
+    "rebalances",
 )
 
 #: Latency series recorded per query stage.
@@ -300,6 +304,11 @@ class ServiceStats:
         self._windows = {
             name: deque(maxlen=self.window) for name in _STAGES
         }
+        self._slot_moves = self.registry.counter(
+            "repro_slot_moves_total",
+            "Slots handled by topology rebalances, by migration phase.",
+            labels=("phase",),
+        )
 
     def _count(self, event: str, amount: int = 1) -> None:
         self._events[event].inc(amount)
@@ -365,6 +374,15 @@ class ServiceStats:
     def record_mutation(self) -> None:
         self._count("mutations")
 
+    def record_rebalance(self, phases: dict[str, int]) -> None:
+        """Count one topology rebalance; *phases* maps migration phase
+        (``plan``/``prime``/``delta``/``flip``) → slots handled there,
+        feeding ``repro_slot_moves_total{phase=...}``."""
+        with self._lock:
+            self._count("rebalances")
+            for phase, count in phases.items():
+                self._slot_moves.labels(phase=phase).inc(count)
+
     def record_warning(self, message: str) -> None:
         """Record an operational warning (deduplicated, kept forever)."""
         with self._lock:
@@ -398,6 +416,7 @@ class ServiceStats:
                 mutations=counts["mutations"],
                 rejected=counts["rejected"],
                 shard_failures=counts["shard_failures"],
+                rebalances=counts["rebalances"],
                 graph_version=graph_version,
                 uptime_s=time.monotonic() - self._started,
                 optimize=self._summary("optimize"),

@@ -21,6 +21,7 @@ from __future__ import annotations
 import functools
 import os
 import threading
+import time
 from dataclasses import dataclass
 
 import pytest
@@ -330,3 +331,76 @@ def assert_concurrent_conforms(
                 outcome,
                 f"{where}/concurrent{threads}:t{i}/{query.name}",
             )
+
+
+def assert_rebalance_conforms(
+    service: QueryService,
+    queries,
+    reference: dict[str, Expected],
+    plan=(5, 3),
+    threads: int = 4,
+    where: str = "",
+):
+    """The rebalance dimension: answers invariant while the topology moves.
+
+    *threads* driver threads keep the rotated workload continuously in
+    flight while the main thread walks the shard count through *plan*
+    (live grow/shrink migrations).  Every in-flight outcome — started
+    before, during, or after a migration — must conform to the serial
+    reference, and after each flip the main thread re-runs the full
+    workload at the new epoch.  Returns the
+    :class:`~repro.cluster.router.RebalanceReport` per step.
+    """
+    queries = list(queries)
+    rotations = [
+        queries[i % len(queries):] + queries[: i % len(queries)]
+        for i in range(threads)
+    ]
+    stop = threading.Event()
+    results: list[object] = [None] * threads
+
+    def run(i: int) -> None:
+        try:
+            outcomes = []
+            # Bounded: keep load on until every migration is done, but
+            # never spin forever if the main thread dies first.
+            while not stop.is_set() and len(outcomes) < 40 * len(queries):
+                for query in rotations[i]:
+                    outcomes.append((query.name, service.submit(query)))
+            results[i] = outcomes
+        except BaseException as exc:  # surfaced by the main thread
+            results[i] = exc
+
+    workers = [
+        threading.Thread(target=run, args=(i,), name=f"rebalance-driver-{i}")
+        for i in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    reports = []
+    try:
+        for target in plan:
+            # Let the drivers get queries in flight against the current
+            # epoch before moving it underneath them.
+            time.sleep(0.05)
+            report = service.rebalance(target_shards=target)
+            reports.append(report)
+            for query in queries:
+                assert_conforms(
+                    reference[query.name],
+                    service.submit(query),
+                    f"{where}/epoch{report.new_epoch}/{query.name}",
+                )
+    finally:
+        stop.set()
+    for worker in workers:
+        worker.join(timeout=600)
+    assert all(not w.is_alive() for w in workers), (where, "hung driver")
+    for i, outcomes in enumerate(results):
+        assert not isinstance(outcomes, BaseException), (where, i, outcomes)
+        assert outcomes, (where, i, "driver made no progress")
+        for name, outcome in outcomes:
+            assert_conforms(
+                reference[name], outcome, f"{where}/rebalance:t{i}/{name}"
+            )
+    return reports

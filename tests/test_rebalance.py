@@ -1,0 +1,627 @@
+"""Elastic shard topology: slot tables, live rebalance, fault injection.
+
+Covers the :mod:`repro.cluster.slots` layer (deterministic assignment,
+plan validation, minimal-movement resize plans, skew shedding, snapshot
+delta merging — plus hypothesis property tests where hypothesis is
+installed), the in-process and RPC rebalance surfaces (grow/shrink/
+deskew with answers invariant at every epoch, migration shipping only
+the moved slots' data), and the failure paths: a destination worker
+that cannot spawn mid-migration rolls the topology back typed, a killed
+survivor recovers through the respawn-retry path, duplicate
+``TableUpdate``/``PrimeSlots`` deliveries are idempotent, and an
+execute frame stamped with a stale epoch is rejected typed worker-side
+and transparently re-routed driver-side.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.cluster import ShardedPlanExecutor, shard_graph
+from repro.cluster.rpc import (
+    ExecuteLevel,
+    OkReply,
+    Prime,
+    PrimeSlots,
+    Request,
+    RpcShardRouter,
+    ShardUnavailable,
+    ShardWorkerClient,
+    StaleEpoch,
+    Stats,
+    TableUpdate,
+)
+from repro.cluster.slots import (
+    DEFAULT_SLOTS,
+    SlotTable,
+    initial_table,
+    merge_slots,
+    plan_resize,
+    plan_skew,
+)
+from repro.core.algorithm import cliquesquare
+from repro.core.decomposition import MSC
+from repro.partitioning.triple_partitioner import partition_graph
+from repro.service import QueryService, ServiceConfig
+from repro.sparql.parser import parse_query
+from tests.conformance import needs_rpc
+from tests.conftest import make_university_graph
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment-dependent
+    HAVE_HYPOTHESIS = False
+
+NUM_NODES = 8
+
+STAR_QUERY = (
+    "SELECT ?p ?s WHERE { ?p ub:worksFor ?d . ?s ub:memberOf ?d . "
+    "?p rdf:type ub:FullProfessor . ?s rdf:type ub:Student }"
+)
+
+CHAIN_QUERY = (
+    "SELECT ?p WHERE { ?p ub:worksFor <dept0> . "
+    "?p rdf:type ub:FullProfessor }"
+)
+
+
+@pytest.fixture(scope="module")
+def university():
+    return make_university_graph()
+
+
+def sharded_service(graph, **overrides) -> QueryService:
+    config = ServiceConfig(
+        shards=overrides.pop("shards", 4),
+        num_nodes=overrides.pop("num_nodes", NUM_NODES),
+        slots=overrides.pop("slots", NUM_NODES),
+        result_cache_size=0,
+        **overrides,
+    )
+    return QueryService(graph, config)
+
+
+# -- SlotTable unit tests ------------------------------------------------------
+
+
+class TestSlotTable:
+    def test_initial_table_reproduces_modulus_layout(self):
+        for shards in (1, 2, 3, 4):
+            table = initial_table(shards, num_nodes=7)
+            assert table.version == 0
+            assert table.slots == max(DEFAULT_SLOTS, 7)
+            for node in range(7):
+                assert table.shard_of_node(node) == node % shards
+
+    def test_assignment_is_total_and_partitions_nodes(self):
+        table = initial_table(3, num_nodes=10, slots=16)
+        owners = [table.shard_of_node(n) for n in range(10)]
+        assert all(0 <= s < 3 for s in owners)
+        by_shard = [table.nodes_of_shard(s, 10) for s in range(3)]
+        assert sorted(n for nodes in by_shard for n in nodes) == list(range(10))
+
+    def test_apply_moves_ownership_and_bumps_version_once(self):
+        table = initial_table(2, num_nodes=4, slots=4)
+        moved = table.apply([(0, 0, 1)])
+        assert moved.version == table.version + 1
+        assert moved.shard_of_node(0) == 1
+        assert moved.owners[1:] == table.owners[1:]
+        # The original is immutable.
+        assert table.shard_of_node(0) == 0
+
+    def test_apply_rejects_stale_and_malformed_plans(self):
+        table = initial_table(2, num_nodes=4, slots=4)
+        with pytest.raises(ValueError, match="stale plan"):
+            table.apply([(0, 1, 0)])  # slot 0 is owned by shard 0, not 1
+        with pytest.raises(ValueError, match="moved twice"):
+            table.apply([(0, 0, 1), (0, 1, 0)])
+        with pytest.raises(ValueError, match="outside"):
+            table.apply([(99, 0, 1)])
+        with pytest.raises(ValueError, match="outside"):
+            table.apply([(0, 0, 7)])  # destination shard does not exist
+
+    def test_inverse_restores_ownership(self):
+        table = initial_table(3, num_nodes=6, slots=6)
+        moves = plan_resize(table, 2)
+        shrunk = table.apply(moves, 2)
+        restored = shrunk.apply(shrunk.inverse(moves), 3)
+        assert restored.owners == table.owners
+        assert restored.version == table.version + 2
+
+    def test_plan_resize_is_deterministic_balanced_and_minimal(self):
+        table = initial_table(4, num_nodes=7)  # 64-slot ring
+        grow = plan_resize(table, 5)
+        assert grow == plan_resize(table, 5)
+        grown = table.apply(grow, 5)
+        counts = grown.counts()
+        assert max(counts) - min(counts) <= 1
+        # Growing by one moves about slots/new_N slots, never more than
+        # the new shard's fair share.
+        assert 0 < len(grow) <= math.ceil(table.slots / 5)
+        assert all(dst == 4 for _slot, _src, dst in grow)
+        shrink = plan_resize(grown, 3)
+        shrunk = grown.apply(shrink, 3)
+        assert max(shrunk.counts()) - min(shrunk.counts()) <= 1
+        # Shrinking moves exactly what the departing shards owned.
+        departing = sum(counts[3:])
+        assert len(shrink) == departing
+
+    def test_plan_resize_validates_bounds(self):
+        table = initial_table(2, num_nodes=4, slots=4)
+        with pytest.raises(ValueError, match=">= 1"):
+            plan_resize(table, 0)
+        with pytest.raises(ValueError, match="at most one shard per slot"):
+            plan_resize(table, 5)
+
+    def test_plan_skew_moves_busiest_to_idlest(self):
+        table = initial_table(3, num_nodes=6, slots=6)
+        moves = plan_skew(table, {0: 100.0, 1: 1.0, 2: 50.0}, max_moves=2)
+        assert moves
+        assert all(src == 0 and dst == 1 for _slot, src, dst in moves)
+        # The busiest shard owns two slots and must keep one.
+        assert len(moves) == 1
+        rebalanced = table.apply(moves)
+        assert rebalanced.counts()[1] == 3
+
+    def test_plan_skew_noop_cases(self):
+        table = initial_table(3, num_nodes=6, slots=6)
+        assert plan_skew(table, {}) == ()  # no signal, no imbalance
+        assert plan_skew(table, {0: 5.0, 1: 5.0, 2: 5.0}) == ()
+        assert plan_skew(initial_table(1, 4, slots=4), {0: 9.0}) == ()
+
+    def test_plan_skew_donor_keeps_a_slot(self):
+        table = initial_table(2, num_nodes=4, slots=4)
+        moves = plan_skew(table, {0: 10.0, 1: 0.0}, max_moves=99)
+        assert 0 < len(moves) < len(table.slots_of_shard(0)) + 1
+        moved = table.apply(moves)
+        assert moved.counts()[0] >= 1
+
+    def test_merge_slots_applies_adds_and_drops(self, university):
+        snapshot = partition_graph(university, 4).snapshot()
+        adds = {2: dict(snapshot.files[1])}
+        merged = merge_slots(snapshot, adds, drops=(0,), token=(99, 1))
+        assert merged.token == (99, 1)
+        assert merged.files[0] == {}
+        assert merged.files[2] == snapshot.files[1]
+        assert merged.files[3] == snapshot.files[3]
+        # Deterministic: equal inputs produce equal snapshots.
+        again = merge_slots(snapshot, adds, drops=(0,), token=(99, 1))
+        assert again.files == merged.files
+
+
+# -- hypothesis property tests (auto-skip without hypothesis) ------------------
+
+
+if HAVE_HYPOTHESIS:
+
+    @st.composite
+    def slot_tables(draw):
+        num_shards = draw(st.integers(min_value=1, max_value=8))
+        width = draw(st.integers(min_value=num_shards, max_value=48))
+        owners = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_shards - 1),
+                min_size=width,
+                max_size=width,
+            )
+        )
+        version = draw(st.integers(min_value=0, max_value=5))
+        return SlotTable(
+            num_shards=num_shards, owners=tuple(owners), version=version
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(table=slot_tables(), node=st.integers(min_value=0, max_value=500))
+    def test_assignment_deterministic_and_total(table, node):
+        shard = table.shard_of_node(node)
+        assert 0 <= shard < table.num_shards
+        assert table.shard_of_node(node) == shard
+        assert table.slot_of_node(node) == node % table.slots
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        table=slot_tables(),
+        new_shards=st.integers(min_value=1, max_value=8),
+    )
+    def test_plan_resize_minimal_movement(table, new_shards):
+        if new_shards > table.slots:
+            with pytest.raises(ValueError):
+                plan_resize(table, new_shards)
+            return
+        moves = plan_resize(table, new_shards)
+        resized = table.apply(moves, new_shards)
+        counts = resized.counts()
+        assert sum(counts) == table.slots
+        assert max(counts) - min(counts) <= 1
+        # Minimality: every move was forced — a slot on a removed shard,
+        # or the excess above a surviving shard's fair-share target.
+        base, extra = divmod(table.slots, new_shards)
+        target = [base + (1 if s < extra else 0) for s in range(new_shards)]
+        old = table.counts()
+        forced = sum(old[s] for s in range(new_shards, table.num_shards))
+        forced += sum(
+            max(0, old[s] - target[s]) for s in range(min(new_shards, table.num_shards))
+        )
+        assert len(moves) == forced
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=2, max_value=8),
+        width=st.integers(min_value=9, max_value=64),
+    )
+    def test_single_step_resize_moves_fair_share(num_shards, width):
+        """From a balanced table, growing or shrinking by one shard
+        moves about ``ceil(slots / N)`` slots — the "-ish" bound."""
+        table = initial_table(num_shards, num_nodes=width, slots=width)
+        grow = plan_resize(table, num_shards + 1)
+        assert len(grow) <= math.ceil(table.slots / (num_shards + 1))
+        shrink = plan_resize(table, num_shards - 1)
+        assert len(shrink) <= math.ceil(table.slots / num_shards)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        table=slot_tables(),
+        targets=st.lists(
+            st.integers(min_value=1, max_value=8), min_size=2, max_size=4
+        ),
+    )
+    def test_plans_compose(table, targets):
+        """A chain of resize plans applies cleanly step by step (each
+        plan is computed against the table the previous one produced),
+        and inverting a step undoes exactly that step."""
+        current = table
+        for target in targets:
+            if target > current.slots:
+                continue
+            moves = plan_resize(current, target)
+            stepped = current.apply(moves, target)
+            assert stepped.version == current.version + 1
+            undone = stepped.apply(stepped.inverse(moves), current.num_shards)
+            assert undone.owners == current.owners
+            current = stepped
+
+
+# -- in-process rebalance ------------------------------------------------------
+
+
+class TestInprocRebalance:
+    def test_grow_and_shrink_answers_invariant(self, university):
+        service = sharded_service(university)
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            chain = service.submit(CHAIN_QUERY).rows
+            report = service.rebalance(target_shards=5)
+            assert (report.old_shards, report.new_shards) == (4, 5)
+            assert report.new_epoch == report.old_epoch + 1
+            assert report.slots_moved > 0
+            assert report.moved_nodes
+            assert service.submit(STAR_QUERY).rows == expected
+            assert service.submit(CHAIN_QUERY).rows == chain
+            report = service.rebalance(target_shards=3)
+            assert (report.old_shards, report.new_shards) == (5, 3)
+            assert service.submit(STAR_QUERY).rows == expected
+            assert service.submit(CHAIN_QUERY).rows == chain
+            stats = service.snapshot_stats()
+            assert stats.rebalances == 2
+            assert "rebalances: 2" in stats.format()
+        finally:
+            service.close()
+
+    def test_explicit_skew_moves(self, university):
+        service = sharded_service(university, shards=2)
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            store = service.executor.store
+            moves = plan_skew(store.table, {0: 10.0, 1: 0.0})
+            assert moves
+            report = service.rebalance(moves=moves)
+            assert report.moves == moves
+            assert report.new_shards == 2
+            assert service.submit(STAR_QUERY).rows == expected
+        finally:
+            service.close()
+
+    def test_suggest_rebalance_falls_back_to_stored_triples(self, university):
+        service = sharded_service(university, shards=3)
+        try:
+            suggestion = service.suggest_rebalance()
+            store = service.executor.store
+            per_shard = store.triples_per_shard()
+            if len(set(per_shard)) == 1:
+                assert suggestion == ()
+            else:
+                assert suggestion
+                (slot, src, dst), *_ = suggestion
+                assert per_shard[src] == max(per_shard)
+                assert per_shard[dst] == min(per_shard)
+                expected = service.submit(STAR_QUERY).rows
+                service.rebalance(moves=suggestion)
+                assert service.submit(STAR_QUERY).rows == expected
+        finally:
+            service.close()
+
+    def test_noop_rebalance_keeps_epoch(self, university):
+        service = sharded_service(university)
+        try:
+            report = service.rebalance(target_shards=4)
+            assert report.slots_moved == 0
+            assert report.new_epoch == report.old_epoch
+            assert service.snapshot_stats().rebalances == 1
+        finally:
+            service.close()
+
+    def test_catalog_invariant_across_rebalance(self, university):
+        service = sharded_service(university)
+        try:
+            store = service.executor.store
+            before = store.aggregate_statistics()
+            service.rebalance(target_shards=6)
+            assert store.aggregate_statistics() == before
+            service.rebalance(target_shards=2)
+            assert store.aggregate_statistics() == before
+        finally:
+            service.close()
+
+    def test_rebalance_requires_sharded_deployment(self, university):
+        service = QueryService(university, ServiceConfig(num_nodes=4))
+        try:
+            with pytest.raises(ValueError, match="sharded deployment"):
+                service.rebalance(target_shards=2)
+            with pytest.raises(ValueError, match="sharded deployment"):
+                service.suggest_rebalance()
+        finally:
+            service.close()
+
+    def test_rebalance_needs_a_plan_or_target(self, university):
+        service = sharded_service(university)
+        try:
+            with pytest.raises(ValueError, match="target_shards"):
+                service.rebalance()
+        finally:
+            service.close()
+
+    def test_slots_config_validated(self, university):
+        with pytest.raises(ValueError, match="slots"):
+            QueryService(university, ServiceConfig(shards=2, slots=0))
+
+    def test_mutation_after_rebalance(self, university):
+        service = sharded_service(university, shards=2)
+        try:
+            before = service.submit(CHAIN_QUERY).rows
+            service.rebalance(target_shards=3)
+            added = service.add_triples(
+                [
+                    ("<newprof>", "ub:worksFor", "<dept0>"),
+                    ("<newprof>", "rdf:type", "ub:FullProfessor"),
+                ]
+            )
+            assert added == 2
+            rows = service.submit(CHAIN_QUERY).rows
+            assert rows == before | {("<newprof>",)}
+        finally:
+            service.close()
+
+
+# -- rpc rebalance and fault injection -----------------------------------------
+
+
+@needs_rpc
+class TestRpcRebalance:
+    def test_migration_ships_only_moved_slots(self, university):
+        service = sharded_service(university, shard_transport="rpc")
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            report = service.rebalance(target_shards=5)
+            assert report.bytes_shipped is not None
+            shipped = sum(report.bytes_shipped)
+            assert shipped > 0
+            # The elasticity claim: a migration ships the moved slots'
+            # slices, not the cluster's data — strictly less than the
+            # bytes a naive full re-prime of the new topology would put
+            # on the wire.
+            snapshot = service.executor.store.snapshot()
+            full_reprime = sum(
+                len(pickle.dumps(Request(0, Prime(shard_snapshot))))
+                for shard_snapshot in snapshot.shards
+            )
+            assert shipped < full_reprime
+            assert service.submit(STAR_QUERY).rows == expected
+        finally:
+            service.close()
+
+    def test_live_grow_shrink_over_rpc(self, university):
+        service = sharded_service(university, shard_transport="rpc")
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            service.rebalance(target_shards=5)
+            assert service.submit(STAR_QUERY).rows == expected
+            report = service.rebalance(target_shards=3)
+            assert report.new_shards == 3
+            assert service.submit(STAR_QUERY).rows == expected
+            # The fleet really shrank: three live workers, no more.
+            router = service.executor.router
+            assert router.num_shards == 3
+            assert all(
+                client is None
+                for client in router._clients[3:]
+            )
+            assert "rebalances: 2" in service.snapshot_stats().format()
+        finally:
+            service.close()
+
+    def test_destination_spawn_failure_rolls_back(self, university):
+        service = sharded_service(university, shard_transport="rpc", shards=2)
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            router = service.executor.router
+            store = service.executor.store
+            version_before = store.table.version
+            original = router._start_worker
+            router._start_worker = _spawn_bomb
+            try:
+                with pytest.raises(ShardUnavailable, match="migration"):
+                    service.rebalance(target_shards=3)
+            finally:
+                router._start_worker = original
+            # Clean rollback: the old topology serves, ownership maps
+            # restored (the epoch keeps climbing — versions never
+            # reuse), and answers are unchanged.
+            assert store.num_shards == 2
+            assert router.num_shards == 2
+            assert store.table.version == version_before + 2
+            assert service.submit(STAR_QUERY).rows == expected
+            assert service.snapshot_stats().shard_failures >= 1
+            # The fleet is not poisoned: a later rebalance succeeds.
+            report = service.rebalance(target_shards=3)
+            assert report.new_shards == 3
+            assert service.submit(STAR_QUERY).rows == expected
+        finally:
+            service.close()
+
+    def test_killed_survivor_recovers_mid_migration(self, university):
+        """A survivor whose worker died before its PrimeSlots delta is
+        respawned, re-primed and retried — the migration completes with
+        correct answers instead of hanging or corrupting state."""
+        service = sharded_service(university, shard_transport="rpc", shards=2)
+        try:
+            expected = service.submit(STAR_QUERY).rows
+            router = service.executor.router
+            victim = router._clients[0]
+            victim.process.kill()
+            victim.process.join(timeout=10)
+            report = service.rebalance(target_shards=1)
+            assert report.new_shards == 1
+            assert service.submit(STAR_QUERY).rows == expected
+            assert service.snapshot_stats().shard_failures == 1
+        finally:
+            service.close()
+
+    def test_duplicate_table_update_is_idempotent(self, university):
+        client = ShardWorkerClient(shard=0, num_nodes=NUM_NODES, num_shards=1)
+        client.start()
+        try:
+            snapshot = partition_graph(university, NUM_NODES).snapshot()
+            client.request(Prime(snapshot, epoch=1))
+            assert client.request(TableUpdate(epoch=3, num_shards=2)) == OkReply(3)
+            # Duplicate delivery (crash-retry): acknowledged, no effect.
+            assert client.request(TableUpdate(epoch=3, num_shards=2)) == OkReply(3)
+            # Stale update: monotonicity wins, the worker stays at 3.
+            assert client.request(TableUpdate(epoch=2, num_shards=9)) == OkReply(3)
+            # An execute frame stamped with the installed epoch passes
+            # the epoch gate: the next failure is the (expected) missing
+            # template, not StaleEpoch.
+            from repro.cluster.rpc import TemplateNotRegistered
+
+            with pytest.raises(TemplateNotRegistered):
+                client.request(
+                    ExecuteLevel(key="x", binding=(), level=0, phase="map",
+                                 tasks=(), epoch=3)
+                )
+        finally:
+            client.close()
+
+    def test_duplicate_prime_slots_is_idempotent(self, university):
+        client = ShardWorkerClient(shard=0, num_nodes=NUM_NODES, num_shards=1)
+        client.start()
+        try:
+            snapshot = partition_graph(university, NUM_NODES).snapshot()
+            client.request(Prime(snapshot))
+            base = client.request(Stats())
+            delta = PrimeSlots(
+                adds={}, drops=(0,), token=(snapshot.token[0], 999)
+            )
+            assert client.request(delta) == OkReply(delta.token)
+            after = client.request(Stats())
+            assert after.snapshot_token == delta.token
+            assert after.primes == base.primes + 1
+            # Duplicate delivery: same token, acknowledged without
+            # re-merging or re-priming.
+            assert client.request(delta) == OkReply(delta.token)
+            assert client.request(Stats()).primes == base.primes + 1
+        finally:
+            client.close()
+
+    def test_prime_slots_without_snapshot_is_typed(self):
+        from repro.cluster.rpc import WorkerStateError
+
+        client = ShardWorkerClient(shard=0, num_nodes=NUM_NODES, num_shards=1)
+        client.start()
+        try:
+            with pytest.raises(WorkerStateError, match="no resident snapshot"):
+                client.request(
+                    PrimeSlots(adds={}, drops=(), token=(1, 1))
+                )
+        finally:
+            client.close()
+
+    def test_stale_epoch_rejected_typed(self, university):
+        client = ShardWorkerClient(shard=0, num_nodes=NUM_NODES, num_shards=1)
+        client.start()
+        try:
+            snapshot = partition_graph(university, NUM_NODES).snapshot()
+            client.request(Prime(snapshot, epoch=2))
+            with pytest.raises(StaleEpoch) as info:
+                client.request(
+                    ExecuteLevel(
+                        key="any", binding=(), level=0, phase="map",
+                        tasks=(), epoch=0,
+                    )
+                )
+            assert info.value.shard == 0
+            assert info.value.frame_epoch == 0
+            assert info.value.worker_epoch == 2
+            # The worker survives the rejection and still serves.
+            assert client.request(Stats()).snapshot_token == snapshot.token
+        finally:
+            client.close()
+
+    def test_driver_reroutes_query_across_live_rebalance(self, university):
+        """A query routed against epoch v whose levels land after the
+        table flipped to v+1 is answered correctly: the worker rejects
+        the stale frame typed and the driver re-routes the same tasks
+        under the current table (pickle wire: a codec reseed must not
+        straddle an in-flight columnar frame, so that path quiesces at
+        the service layer instead)."""
+        store = shard_graph(university, NUM_NODES, 2, slots=NUM_NODES)
+        executor = ShardedPlanExecutor(
+            store, transport="rpc", wire_format="pickle"
+        )
+        try:
+            plan = cliquesquare(parse_query(STAR_QUERY), MSC).plans[0]
+            prepared = executor.prepare(plan)
+            executor.prime()
+            expected = executor.execute_prepared(prepared).rows
+            router = executor.router
+            assert isinstance(router, RpcShardRouter)
+            original = router._level_call
+            fired = []
+
+            def tripping(shard, msg, exec_ctx):
+                if not fired:
+                    fired.append(True)
+                    executor.rebalance(target_shards=3)
+                return original(shard, msg, exec_ctx)
+
+            router._level_call = tripping
+            try:
+                result = executor.execute_prepared(prepared)
+            finally:
+                router._level_call = original
+            assert fired, "the mid-query rebalance never triggered"
+            assert result.rows == expected
+            assert store.num_shards == 3
+            # Settled topology: the next query runs at the new epoch
+            # without any re-routing.
+            assert executor.execute_prepared(prepared).rows == expected
+        finally:
+            executor.close()
+
+
+def _spawn_bomb(shard):
+    raise OSError("no processes left")

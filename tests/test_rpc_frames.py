@@ -29,6 +29,7 @@ from repro.cluster.rpc import (
     InvalidateSnapshot,
     OkReply,
     Prime,
+    PrimeSlots,
     RegisterTemplate,
     Reply,
     Request,
@@ -37,6 +38,7 @@ from repro.cluster.rpc import (
     Shutdown,
     Stats,
     StatsReply,
+    TableUpdate,
 )
 from repro.columnar.wire import ColumnarFrame
 from repro.core.algorithm import cliquesquare
@@ -70,12 +72,13 @@ def _physical():
 
 
 def _level():
-    # Carries a non-default trace context: the round trip must preserve
-    # the tracing fields, not just the execution payload.
+    # Carries a non-default trace context and topology epoch: the round
+    # trip must preserve those fields, not just the execution payload.
     return ExecuteLevel(
         key="k", binding=(), level=0, phase="map",
         tasks=(("job0", None, 0),),
         trace_ctx=("trace0", 1),
+        epoch=2,
     )
 
 
@@ -87,7 +90,16 @@ FRAME_EXAMPLES = {
         shard=0, num_nodes=NUM_NODES, num_shards=2, pid=1234,
         snapshot_token=None,
     ),
-    "Prime": lambda: Prime(snapshot=_snapshot()),
+    "Prime": lambda: Prime(snapshot=_snapshot(), epoch=3),
+    "PrimeSlots": lambda: PrimeSlots(
+        # A moved-in node's file map plus a moved-out node: the round
+        # trip must preserve both sides of a migration delta.
+        adds={1: dict(_snapshot().files[1])},
+        drops=(0,),
+        token=(17, 2),
+        wire="pickle",
+    ),
+    "TableUpdate": lambda: TableUpdate(epoch=4, num_shards=5),
     "InvalidateSnapshot": InvalidateSnapshot,
     "RegisterTemplate": lambda: RegisterTemplate(
         key="k", physical=_physical()
